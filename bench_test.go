@@ -1,0 +1,316 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates its figure's rows on a reduced
+// population (the accelsim command runs paper-scale populations) and
+// reports the headline numbers as custom metrics, so `go test -bench`
+// output carries the reproduced series alongside the timing.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/accelos"
+	"repro/internal/accelpass"
+	"repro/internal/clc"
+	"repro/internal/device"
+	"repro/internal/elastic"
+	"repro/internal/experiments"
+	"repro/internal/ir"
+	"repro/internal/metrics"
+	"repro/internal/parboil"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchSizes keeps -bench runtimes in seconds while preserving the
+// population structure.
+var benchSizes = experiments.Sizes{Pairs: 40, Fours: 24, Eights: 16}
+
+func benchPops(b *testing.B, dev *device.Platform, overlap bool) []*experiments.Population {
+	b.Helper()
+	e := experiments.NewEngine(dev)
+	e.WithOverlap = overlap
+	return e.RunPopulations(benchSizes, 4)
+}
+
+// BenchmarkFig2 reproduces the motivating example: bfs, cutcp, stencil
+// and tpacf concurrently on the K20m model (Fig. 2a-c).
+func BenchmarkFig2(b *testing.B) {
+	e := experiments.NewEngine(device.NVIDIAK20m())
+	var r *experiments.WorkloadResult
+	for i := 0; i < b.N; i++ {
+		r = e.RunWorkload(experiments.Fig2Workload())
+	}
+	b.ReportMetric(r.Unfairness[experiments.Baseline], "unfairness-opencl")
+	b.ReportMetric(r.Unfairness[experiments.AccelOS], "unfairness-accelos")
+	b.ReportMetric(r.Speedup[experiments.AccelOS], "speedup-accelos")
+}
+
+// BenchmarkFig9 reproduces average system unfairness per request count
+// (Fig. 9a); run with -benchtime=1x for one full population sweep.
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pops := benchPops(b, device.NVIDIAK20m(), false)
+		for _, p := range pops {
+			b.ReportMetric(p.AvgUnfairness(experiments.Baseline), fmt.Sprintf("U-opencl-%dreq", p.K))
+			b.ReportMetric(p.AvgUnfairness(experiments.AccelOS), fmt.Sprintf("U-accelos-%dreq", p.K))
+		}
+	}
+}
+
+// BenchmarkFig10 reproduces the fairness-improvement distribution.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pops := benchPops(b, device.NVIDIAK20m(), false)
+		for _, p := range pops {
+			xs := p.FairnessImprovements(experiments.AccelOS)
+			b.ReportMetric(metrics.Percentile(xs, 50), fmt.Sprintf("FI-median-%dreq", p.K))
+			b.ReportMetric(100*metrics.FractionBelow(xs, 1), fmt.Sprintf("FI-neg-pct-%dreq", p.K))
+		}
+	}
+}
+
+// BenchmarkFig11 reproduces the alphabetical-pair unfairness comparison.
+func BenchmarkFig11(b *testing.B) {
+	e := experiments.NewEngine(device.NVIDIAK20m())
+	e.WithOverlap = false
+	pairs := experiments.Fig11Pairs()
+	var base, acc float64
+	for i := 0; i < b.N; i++ {
+		base, acc = 0, 0
+		for _, p := range pairs {
+			r := e.RunWorkload(p)
+			base += r.Unfairness[experiments.Baseline]
+			acc += r.Unfairness[experiments.AccelOS]
+		}
+	}
+	b.ReportMetric(base/float64(len(pairs)), "U-opencl-mean")
+	b.ReportMetric(acc/float64(len(pairs)), "U-accelos-mean")
+}
+
+// BenchmarkFig12 reproduces the kernel execution overlap averages.
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pops := benchPops(b, device.NVIDIAK20m(), true)
+		for _, p := range pops {
+			b.ReportMetric(100*p.AvgOverlap(experiments.Baseline), fmt.Sprintf("overlap-opencl-pct-%dreq", p.K))
+			b.ReportMetric(100*p.AvgOverlap(experiments.AccelOS), fmt.Sprintf("overlap-accelos-pct-%dreq", p.K))
+		}
+	}
+}
+
+// BenchmarkFig13 reproduces average throughput speedups.
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pops := benchPops(b, device.NVIDIAK20m(), false)
+		for _, p := range pops {
+			b.ReportMetric(p.AvgSpeedup(experiments.AccelOS), fmt.Sprintf("speedup-accelos-%dreq", p.K))
+			b.ReportMetric(p.AvgSpeedup(experiments.EK), fmt.Sprintf("speedup-ek-%dreq", p.K))
+		}
+	}
+}
+
+// BenchmarkFig14 reproduces the speedup distribution.
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pops := benchPops(b, device.NVIDIAK20m(), false)
+		for _, p := range pops {
+			xs := p.Speedups(experiments.AccelOS)
+			b.ReportMetric(metrics.Percentile(xs, 50), fmt.Sprintf("speedup-median-%dreq", p.K))
+			b.ReportMetric(100*metrics.FractionBelow(xs, 1), fmt.Sprintf("slowdown-pct-%dreq", p.K))
+		}
+	}
+}
+
+// BenchmarkFig15 reproduces the single-kernel overhead study (naive vs
+// optimized accelOS, geometric means over all 25 kernels).
+func BenchmarkFig15(b *testing.B) {
+	e := experiments.NewEngine(device.NVIDIAK20m())
+	var rows []experiments.SingleKernelResult
+	for i := 0; i < b.N; i++ {
+		rows = e.Fig15()
+	}
+	var naive, opt []float64
+	for _, r := range rows {
+		naive = append(naive, r.Naive)
+		opt = append(opt, r.Optimized)
+	}
+	b.ReportMetric(metrics.GeoMean(naive), "geomean-naive")
+	b.ReportMetric(metrics.GeoMean(opt), "geomean-optimized")
+}
+
+// BenchmarkTable1 reproduces the STP/ANTT table on the NVIDIA model.
+func BenchmarkTable1(b *testing.B) {
+	benchTable(b, device.NVIDIAK20m())
+}
+
+// BenchmarkTable2 reproduces the STP/ANTT table on the AMD model.
+func BenchmarkTable2(b *testing.B) {
+	benchTable(b, device.AMDR9295X2())
+}
+
+func benchTable(b *testing.B, dev *device.Platform) {
+	for i := 0; i < b.N; i++ {
+		pops := benchPops(b, dev, false)
+		for _, p := range pops {
+			b.ReportMetric(p.AvgSTP(experiments.AccelOS), fmt.Sprintf("STP-accelos-%dreq", p.K))
+			b.ReportMetric(p.AvgANTT(experiments.AccelOS), fmt.Sprintf("ANTT-accelos-%dreq", p.K))
+			b.ReportMetric(p.AvgANTT(experiments.EK), fmt.Sprintf("ANTT-ek-%dreq", p.K))
+		}
+	}
+}
+
+// --- substrate micro-benchmarks -------------------------------------
+
+// BenchmarkJITCompile measures the CLC front end on a Parboil kernel.
+func BenchmarkJITCompile(b *testing.B) {
+	k, err := parboil.ByName("mri-gridding/splitSort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := clc.Compile(k.Source, k.Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJITTransform measures the full accelOS transformation
+// pipeline (demotion, builtin replacement, hoisting, wrapper generation,
+// linking, cleanup passes).
+func BenchmarkJITTransform(b *testing.B) {
+	k, err := parboil.ByName("mri-gridding/splitSort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := clc.Compile(k.Source, k.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := accelpass.Transform(ir.CloneModule(mod)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpLaunch measures functional kernel execution on the
+// interpreter (one 4096-item vadd launch).
+func BenchmarkInterpLaunch(b *testing.B) {
+	k, err := parboil.ByName("sad/larger_sad_calc_8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := k.RunNative(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimBaseline measures the discrete-event simulator on an
+// 8-kernel baseline workload.
+func BenchmarkSimBaseline(b *testing.B) {
+	dev := device.NVIDIAK20m()
+	combo := workload.Random(7, 8, 1)[0]
+	for i := 0; i < b.N; i++ {
+		sim.RunBaseline(dev, workload.BuildSingle(dev, combo))
+	}
+}
+
+// BenchmarkSimAccelOS measures the simulator under software scheduling.
+func BenchmarkSimAccelOS(b *testing.B) {
+	dev := device.NVIDIAK20m()
+	combo := workload.Random(7, 8, 1)[0]
+	for i := 0; i < b.N; i++ {
+		sim.RunAccelOS(dev, workload.BuildSingle(dev, combo), false, accelos.PlanShares)
+	}
+}
+
+// BenchmarkSimElastic measures the simulator under static merging.
+func BenchmarkSimElastic(b *testing.B) {
+	dev := device.NVIDIAK20m()
+	combo := workload.Random(7, 8, 1)[0]
+	for i := 0; i < b.N; i++ {
+		sim.RunElastic(dev, workload.BuildSingle(dev, combo), elastic.Plan)
+	}
+}
+
+// BenchmarkPlanShares measures the §3 resource-sharing algorithm.
+func BenchmarkPlanShares(b *testing.B) {
+	dev := device.NVIDIAK20m()
+	execs := workload.BuildSingle(dev, workload.Random(11, 8, 1)[0])
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		accelos.PlanShares(dev, execs, false)
+	}
+}
+
+// --- ablation benchmarks ---------------------------------------------
+
+// BenchmarkAblationChunk sweeps the dequeue chunk size on a small-kernel
+// isolated execution, the design choice behind the §6.4 adaptive table:
+// chunk 1 pays one atomic per virtual group; large chunks amortize it
+// but coarsen load balance.
+func BenchmarkAblationChunk(b *testing.B) {
+	dev := device.NVIDIAK20m()
+	k, err := parboil.ByName("histo/histo_final") // small kernel, chunk-sensitive
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := k.Exec(0)
+	base.Iters = 2
+	alone := sim.RunBaseline(dev, workload.Clone([]*sim.KernelExec{base})).Timings[0].Duration()
+	for i := 0; i < b.N; i++ {
+		for _, chunk := range []int64{1, 2, 4, 8} {
+			e := k.Exec(0)
+			e.Iters = 2
+			e.Chunk = chunk
+			r := sim.RunAccelOS(dev, []*sim.KernelExec{e}, false, accelos.PlanShares)
+			b.ReportMetric(float64(alone)/float64(r.Timings[0].Duration()),
+				fmt.Sprintf("speedup-chunk%d", chunk))
+		}
+	}
+}
+
+// BenchmarkAblationGreedyGrowth compares the §3 allocation with and
+// without the greedy post-pass that grows conservative Diophantine
+// shares until resource saturation.
+func BenchmarkAblationGreedyGrowth(b *testing.B) {
+	dev := device.NVIDIAK20m()
+	combo := workload.Random(3, 4, 1)[0]
+	for i := 0; i < b.N; i++ {
+		execs := workload.BuildSingle(dev, combo)
+		launches := accelos.PlanShares(dev, execs, false)
+		var grown, initial int64
+		for _, l := range launches {
+			grown += l.PhysWGs * dev.RoundWarp(l.FP.Threads)
+			// The pre-growth share is T/(K·w) threads per kernel.
+			w := dev.RoundWarp(l.FP.Threads)
+			x := dev.TotalThreads() / (int64(len(execs)) * w)
+			if x > l.K.NumWGs {
+				x = l.K.NumWGs
+			}
+			initial += x * w
+		}
+		b.ReportMetric(float64(grown)/float64(dev.TotalThreads()), "thread-utilization-greedy")
+		b.ReportMetric(float64(initial)/float64(dev.TotalThreads()), "thread-utilization-initial")
+	}
+}
+
+// BenchmarkAblationExclusiveDriver quantifies the AMD driver's kernel
+// serialization: the same workload with and without ExclusiveKernels.
+func BenchmarkAblationExclusiveDriver(b *testing.B) {
+	combo := workload.Random(5, 2, 1)[0]
+	for i := 0; i < b.N; i++ {
+		excl := device.AMDR9295X2()
+		co := device.AMDR9295X2()
+		co.ExclusiveKernels = false
+		re := sim.RunBaseline(excl, workload.Build(excl, combo, 2))
+		rc := sim.RunBaseline(co, workload.Build(co, combo, 2))
+		b.ReportMetric(re.Overlap(), "overlap-exclusive")
+		b.ReportMetric(rc.Overlap(), "overlap-coscheduled")
+	}
+}

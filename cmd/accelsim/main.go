@@ -1,0 +1,241 @@
+// Command accelsim regenerates the paper's tables and figures on the
+// simulated platforms.
+//
+// Usage:
+//
+//	accelsim -exp all                 # every figure and table, both platforms
+//	accelsim -exp fig9 -platform amd  # one experiment, one platform
+//	accelsim -exp fig13 -full         # paper-scale populations (625/16384/32768)
+//
+// Experiments: fig2, fig9, fig10, fig11, fig12, fig13, fig14, fig15,
+// table1, table2, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/device"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig2, fig9..fig15, table1, table2, all)")
+	platform := flag.String("platform", "both", "platform: nvidia, amd or both")
+	full := flag.Bool("full", false, "paper-scale populations (625 pairs, 16384 4-sets, 32768 8-sets); slow")
+	pairs := flag.Int("pairs", 0, "override pair population size")
+	fours := flag.Int("fours", 0, "override 4-set population size")
+	eights := flag.Int("eights", 0, "override 8-set population size")
+	par := flag.Int("parallel", runtime.NumCPU(), "workload-level parallelism")
+	flag.Parse()
+
+	var devs []*device.Platform
+	switch *platform {
+	case "both":
+		devs = device.Platforms()
+	default:
+		d, err := device.ByName(*platform)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		devs = []*device.Platform{d}
+	}
+
+	sizes := experiments.Sizes{Pairs: 200, Fours: 256, Eights: 192}
+	if *full {
+		sizes = experiments.PaperSizes
+	}
+	if *pairs > 0 {
+		sizes.Pairs = *pairs
+	}
+	if *fours > 0 {
+		sizes.Fours = *fours
+	}
+	if *eights > 0 {
+		sizes.Eights = *eights
+	}
+
+	for _, dev := range devs {
+		fmt.Printf("==================== %s ====================\n", dev.Name)
+		e := experiments.NewEngine(dev)
+		needPops := map[string]bool{"fig9": true, "fig10": true, "fig12": true,
+			"fig13": true, "fig14": true, "table1": true, "table2": true, "all": true}
+		var pops []*experiments.Population
+		if needPops[*exp] {
+			fmt.Printf("running populations (pairs=%d, 4-sets=%d, 8-sets=%d)...\n",
+				sizes.Pairs, sizes.Fours, sizes.Eights)
+			pops = e.RunPopulations(sizes, *par)
+		}
+		run := func(id string) {
+			switch id {
+			case "fig2":
+				fig2(e)
+			case "fig9":
+				fig9(pops)
+			case "fig10":
+				fig10(pops)
+			case "fig11":
+				fig11(e)
+			case "fig12":
+				fig12(pops)
+			case "fig13":
+				fig13(pops)
+			case "fig14":
+				fig14(pops)
+			case "fig15":
+				fig15(e)
+			case "table1", "table2":
+				table(pops, dev.Vendor)
+			default:
+				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+		}
+		if *exp == "all" {
+			for _, id := range []string{"fig2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1"} {
+				run(id)
+			}
+		} else {
+			run(*exp)
+		}
+	}
+}
+
+var schemes = []experiments.Scheme{experiments.Baseline, experiments.EK, experiments.AccelOS}
+
+func fig2(e *experiments.Engine) {
+	fmt.Println("\n--- Fig. 2: parallel execution of bfs, cutcp, stencil, tpacf ---")
+	r := e.RunWorkload(experiments.Fig2Workload())
+	fmt.Println("(a) individual slowdowns:")
+	for _, s := range schemes {
+		fmt.Printf("    %-8s", s)
+		for i, k := range r.Kernels {
+			fmt.Printf("  %s=%.2f", shortName(k), r.Slowdowns[s][i])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(b) system unfairness: OpenCL=%.2f EK=%.2f accelOS=%.2f (accelOS %.2fx fairer)\n",
+		r.Unfairness[experiments.Baseline], r.Unfairness[experiments.EK],
+		r.Unfairness[experiments.AccelOS], r.FairnessImprovement(experiments.AccelOS))
+	fmt.Printf("(c) throughput speedup:  EK=%.2fx accelOS=%.2fx\n",
+		r.Speedup[experiments.EK], r.Speedup[experiments.AccelOS])
+}
+
+func fig9(pops []*experiments.Population) {
+	fmt.Println("\n--- Fig. 9: average system unfairness (lower is better) ---")
+	fmt.Printf("%8s %10s %10s %10s\n", "requests", "OpenCL", "EK", "accelOS")
+	for _, p := range pops {
+		fmt.Printf("%8d %10.2f %10.2f %10.2f\n", p.K,
+			p.AvgUnfairness(experiments.Baseline),
+			p.AvgUnfairness(experiments.EK),
+			p.AvgUnfairness(experiments.AccelOS))
+	}
+}
+
+func fig10(pops []*experiments.Population) {
+	fmt.Println("\n--- Fig. 10: fairness improvement distribution (higher is better) ---")
+	fmt.Printf("%8s %-8s %8s %8s %8s %8s %8s %10s\n", "requests", "scheme", "min", "p25", "median", "p75", "max", "%below 1x")
+	for _, p := range pops {
+		for _, s := range []experiments.Scheme{experiments.EK, experiments.AccelOS} {
+			xs := p.FairnessImprovements(s)
+			fmt.Printf("%8d %-8s %8.2f %8.2f %8.2f %8.2f %8.2f %9.1f%%\n", p.K, s.String(),
+				metrics.Percentile(xs, 0), metrics.Percentile(xs, 25), metrics.Percentile(xs, 50),
+				metrics.Percentile(xs, 75), metrics.Percentile(xs, 100),
+				100*metrics.FractionBelow(xs, 1))
+		}
+	}
+}
+
+func fig11(e *experiments.Engine) {
+	fmt.Println("\n--- Fig. 11: unfairness for alphabetical 2-kernel pairs (lower is better) ---")
+	fmt.Printf("%-58s %8s %8s %8s\n", "pair", "OpenCL", "EK", "accelOS")
+	for _, p := range experiments.Fig11Pairs() {
+		r := e.RunWorkload(p)
+		name := shortName(r.Kernels[0]) + " + " + shortName(r.Kernels[1])
+		fmt.Printf("%-58s %8.2f %8.2f %8.2f\n", name,
+			r.Unfairness[experiments.Baseline], r.Unfairness[experiments.EK], r.Unfairness[experiments.AccelOS])
+	}
+}
+
+func fig12(pops []*experiments.Population) {
+	fmt.Println("\n--- Fig. 12: average kernel execution overlap (higher is better) ---")
+	fmt.Printf("%8s %10s %10s %10s\n", "requests", "OpenCL", "EK", "accelOS")
+	for _, p := range pops {
+		fmt.Printf("%8d %9.0f%% %9.0f%% %9.0f%%\n", p.K,
+			100*p.AvgOverlap(experiments.Baseline),
+			100*p.AvgOverlap(experiments.EK),
+			100*p.AvgOverlap(experiments.AccelOS))
+	}
+}
+
+func fig13(pops []*experiments.Population) {
+	fmt.Println("\n--- Fig. 13: average system throughput speedup over OpenCL ---")
+	fmt.Printf("%8s %10s %10s\n", "requests", "EK", "accelOS")
+	for _, p := range pops {
+		fmt.Printf("%8d %9.2fx %9.2fx\n", p.K,
+			p.AvgSpeedup(experiments.EK), p.AvgSpeedup(experiments.AccelOS))
+	}
+}
+
+func fig14(pops []*experiments.Population) {
+	fmt.Println("\n--- Fig. 14: throughput speedup distribution ---")
+	fmt.Printf("%8s %-8s %8s %8s %8s %8s %8s %10s\n", "requests", "scheme", "min", "p25", "median", "p75", "max", "%slowdown")
+	for _, p := range pops {
+		for _, s := range []experiments.Scheme{experiments.EK, experiments.AccelOS} {
+			xs := p.Speedups(s)
+			fmt.Printf("%8d %-8s %8.2f %8.2f %8.2f %8.2f %8.2f %9.1f%%\n", p.K, s.String(),
+				metrics.Percentile(xs, 0), metrics.Percentile(xs, 25), metrics.Percentile(xs, 50),
+				metrics.Percentile(xs, 75), metrics.Percentile(xs, 100),
+				100*metrics.FractionBelow(xs, 1))
+		}
+	}
+}
+
+func fig15(e *experiments.Engine) {
+	fmt.Println("\n--- Fig. 15: accelOS single-kernel performance impact ---")
+	rows := e.Fig15()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Kernel < rows[j].Kernel })
+	var naive, opt []float64
+	fmt.Printf("%-38s %8s %10s\n", "kernel", "naive", "optimized")
+	for _, r := range rows {
+		fmt.Printf("%-38s %8.3f %10.3f\n", r.Kernel, r.Naive, r.Optimized)
+		naive = append(naive, r.Naive)
+		opt = append(opt, r.Optimized)
+	}
+	fmt.Printf("%-38s %8.3f %10.3f\n", "geometric mean", metrics.GeoMean(naive), metrics.GeoMean(opt))
+}
+
+func table(pops []*experiments.Population, vendor string) {
+	n := "1"
+	if vendor == "AMD" {
+		n = "2"
+	}
+	fmt.Printf("\n--- Table %s: STP / ANTT / worst ANTT (%s) ---\n", n, vendor)
+	fmt.Printf("%8s | %8s %8s %8s | %8s %8s %8s\n", "", "EK", "", "", "accelOS", "", "")
+	fmt.Printf("%8s | %8s %8s %8s | %8s %8s %8s\n", "RQSTs", "STP", "ANTT", "W.ANTT", "STP", "ANTT", "W.ANTT")
+	for _, p := range pops {
+		fmt.Printf("%8d | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f\n", p.K,
+			p.AvgSTP(experiments.EK), p.AvgANTT(experiments.EK), p.MaxWANTT(experiments.EK),
+			p.AvgSTP(experiments.AccelOS), p.AvgANTT(experiments.AccelOS), p.MaxWANTT(experiments.AccelOS))
+	}
+}
+
+func shortName(full string) string {
+	if i := strings.Index(full, "/"); i >= 0 {
+		return full[:i] + "/" + abbreviate(full[i+1:])
+	}
+	return full
+}
+
+func abbreviate(s string) string {
+	if len(s) > 20 {
+		return s[:20]
+	}
+	return s
+}

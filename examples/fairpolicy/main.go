@@ -1,0 +1,60 @@
+// Fairpolicy: non-equal sharing ratios (paper §2.2). Equal sharing is
+// accelOS's default, but "it may be deemed fairer to give more resources
+// to one application over another, e.g. if it is longer running or more
+// important; this can easily be achieved by changing the sharing ratio."
+//
+// Two tenants share the simulated K20m: a latency-sensitive service and
+// a batch job. The example sweeps the service:batch weight ratio and
+// shows the slowdown trade-off the operator controls.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/accelos"
+	"repro/internal/device"
+	"repro/internal/metrics"
+	"repro/internal/parboil"
+	"repro/internal/sim"
+)
+
+func main() {
+	dev := device.NVIDIAK20m()
+	service, err := parboil.ByName("spmv/spmv_jds")
+	if err != nil {
+		panic(err)
+	}
+	batch, err := parboil.ByName("sgemm/mysgemmNT")
+	if err != nil {
+		panic(err)
+	}
+
+	iso := func(k *sim.KernelExec) int64 {
+		c := *k
+		return sim.RunBaseline(dev, []*sim.KernelExec{&c}).Timings[0].Duration()
+	}
+
+	fmt.Printf("two tenants on the %s:\n", dev.Name)
+	fmt.Printf("  service = %s, batch = %s\n\n", service.FullName(), batch.FullName())
+	fmt.Printf("%12s %16s %14s %12s\n", "ratio (s:b)", "service IS", "batch IS", "unfairness")
+
+	for _, ratio := range []float64{1, 2, 4, 8} {
+		execs := []*sim.KernelExec{service.Exec(0), batch.Exec(1)}
+		weights := []float64{ratio, 1}
+		plan := func(d *device.Platform, active []*sim.KernelExec, naive bool) []*sim.Launch {
+			w := make([]float64, len(active))
+			for i, k := range active {
+				w[i] = weights[k.ID]
+			}
+			return accelos.PlanWeighted(d, active, w, naive)
+		}
+		r := sim.RunAccelOS(dev, execs, false, plan)
+		is := []float64{
+			metrics.IndividualSlowdown(r.ByID(0).Duration(), iso(service.Exec(0))),
+			metrics.IndividualSlowdown(r.ByID(1).Duration(), iso(batch.Exec(1))),
+		}
+		fmt.Printf("%9.0f:1 %16.2f %14.2f %12.2f\n", ratio, is[0], is[1], metrics.Unfairness(is))
+	}
+	fmt.Println("\nhigher service weight shifts slowdown onto the batch job;")
+	fmt.Println("ratio 1:1 is the paper's default equal-sharing policy.")
+}

@@ -1,0 +1,119 @@
+// Multitenant: several applications share one accelerator through the
+// accelOS runtime — the data-center scenario that motivates the paper.
+//
+// Each tenant connects over ProxyCL, builds its own program, allocates
+// buffers and iterates its kernel. The runtime JITs each program once,
+// plans every launch against the currently active set (shares grow as
+// tenants leave), and the memory manager pauses tenants whose
+// allocations would oversubscribe device memory until peers release
+// theirs.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/accelos"
+	"repro/internal/opencl"
+)
+
+const (
+	tenants = 6
+	n       = 2048
+	iters   = 4
+)
+
+var sources = []string{
+	`kernel void scale(global int* data, int n) {
+		int i = (int)get_global_id(0);
+		if (i < n) data[i] = data[i] * 3;
+	}`,
+	`kernel void offset(global int* data, int n) {
+		int i = (int)get_global_id(0);
+		if (i < n) data[i] = data[i] + 7;
+	}`,
+	`kernel void squareish(global int* data, int n) {
+		int i = (int)get_global_id(0);
+		if (i < n) data[i] = data[i] * data[i] % 65537;
+	}`,
+}
+
+var kernelNames = []string{"scale", "offset", "squareish"}
+
+func tenant(rt *accelos.Runtime, id int, wg *sync.WaitGroup, report chan<- string) {
+	defer wg.Done()
+	app := rt.Connect(fmt.Sprintf("tenant-%d", id))
+	defer app.Close()
+
+	src := sources[id%len(sources)]
+	prog, err := app.CreateProgram(src)
+	if err != nil {
+		log.Fatalf("tenant %d: %v", id, err)
+	}
+	// Each tenant allocates a sizeable buffer; combined they exceed
+	// device memory, so some tenants get paused until others finish.
+	big := rt.Ctx.GlobalMemBytes() / (tenants/2 + 1)
+	ballast, err := app.CreateBuffer(big)
+	if err != nil {
+		log.Fatalf("tenant %d: ballast: %v", id, err)
+	}
+	defer ballast.Release()
+
+	data, err := app.CreateBuffer(n * 4)
+	if err != nil {
+		log.Fatalf("tenant %d: %v", id, err)
+	}
+	defer data.Release()
+	host := make([]byte, n*4)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(host[i*4:], uint32(i+id))
+	}
+	if err := data.Write(0, host); err != nil {
+		log.Fatal(err)
+	}
+
+	k, err := prog.CreateKernel(kernelNames[id%len(sources)])
+	if err != nil {
+		log.Fatalf("tenant %d: %v", id, err)
+	}
+	_ = k.SetArgBuffer(0, data)
+	_ = k.SetArgInt32(1, n)
+	nd := opencl.NDRange{Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1}}
+	for it := 0; it < iters; it++ {
+		if err := app.EnqueueKernel(k, nd); err != nil {
+			log.Fatalf("tenant %d: launch: %v", id, err)
+		}
+	}
+	_ = data.Read(0, host)
+	first := int32(binary.LittleEndian.Uint32(host[4:]))
+	report <- fmt.Sprintf("tenant %d (%s): %d iterations done, data[1]=%d",
+		id, kernelNames[id%len(sources)], iters, first)
+}
+
+func main() {
+	rt := accelos.NewRuntime(opencl.GetPlatforms()[0])
+	defer rt.Shutdown()
+
+	fmt.Printf("starting %d tenants on %s (device memory %d MB)\n\n",
+		tenants, rt.Plat.Dev.Name, rt.Plat.Dev.GlobalMemMB)
+
+	report := make(chan string, tenants)
+	var wg sync.WaitGroup
+	for id := 0; id < tenants; id++ {
+		wg.Add(1)
+		go tenant(rt, id, &wg, report)
+	}
+	wg.Wait()
+	close(report)
+	for line := range report {
+		fmt.Println(" ", line)
+	}
+
+	st := rt.Stats()
+	fmt.Printf("\nruntime: %d programs JITed, %d kernel launches scheduled, %d passthrough calls\n",
+		st.ProgramsJITed, st.KernelsLaunched, st.Passthroughs)
+	fmt.Printf("memory manager: %d tenant pauses while the device was oversubscribed\n",
+		rt.Memory().TotalPauses())
+}

@@ -1,0 +1,106 @@
+package accelos
+
+// Application Monitor finite state machine (paper Fig. 6). Every OpenCL
+// request an application makes through ProxyCL is classified and routed:
+// program creation enters the JIT compiler, kernel execution enters the
+// Kernel Scheduler, anything else passes straight through.
+
+// ReqKind classifies an intercepted OpenCL request.
+type ReqKind int
+
+// Request kinds.
+const (
+	ReqProgramCreate ReqKind = iota // clCreateProgramWithSource + build
+	ReqKernelExec                   // clEnqueueNDRangeKernel
+	ReqOther                        // buffers, reads, writes, queries, ...
+)
+
+func (k ReqKind) String() string {
+	switch k {
+	case ReqProgramCreate:
+		return "new clProgram"
+	case ReqKernelExec:
+		return "new kernel execution"
+	default:
+		return "other request"
+	}
+}
+
+// MonState is a state of the Application Monitor FSM.
+type MonState int
+
+// FSM states (Fig. 6): the monitor idles, hands program creations to the
+// JIT compiler and kernel executions to the Kernel Scheduler, then
+// returns to idle.
+const (
+	StateMonitor MonState = iota
+	StateJIT
+	StateScheduler
+)
+
+func (s MonState) String() string {
+	switch s {
+	case StateMonitor:
+		return "App Monitor"
+	case StateJIT:
+		return "JIT Compiler"
+	case StateScheduler:
+		return "Kernel Scheduler"
+	}
+	return "?"
+}
+
+// Monitor is the FSM driver. Hooks are invoked in the corresponding
+// state; transitions are recorded for observability and tests.
+type Monitor struct {
+	state MonState
+
+	// OnJIT handles a program creation (returns transformed codes).
+	OnJIT func(req *Request) error
+	// OnSchedule handles a kernel execution (alters the NDRange and
+	// launches).
+	OnSchedule func(req *Request) error
+	// OnPass handles any other request unchanged.
+	OnPass func(req *Request) error
+
+	transitions int
+}
+
+// State returns the current FSM state.
+func (m *Monitor) State() MonState { return m.state }
+
+// Transitions returns how many state changes the monitor performed.
+func (m *Monitor) Transitions() int { return m.transitions }
+
+func (m *Monitor) to(s MonState) {
+	if m.state != s {
+		m.state = s
+		m.transitions++
+	}
+}
+
+// Handle routes one request through the FSM and back to the monitor
+// state.
+func (m *Monitor) Handle(req *Request) error {
+	var err error
+	switch req.Kind {
+	case ReqProgramCreate:
+		m.to(StateJIT)
+		if m.OnJIT != nil {
+			err = m.OnJIT(req)
+		}
+	case ReqKernelExec:
+		m.to(StateScheduler)
+		if m.OnSchedule != nil {
+			err = m.OnSchedule(req)
+		}
+	default:
+		// Scenario (c): the application continues instantly; accelOS
+		// does not intervene.
+		if m.OnPass != nil {
+			err = m.OnPass(req)
+		}
+	}
+	m.to(StateMonitor)
+	return err
+}

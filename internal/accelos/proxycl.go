@@ -1,0 +1,226 @@
+package accelos
+
+import (
+	"fmt"
+
+	"repro/internal/accelpass"
+	"repro/internal/ir"
+	"repro/internal/opencl"
+)
+
+// ProxyCL (level 2 of Fig. 5) is the library applications link instead
+// of vendor OpenCL: the same call shapes, transparently routed to the
+// accelOS daemon. The paper transports calls over interprocess shared
+// memory (shown in the authors' prior work to have negligible overhead);
+// this reproduction transports them over an in-process channel, which
+// preserves the interposition boundary the paper relies on.
+
+// App is one connected application.
+type App struct {
+	rt   *Runtime
+	ID   int
+	Name string
+}
+
+// Connect registers an application with the daemon.
+func (rt *Runtime) Connect(name string) *App {
+	rt.mu.Lock()
+	rt.nextApp++
+	id := rt.nextApp
+	rt.mu.Unlock()
+	return &App{rt: rt, ID: id, Name: name}
+}
+
+// Close releases everything the application holds.
+func (a *App) Close() {
+	a.rt.mem.ReleaseApp(a.ID)
+}
+
+// Program is the application's handle to a built OpenCL program. The
+// runtime stores both the original and the JIT-transformed module; the
+// application never sees the difference.
+type Program struct {
+	app    *App
+	Source string
+
+	orig  *ir.Module
+	trans *ir.Module
+	infos map[string]*accelpass.KernelInfo
+}
+
+// CreateProgram intercepts clCreateProgramWithSource+clBuildProgram:
+// scenario (a) of the Application Monitor FSM — the JIT compiler
+// analyzes and transforms the kernel code.
+func (a *App) CreateProgram(src string) (*Program, error) {
+	p := &Program{app: a, Source: src}
+	err := a.rt.submit(&Request{Kind: ReqProgramCreate, App: a, Prog: p})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// BufferHandle is the application's device memory handle.
+type BufferHandle struct {
+	app *App
+	buf *opencl.Buffer
+	// Size in bytes.
+	Size int64
+}
+
+// CreateBuffer allocates device memory. The accelOS memory manager may
+// pause the application (block) until peers release memory (§5).
+func (a *App) CreateBuffer(size int64) (*BufferHandle, error) {
+	// Pausing happens in the application's own goroutine so the daemon
+	// stays responsive.
+	if err := a.rt.mem.Alloc(a.ID, size); err != nil {
+		return nil, err
+	}
+	h := &BufferHandle{app: a, Size: size}
+	err := a.rt.submit(&Request{Kind: ReqOther, App: a, Other: func() error {
+		b, err := a.rt.Ctx.CreateBuffer(size)
+		if err != nil {
+			return err
+		}
+		h.buf = b
+		return nil
+	}})
+	if err != nil {
+		a.rt.mem.Free(a.ID, size)
+		return nil, err
+	}
+	return h, nil
+}
+
+// Release frees the buffer.
+func (h *BufferHandle) Release() {
+	if h.buf == nil {
+		return
+	}
+	h.buf.Release()
+	h.buf = nil
+	h.app.rt.mem.Free(h.app.ID, h.Size)
+}
+
+// Write copies host bytes into the buffer (shared-memory transport: no
+// daemon round trip needed, as in the paper's IPC design).
+func (h *BufferHandle) Write(off int64, data []byte) error {
+	if h.buf == nil {
+		return fmt.Errorf("accelos: buffer released")
+	}
+	return h.app.rt.Queue.EnqueueWriteBuffer(h.buf, off, data)
+}
+
+// Read copies buffer bytes back to the host.
+func (h *BufferHandle) Read(off int64, out []byte) error {
+	if h.buf == nil {
+		return fmt.Errorf("accelos: buffer released")
+	}
+	return h.app.rt.Queue.EnqueueReadBuffer(h.buf, off, out)
+}
+
+// KernelHandle is the application's kernel object with bound arguments.
+type KernelHandle struct {
+	prog *Program
+	name string
+	args []kernArg
+}
+
+type kernArg struct {
+	set bool
+	buf *BufferHandle
+	i32 *int32
+	i64 *int64
+	f32 *float32
+}
+
+// CreateKernel resolves a kernel by its original name (the JIT keeps
+// the name on the scheduling wrapper, so this is transparent).
+func (p *Program) CreateKernel(name string) (*KernelHandle, error) {
+	f := p.orig.Lookup(name)
+	if f == nil || !f.Kernel {
+		return nil, fmt.Errorf("accelos: kernel %q not found", name)
+	}
+	return &KernelHandle{prog: p, name: name, args: make([]kernArg, len(f.Params))}, nil
+}
+
+// SetArgBuffer binds a buffer argument.
+func (k *KernelHandle) SetArgBuffer(i int, b *BufferHandle) error {
+	if i < 0 || i >= len(k.args) {
+		return fmt.Errorf("accelos: argument %d out of range", i)
+	}
+	k.args[i] = kernArg{set: true, buf: b}
+	return nil
+}
+
+// SetArgInt32 binds an int scalar argument.
+func (k *KernelHandle) SetArgInt32(i int, v int32) error {
+	if i < 0 || i >= len(k.args) {
+		return fmt.Errorf("accelos: argument %d out of range", i)
+	}
+	k.args[i] = kernArg{set: true, i32: &v}
+	return nil
+}
+
+// SetArgInt64 binds a long scalar argument.
+func (k *KernelHandle) SetArgInt64(i int, v int64) error {
+	if i < 0 || i >= len(k.args) {
+		return fmt.Errorf("accelos: argument %d out of range", i)
+	}
+	k.args[i] = kernArg{set: true, i64: &v}
+	return nil
+}
+
+// SetArgFloat32 binds a float scalar argument.
+func (k *KernelHandle) SetArgFloat32(i int, v float32) error {
+	if i < 0 || i >= len(k.args) {
+		return fmt.Errorf("accelos: argument %d out of range", i)
+	}
+	k.args[i] = kernArg{set: true, f32: &v}
+	return nil
+}
+
+// toCL materializes an opencl.Kernel with the bound arguments. The
+// argument list is sized by the ORIGINAL kernel signature; the Kernel
+// Scheduler appends the RT descriptor for the transformed wrapper.
+func (k *KernelHandle) toCL() *opencl.Kernel {
+	p := &opencl.Program{Module: k.prog.orig}
+	cl, err := p.CreateKernel(k.name)
+	if err != nil {
+		return nil
+	}
+	for i, a := range k.args {
+		switch {
+		case a.buf != nil:
+			_ = cl.SetArgBuffer(i, a.buf.clBuffer())
+		case a.i32 != nil:
+			_ = cl.SetArgInt32(i, *a.i32)
+		case a.i64 != nil:
+			_ = cl.SetArgInt64(i, *a.i64)
+		case a.f32 != nil:
+			_ = cl.SetArgFloat32(i, *a.f32)
+		}
+	}
+	return cl
+}
+
+func (h *BufferHandle) clBuffer() *opencl.Buffer { return h.buf }
+
+// EnqueueKernel intercepts clEnqueueNDRangeKernel: scenario (b) — the
+// Kernel Scheduler alters the grid and launches the transformed kernel.
+// The call blocks until the execution completes (in-order queue
+// semantics), but concurrent applications' launches overlap.
+func (a *App) EnqueueKernel(k *KernelHandle, nd opencl.NDRange) error {
+	for i, arg := range k.args {
+		if !arg.set {
+			return fmt.Errorf("accelos: kernel %q argument %d not set", k.name, i)
+		}
+	}
+	return a.rt.submit(&Request{Kind: ReqKernelExec, App: a, Kern: k, ND: nd})
+}
+
+// Query is an example of scenario (c): a passthrough request that
+// accelOS does not intervene in.
+func (a *App) Query(fn func() error) error {
+	return a.rt.submit(&Request{Kind: ReqOther, App: a, Other: fn})
+}

@@ -1,0 +1,257 @@
+package accelos
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/accelpass"
+	"repro/internal/clc"
+	"repro/internal/ir"
+	"repro/internal/opencl"
+	"repro/internal/rtlib"
+	"repro/internal/sim"
+)
+
+// Runtime is the accelOS background system process (level 1 of Fig. 5):
+// the Application Monitor, the JIT compiler front door, the Kernel
+// Scheduler and the memory manager, sitting between ProxyCL applications
+// and the standard OpenCL system interface.
+type Runtime struct {
+	Plat  *opencl.Platform
+	Ctx   *opencl.Context
+	Queue *opencl.CommandQueue
+
+	mon *Monitor
+	mem *MemoryManager
+
+	reqCh chan *Request
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	nextApp int
+
+	activeMu sync.Mutex
+	active   map[int]*sim.KernelExec // in-flight kernel executions, for share planning
+	nextExec int
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// Stats counts runtime activity for observability and tests.
+type Stats struct {
+	ProgramsJITed   int
+	KernelsLaunched int
+	Passthroughs    int
+}
+
+// Request is one intercepted OpenCL call.
+type Request struct {
+	Kind ReqKind
+	App  *App
+
+	Prog  *Program
+	Kern  *KernelHandle
+	ND    opencl.NDRange
+	Other func() error
+
+	reply chan error
+}
+
+// NewRuntime starts the accelOS daemon on a platform.
+func NewRuntime(plat *opencl.Platform) *Runtime {
+	rt := &Runtime{
+		Plat:   plat,
+		Ctx:    plat.CreateContext(),
+		reqCh:  make(chan *Request, 64),
+		quit:   make(chan struct{}),
+		active: make(map[int]*sim.KernelExec),
+	}
+	rt.Queue = rt.Ctx.CreateCommandQueue()
+	rt.mem = NewMemoryManager(rt.Ctx.GlobalMemBytes())
+	rt.mon = &Monitor{
+		OnJIT:      rt.jitProgram,
+		OnSchedule: rt.scheduleKernel,
+		OnPass:     rt.passthrough,
+	}
+	rt.wg.Add(1)
+	go rt.serve()
+	return rt
+}
+
+// Shutdown stops the daemon after draining pending requests.
+func (rt *Runtime) Shutdown() {
+	close(rt.quit)
+	rt.wg.Wait()
+}
+
+// Stats returns a snapshot of runtime counters.
+func (rt *Runtime) Stats() Stats {
+	rt.statsMu.Lock()
+	defer rt.statsMu.Unlock()
+	return rt.stats
+}
+
+// Memory exposes the memory manager (for tests and monitoring).
+func (rt *Runtime) Memory() *MemoryManager { return rt.mem }
+
+// Monitor exposes the FSM (for tests and monitoring).
+func (rt *Runtime) Monitor() *Monitor { return rt.mon }
+
+func (rt *Runtime) serve() {
+	defer rt.wg.Done()
+	for {
+		select {
+		case req := <-rt.reqCh:
+			err := rt.mon.Handle(req)
+			if req.reply != nil && req.Kind != ReqKernelExec {
+				req.reply <- err
+			}
+		case <-rt.quit:
+			// Drain whatever is already queued, then stop.
+			for {
+				select {
+				case req := <-rt.reqCh:
+					err := rt.mon.Handle(req)
+					if req.reply != nil && req.Kind != ReqKernelExec {
+						req.reply <- err
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (rt *Runtime) submit(req *Request) error {
+	req.reply = make(chan error, 1)
+	rt.reqCh <- req
+	return <-req.reply
+}
+
+// jitProgram is scenario (a) of the FSM: compile the source, clone,
+// transform, and keep both modules. The application keeps launching
+// kernels under their original names; the transformed module provides
+// them.
+func (rt *Runtime) jitProgram(req *Request) error {
+	p := req.Prog
+	orig, err := clc.Compile(p.Source, fmt.Sprintf("app%d_prog", req.App.ID))
+	if err != nil {
+		return fmt.Errorf("accelos: program build failed: %w", err)
+	}
+	trans := ir.CloneModule(orig)
+	res, err := accelpass.Transform(trans)
+	if err != nil {
+		return fmt.Errorf("accelos: JIT transformation failed: %w", err)
+	}
+	p.orig = orig
+	p.trans = res.Module
+	p.infos = res.Kernels
+	rt.statsMu.Lock()
+	rt.stats.ProgramsJITed++
+	rt.statsMu.Unlock()
+	return nil
+}
+
+// scheduleKernel is scenario (b): the Kernel Scheduler builds the
+// Virtual NDRange, chooses the physical work-group allocation against
+// the currently active executions (§3), alters the global size and
+// launches the transformed kernel. The launch itself runs asynchronously
+// so concurrent applications genuinely share the device.
+func (rt *Runtime) scheduleKernel(req *Request) error {
+	k := req.Kern
+	info := k.prog.infos[k.name]
+	if info == nil {
+		err := fmt.Errorf("accelos: kernel %q has no JIT metadata", k.name)
+		req.reply <- err
+		return err
+	}
+	nd := req.ND
+	if err := nd.Validate(); err != nil {
+		req.reply <- err
+		return err
+	}
+	// Describe this execution for the resource-sharing algorithm.
+	exec := &sim.KernelExec{
+		WGSize:             nd.WGSize(),
+		NumWGs:             nd.TotalGroups(),
+		LocalBytes:         info.OrigLocalBytes,
+		RegsPerThread:      int64(info.Regs),
+		Chunk:              int64(info.Chunk),
+		TransRegsPerThread: int64(info.Regs) + 1,
+		TransLocalBytes:    info.LocalBytes,
+	}
+
+	rt.activeMu.Lock()
+	id := rt.nextExec
+	rt.nextExec++
+	exec.ID = id
+	rt.active[id] = exec
+	activeSet := make([]*sim.KernelExec, 0, len(rt.active))
+	for _, e := range rt.active {
+		activeSet = append(activeSet, e)
+	}
+	rt.activeMu.Unlock()
+
+	launches := PlanShares(rt.Plat.Dev, activeSet, false)
+	var phys, chunk int64 = 1, 1
+	for _, l := range launches {
+		if l.K.ID == id {
+			phys, chunk = l.PhysWGs, l.Chunk
+		}
+	}
+	rtWords := rtlib.BuildRT(nd.Dims, nd.NumGroups(), nd.Local, int(chunk))
+
+	rt.statsMu.Lock()
+	rt.stats.KernelsLaunched++
+	rt.statsMu.Unlock()
+
+	go func() {
+		err := opencl.LaunchTransformed(k.prog.trans, k.toCL(), nd, rtWords, phys)
+		rt.activeMu.Lock()
+		delete(rt.active, id)
+		rt.activeMu.Unlock()
+		req.reply <- err
+	}()
+	return nil
+}
+
+// passthrough is scenario (c): accelOS does not intervene.
+func (rt *Runtime) passthrough(req *Request) error {
+	rt.statsMu.Lock()
+	rt.stats.Passthroughs++
+	rt.statsMu.Unlock()
+	if req.Other != nil {
+		return req.Other()
+	}
+	return nil
+}
+
+// ActiveExecutions returns how many kernel executions are currently
+// in flight.
+func (rt *Runtime) ActiveExecutions() int {
+	rt.activeMu.Lock()
+	defer rt.activeMu.Unlock()
+	return len(rt.active)
+}
+
+// InstrCountOf reports the JIT instruction count of a built kernel (used
+// by tooling).
+func (p *Program) InstrCountOf(name string) (int, error) {
+	info := p.infos[name]
+	if info == nil {
+		return 0, fmt.Errorf("accelos: no metadata for kernel %q", name)
+	}
+	return info.InstrCount, nil
+}
+
+// AdaptiveChunkOf reports the §6.4 chunk chosen for a kernel.
+func (p *Program) AdaptiveChunkOf(name string) (int, error) {
+	info := p.infos[name]
+	if info == nil {
+		return 0, fmt.Errorf("accelos: no metadata for kernel %q", name)
+	}
+	return info.Chunk, nil
+}

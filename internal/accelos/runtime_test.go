@@ -1,0 +1,240 @@
+package accelos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/opencl"
+)
+
+const vaddSrc = `
+kernel void vadd(global const float* a, global const float* b, global float* c, int n)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) c[i] = a[i] + b[i];
+}
+`
+
+func float32ToBits(v float32) uint32 { return math.Float32bits(v) }
+
+func bitsToFloat32(b uint32) float32 { return math.Float32frombits(b) }
+
+func TestRuntimeEndToEnd(t *testing.T) {
+	rt := NewRuntime(opencl.GetPlatforms()[0])
+	defer rt.Shutdown()
+
+	app := rt.Connect("quicktest")
+	defer app.Close()
+
+	prog, err := app.CreateProgram(vaddSrc)
+	if err != nil {
+		t.Fatalf("CreateProgram: %v", err)
+	}
+	if got := rt.Stats().ProgramsJITed; got != 1 {
+		t.Errorf("ProgramsJITed = %d, want 1", got)
+	}
+
+	const n = 1024
+	a, err := app.CreateBuffer(n * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := app.CreateBuffer(n * 4)
+	c, _ := app.CreateBuffer(n * 4)
+
+	av := make([]byte, n*4)
+	bv := make([]byte, n*4)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(av[i*4:], float32ToBits(float32(i)))
+		binary.LittleEndian.PutUint32(bv[i*4:], float32ToBits(float32(3*i)))
+	}
+	if err := a.Write(0, av); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(0, bv); err != nil {
+		t.Fatal(err)
+	}
+
+	k, err := prog.CreateKernel("vadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgBuffer(0, a); err != nil {
+		t.Fatal(err)
+	}
+	_ = k.SetArgBuffer(1, b)
+	_ = k.SetArgBuffer(2, c)
+	_ = k.SetArgInt32(3, n)
+
+	nd := opencl.NDRange{Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1}}
+	if err := app.EnqueueKernel(k, nd); err != nil {
+		t.Fatalf("EnqueueKernel: %v", err)
+	}
+
+	out := make([]byte, n*4)
+	if err := c.Read(0, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got := bitsToFloat32(binary.LittleEndian.Uint32(out[i*4:]))
+		if got != float32(4*i) {
+			t.Fatalf("c[%d] = %v, want %v", i, got, float32(4*i))
+		}
+	}
+	if got := rt.Stats().KernelsLaunched; got != 1 {
+		t.Errorf("KernelsLaunched = %d, want 1", got)
+	}
+}
+
+func TestRuntimeConcurrentApps(t *testing.T) {
+	rt := NewRuntime(opencl.GetPlatforms()[0])
+	defer rt.Shutdown()
+
+	const apps, n = 4, 512
+	var wg sync.WaitGroup
+	errs := make(chan error, apps)
+	for ai := 0; ai < apps; ai++ {
+		wg.Add(1)
+		go func(ai int) {
+			defer wg.Done()
+			app := rt.Connect(fmt.Sprintf("app%d", ai))
+			defer app.Close()
+			prog, err := app.CreateProgram(vaddSrc)
+			if err != nil {
+				errs <- err
+				return
+			}
+			a, _ := app.CreateBuffer(n * 4)
+			b, _ := app.CreateBuffer(n * 4)
+			c, _ := app.CreateBuffer(n * 4)
+			buf := make([]byte, n*4)
+			for i := 0; i < n; i++ {
+				binary.LittleEndian.PutUint32(buf[i*4:], float32ToBits(float32(i+ai)))
+			}
+			_ = a.Write(0, buf)
+			_ = b.Write(0, buf)
+			k, err := prog.CreateKernel("vadd")
+			if err != nil {
+				errs <- err
+				return
+			}
+			_ = k.SetArgBuffer(0, a)
+			_ = k.SetArgBuffer(1, b)
+			_ = k.SetArgBuffer(2, c)
+			_ = k.SetArgInt32(3, n)
+			nd := opencl.NDRange{Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1}}
+			for iter := 0; iter < 3; iter++ {
+				if err := app.EnqueueKernel(k, nd); err != nil {
+					errs <- err
+					return
+				}
+			}
+			out := make([]byte, n*4)
+			_ = c.Read(0, out)
+			for i := 0; i < n; i++ {
+				got := bitsToFloat32(binary.LittleEndian.Uint32(out[i*4:]))
+				if got != float32(2*(i+ai)) {
+					errs <- fmt.Errorf("app %d: c[%d] = %v, want %v", ai, i, got, float32(2*(i+ai)))
+					return
+				}
+			}
+		}(ai)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := rt.Stats().KernelsLaunched; got != apps*3 {
+		t.Errorf("KernelsLaunched = %d, want %d", got, apps*3)
+	}
+}
+
+func TestMonitorFSM(t *testing.T) {
+	var seq []MonState
+	m := &Monitor{
+		OnJIT:      func(*Request) error { seq = append(seq, StateJIT); return nil },
+		OnSchedule: func(*Request) error { seq = append(seq, StateScheduler); return nil },
+		OnPass:     func(*Request) error { seq = append(seq, StateMonitor); return nil },
+	}
+	reqs := []*Request{
+		{Kind: ReqProgramCreate, reply: make(chan error, 1)},
+		{Kind: ReqKernelExec, reply: make(chan error, 1)},
+		{Kind: ReqOther, reply: make(chan error, 1)},
+	}
+	for _, r := range reqs {
+		if err := m.Handle(r); err != nil {
+			t.Fatal(err)
+		}
+		if m.State() != StateMonitor {
+			t.Errorf("monitor did not return to idle after %v", r.Kind)
+		}
+	}
+	want := []MonState{StateJIT, StateScheduler, StateMonitor}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Errorf("request %d handled in state %v, want %v", i, seq[i], want[i])
+		}
+	}
+	if m.Transitions() != 4 { // JIT in+out, Scheduler in+out; passthrough stays
+		t.Errorf("transitions = %d, want 4", m.Transitions())
+	}
+}
+
+func TestMemoryManagerPausesApps(t *testing.T) {
+	m := NewMemoryManager(1000)
+	if err := m.Alloc(1, 800); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Alloc(2, 500) }() // must pause
+
+	time.Sleep(20 * time.Millisecond)
+	if m.Paused() != 1 {
+		t.Fatalf("Paused = %d, want 1", m.Paused())
+	}
+	m.Free(1, 800)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("paused application never resumed")
+	}
+	if m.Used() != 500 {
+		t.Errorf("Used = %d, want 500", m.Used())
+	}
+	if m.TotalPauses() != 1 {
+		t.Errorf("TotalPauses = %d, want 1", m.TotalPauses())
+	}
+	if err := m.Alloc(3, 5000); err == nil {
+		t.Error("allocation beyond capacity should fail outright")
+	}
+}
+
+func TestMemoryManagerOversubscription(t *testing.T) {
+	m := NewMemoryManager(100)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if err := m.Alloc(id, 40); err != nil {
+					t.Error(err)
+					return
+				}
+				m.Free(id, 40)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if m.Used() != 0 {
+		t.Errorf("Used = %d after all frees", m.Used())
+	}
+}

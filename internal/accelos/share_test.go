@@ -1,0 +1,124 @@
+package accelos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+func execFor(id int, wgs, numWGs int64) *sim.KernelExec {
+	return &sim.KernelExec{
+		ID: id, WGSize: wgs, NumWGs: numWGs,
+		LocalBytes: 1024, RegsPerThread: 20,
+		BaseWGCost: 10000, MemIntensity: 0.5, SatFrac: 0.4, Chunk: 2,
+	}
+}
+
+// Property: for any request mix, PlanShares never oversubscribes any
+// device resource and never plans zero or more-than-grid workers.
+func TestPlanSharesInvariants(t *testing.T) {
+	dev := device.NVIDIAK20m()
+	f := func(sizes []uint8) bool {
+		if len(sizes) == 0 || len(sizes) > 12 {
+			return true
+		}
+		var execs []*sim.KernelExec
+		for i, s := range sizes {
+			wgs := int64(32 + int(s%8)*32)
+			numWGs := int64(1 + int(s)*50)
+			execs = append(execs, execFor(i, wgs, numWGs))
+		}
+		launches := PlanShares(dev, execs, false)
+		var th, lm, rg int64
+		for i, l := range launches {
+			if l.PhysWGs < 1 || l.PhysWGs > execs[i].NumWGs {
+				return false
+			}
+			if l.Chunk < 1 {
+				return false
+			}
+			th += l.PhysWGs * dev.RoundWarp(l.FP.Threads)
+			lm += l.PhysWGs * l.FP.LocalBytes
+			rg += l.PhysWGs * l.FP.Regs
+		}
+		return th <= dev.TotalThreads() && lm <= dev.TotalLocalMem() && rg <= dev.TotalRegs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanSharesScalesDownWithK(t *testing.T) {
+	dev := device.NVIDIAK20m()
+	for _, k := range []int{1, 2, 4, 8} {
+		var execs []*sim.KernelExec
+		for i := 0; i < k; i++ {
+			execs = append(execs, execFor(i, 128, 100000))
+		}
+		launches := PlanShares(dev, execs, false)
+		want := dev.TotalThreads() / int64(k)
+		got := launches[0].PhysWGs * 128
+		// Within one work-group of the equal share.
+		if got > want || got < want-256 {
+			t.Errorf("K=%d: share %d threads, want ~%d", k, got, want)
+		}
+	}
+}
+
+func TestPlanWeightedRatios(t *testing.T) {
+	dev := device.NVIDIAK20m()
+	execs := []*sim.KernelExec{execFor(0, 128, 100000), execFor(1, 128, 100000)}
+	launches := PlanWeighted(dev, execs, []float64{3, 1}, false)
+	r := float64(launches[0].PhysWGs) / float64(launches[1].PhysWGs)
+	if r < 2.5 || r > 3.5 {
+		t.Errorf("3:1 weights produced a %.2f:1 thread split", r)
+	}
+	// Equal weights must reproduce PlanShares.
+	even := PlanWeighted(dev, execs, []float64{1, 1}, false)
+	plain := PlanShares(dev, execs, false)
+	for i := range even {
+		diff := even[i].PhysWGs - plain[i].PhysWGs
+		if diff < -2 || diff > 2 {
+			t.Errorf("kernel %d: weighted(1,1)=%d vs PlanShares=%d", i, even[i].PhysWGs, plain[i].PhysWGs)
+		}
+	}
+}
+
+func TestPlanWeightedValidation(t *testing.T) {
+	dev := device.NVIDIAK20m()
+	execs := []*sim.KernelExec{execFor(0, 128, 100)}
+	mustPanic := func(fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		fn()
+	}
+	mustPanic(func() { PlanWeighted(dev, execs, []float64{1, 2}, false) })
+	mustPanic(func() { PlanWeighted(dev, execs, []float64{-1}, false) })
+}
+
+func TestLocalMemoryBoundShares(t *testing.T) {
+	// Kernels demanding huge local memory must be limited by L, not T.
+	dev := device.NVIDIAK20m()
+	var execs []*sim.KernelExec
+	for i := 0; i < 2; i++ {
+		e := execFor(i, 64, 100000)
+		e.TransLocalBytes = 24 * 1024 // half a CU's local memory per WG
+		execs = append(execs, e)
+	}
+	launches := PlanShares(dev, execs, false)
+	var lm int64
+	for _, l := range launches {
+		lm += l.PhysWGs * l.FP.LocalBytes
+	}
+	if lm > dev.TotalLocalMem() {
+		t.Errorf("local memory oversubscribed: %d > %d", lm, dev.TotalLocalMem())
+	}
+	if launches[0].PhysWGs > 13 { // 26 CU-halves / 2 kernels
+		t.Errorf("local-bound share %d too large", launches[0].PhysWGs)
+	}
+}

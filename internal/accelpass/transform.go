@@ -1,0 +1,399 @@
+// Package accelpass implements the accelOS JIT kernel transformation
+// (§6 of the paper). For every OpenCL kernel in a module it:
+//
+//  1. converts the kernel function into a regular computation function,
+//  2. extends its interface with pointers to the runtime data structures
+//     (the RT descriptor in global memory, the SD scheduling block in
+//     local memory, and the virtual-group handle),
+//  3. replaces OpenCL work-item builtins with runtime equivalents,
+//     transitively through helper functions,
+//  4. hoists local-memory declarations out of the computation function,
+//  5. generates a scheduling kernel (dyn_sched in the paper's Fig. 8)
+//     that atomically dequeues virtual groups from the Virtual NDRange
+//     and invokes the computation function for each, and
+//  6. statically links the result against the GPU scheduling runtime
+//     library (package rtlib).
+//
+// The transformed module still exposes a kernel under each original
+// kernel's name, so the host runtime's interposition stays transparent to
+// applications.
+package accelpass
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/clc"
+	"repro/internal/ir"
+	"repro/internal/passes"
+	"repro/internal/rtlib"
+)
+
+// KernelInfo describes one transformed kernel.
+type KernelInfo struct {
+	// Name is the original kernel name; the scheduling kernel is
+	// registered under this name in the transformed module.
+	Name string
+	// ComputeName is the demoted computation function.
+	ComputeName string
+	// InstrCount is the IR instruction count of the computation
+	// function, the size metric for adaptive scheduling.
+	InstrCount int
+	// Chunk is the number of virtual groups dequeued per scheduling
+	// operation (§6.4).
+	Chunk int
+	// Regs is the estimated register usage per work-item.
+	Regs int
+	// LocalBytes is the per-work-group local memory footprint of the
+	// transformed kernel: hoisted arrays plus the SD block.
+	LocalBytes int64
+	// OrigLocalBytes is the local memory the original kernel used.
+	OrigLocalBytes int64
+	// Hoisted lists the hoisted local arrays (for diagnostics).
+	Hoisted []HoistedArray
+}
+
+// HoistedArray describes a local array moved from the kernel body into
+// the scheduling kernel.
+type HoistedArray struct {
+	Elem  *ir.Type
+	Count int64
+}
+
+// Result is the output of Transform.
+type Result struct {
+	// Module is the transformed, linked module.
+	Module *ir.Module
+	// Kernels maps original kernel names to their transformation info.
+	Kernels map[string]*KernelInfo
+}
+
+var (
+	rtPtrT = ir.PointerTo(ir.I64T, ir.Global)
+	sdPtrT = ir.PointerTo(ir.I64T, ir.Local)
+)
+
+// Transform rewrites the module in place (it becomes the transformed
+// module) and returns per-kernel metadata. The caller should clone the
+// module first if the original is still needed (the host runtime keeps
+// the original for baseline execution).
+func Transform(m *ir.Module) (*Result, error) {
+	kernels := m.Kernels()
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("accelpass: module %s has no kernels", m.Name)
+	}
+	res := &Result{Module: m, Kernels: make(map[string]*KernelInfo)}
+
+	// Step 1+2: demote kernels and extend interfaces.
+	extend := extensionSet(m, kernels)
+	for _, f := range extend {
+		appendRuntimeParams(f)
+	}
+	var infos []*KernelInfo
+	for _, k := range kernels {
+		info := &KernelInfo{Name: k.Name, ComputeName: k.Name + "__compute"}
+		m.Remove(k.Name)
+		k.Name = info.ComputeName
+		k.Kernel = false
+		m.Add(k)
+		infos = append(infos, info)
+		res.Kernels[info.Name] = info
+	}
+
+	// Step 3: replace work-item builtins and fix calls into extended
+	// functions.
+	extended := make(map[string]bool)
+	for _, f := range extend {
+		extended[f.Name] = true
+	}
+	for _, f := range extend {
+		if err := replaceBuiltins(f, extended); err != nil {
+			return nil, err
+		}
+	}
+
+	// Step 4: hoist local declarations out of the computation functions.
+	for _, info := range infos {
+		cf := m.Lookup(info.ComputeName)
+		hoisted, origLocal := hoistLocals(cf)
+		info.Hoisted = hoisted
+		info.OrigLocalBytes = origLocal
+		info.LocalBytes = origLocal + rtlib.SDWords*8
+	}
+
+	// Step 5: generate and link the scheduling kernels.
+	for _, info := range infos {
+		cf := m.Lookup(info.ComputeName)
+		src := schedulingKernelSource(info, cf)
+		wm, err := clc.Compile(src, info.Name+"__sched")
+		if err != nil {
+			return nil, fmt.Errorf("accelpass: generated scheduling kernel for %s does not compile: %w\nsource:\n%s", info.Name, err, src)
+		}
+		if err := ir.Link(m, wm); err != nil {
+			return nil, fmt.Errorf("accelpass: linking scheduling kernel for %s: %w", info.Name, err)
+		}
+	}
+
+	// Step 6: link the runtime library.
+	rtm, err := rtlib.Module()
+	if err != nil {
+		return nil, err
+	}
+	if err := ir.Link(m, rtm); err != nil {
+		return nil, fmt.Errorf("accelpass: linking runtime library: %w", err)
+	}
+
+	// Cleanup passes, then record size metrics.
+	pm := passes.NewManager(passes.ConstFold{}, passes.DCE{})
+	if err := pm.Run(m); err != nil {
+		return nil, fmt.Errorf("accelpass: %w", err)
+	}
+	for _, info := range infos {
+		cf := m.Lookup(info.ComputeName)
+		info.InstrCount = passes.InstrCount(cf)
+		info.Chunk = passes.AdaptiveChunk(info.InstrCount)
+		info.Regs = passes.ModuleRegisterEstimate(m, info.ComputeName)
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("accelpass: transformed module is invalid: %w", err)
+	}
+	return res, nil
+}
+
+// extensionSet returns the definitions whose interfaces must carry the
+// runtime pointers: all kernels, plus every function that (transitively)
+// calls a work-item builtin.
+func extensionSet(m *ir.Module, kernels []*ir.Function) []*ir.Function {
+	need := make(map[*ir.Function]bool)
+	for _, k := range kernels {
+		need[k] = true
+	}
+	// Direct users of work-item builtins.
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall {
+					if _, ok := rtlib.Replacement[in.Callee]; ok {
+						need[f] = true
+					}
+				}
+			}
+		}
+	}
+	// Propagate up the call graph to a fixed point.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range m.Funcs {
+			if f.IsDecl() || need[f] {
+				continue
+			}
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op != ir.OpCall {
+						continue
+					}
+					callee := m.Lookup(in.Callee)
+					if callee != nil && need[callee] {
+						need[f] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	var out []*ir.Function
+	for _, f := range m.Funcs { // deterministic order
+		if need[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// appendRuntimeParams appends (__rt, __sd, __hdlr) to the function
+// signature.
+func appendRuntimeParams(f *ir.Function) {
+	n := len(f.Params)
+	f.Params = append(f.Params,
+		&ir.Param{Nam: "__rt", Ty: rtPtrT, Idx: n},
+		&ir.Param{Nam: "__sd", Ty: sdPtrT, Idx: n + 1},
+		&ir.Param{Nam: "__hdlr", Ty: ir.I64T, Idx: n + 2},
+	)
+}
+
+// runtimeArgs returns the values of the appended runtime parameters of f.
+func runtimeArgs(f *ir.Function) (rt, sd, hdlr ir.Value) {
+	n := len(f.Params)
+	return f.Params[n-3], f.Params[n-2], f.Params[n-1]
+}
+
+// replaceBuiltins rewrites work-item builtin calls into runtime library
+// calls and threads the runtime parameters through calls to other
+// extended functions.
+func replaceBuiltins(f *ir.Function, extended map[string]bool) error {
+	rt, sd, hdlr := runtimeArgs(f)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpCall {
+				continue
+			}
+			if repl, ok := rtlib.Replacement[in.Callee]; ok {
+				args := []ir.Value{rt, sd, hdlr}
+				if in.Callee != "get_work_dim" {
+					if len(in.Args) != 1 {
+						return fmt.Errorf("accelpass: %s: builtin %s with %d args", f.Name, in.Callee, len(in.Args))
+					}
+					args = append(args, in.Args[0])
+				}
+				in.Callee = repl
+				in.Args = args
+				continue
+			}
+			if extended[in.Callee] {
+				in.Args = append(in.Args, rt, sd, hdlr)
+			}
+		}
+	}
+	return nil
+}
+
+// hoistLocals removes local-space allocas from the computation function,
+// appending a pointer parameter for each; the scheduling kernel declares
+// the arrays and passes them in (§6.2 "Local Data Hoisting"). It returns
+// the hoist descriptors and the total local bytes.
+func hoistLocals(f *ir.Function) ([]HoistedArray, int64) {
+	var hoisted []HoistedArray
+	var bytes int64
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAlloca && in.AllocaSpace == ir.Local {
+				idx := len(f.Params)
+				p := &ir.Param{
+					Nam: fmt.Sprintf("__hoist%d", len(hoisted)),
+					Ty:  ir.PointerTo(in.AllocaElem, ir.Local),
+					Idx: idx,
+				}
+				f.Params = append(f.Params, p)
+				replaceUsesInFunc(f, in, p)
+				hoisted = append(hoisted, HoistedArray{Elem: in.AllocaElem, Count: in.AllocaCount})
+				bytes += in.AllocaElem.Size() * in.AllocaCount
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return hoisted, bytes
+}
+
+func replaceUsesInFunc(f *ir.Function, old, new ir.Value) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if a == old {
+					in.Args[i] = new
+				}
+			}
+		}
+	}
+}
+
+// typeCLC renders an IR type as CLC source for the generated scheduling
+// kernel.
+func typeCLC(t *ir.Type) string {
+	switch t.Kind {
+	case ir.Void:
+		return "void"
+	case ir.Bool, ir.I32:
+		return "int"
+	case ir.I64:
+		return "long"
+	case ir.F32:
+		return "float"
+	case ir.F64:
+		return "double"
+	case ir.Pointer:
+		prefix := ""
+		switch t.Space {
+		case ir.Global:
+			prefix = "global "
+		case ir.Local:
+			prefix = "local "
+		case ir.Constant:
+			prefix = "constant "
+		}
+		return prefix + typeCLC(t.Elem) + "*"
+	}
+	panic(fmt.Sprintf("accelpass: cannot render type %s in CLC", t))
+}
+
+// schedulingKernelSource generates the dyn_sched wrapper (Fig. 8b) for a
+// computation function. The wrapper keeps the original kernel's name so
+// the interposition layer can launch it transparently; its signature is
+// the original parameter list plus the RT descriptor pointer appended by
+// the kernel scheduler.
+//
+// Compared to the paper's figure, an extra barrier closes each iteration
+// so the master's next dequeue cannot overwrite the SD block while slower
+// work-items are still reading the current chunk bounds.
+func schedulingKernelSource(info *KernelInfo, compute *ir.Function) string {
+	// The compute signature is: originals..., __rt, __sd, __hdlr,
+	// hoists...
+	nOrig := len(compute.Params) - 3 - len(info.Hoisted)
+	var sb strings.Builder
+
+	// Prototypes.
+	sb.WriteString("extern void ")
+	sb.WriteString(info.ComputeName)
+	sb.WriteString("(")
+	for i, p := range compute.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s %s", typeCLC(p.Ty), p.Nam)
+	}
+	sb.WriteString(");\n")
+	sb.WriteString("extern void rt_env_init(global long* rt, local long* sd);\n")
+	sb.WriteString("extern void rt_sched_wgroup(global long* rt, local long* sd);\n")
+	sb.WriteString("extern int rt_is_master_workitem();\n\n")
+
+	// Scheduling kernel.
+	fmt.Fprintf(&sb, "kernel void %s(", info.Name)
+	for i := 0; i < nOrig; i++ {
+		p := compute.Params[i]
+		fmt.Fprintf(&sb, "%s %s, ", typeCLC(p.Ty), p.Nam)
+	}
+	sb.WriteString("global long* __rt)\n{\n")
+	fmt.Fprintf(&sb, "    local long __sd[%d];\n", rtlib.SDWords)
+	for i, h := range info.Hoisted {
+		fmt.Fprintf(&sb, "    local %s __h%d[%d];\n", typeCLC(h.Elem), i, h.Count)
+	}
+	sb.WriteString(`    if (rt_is_master_workitem())
+        rt_env_init(__rt, __sd);
+    for (;;) {
+        if (rt_is_master_workitem())
+            rt_sched_wgroup(__rt, __sd);
+        barrier(3);
+        if (__sd[0] == 1)
+            break;
+        long __ind;
+        for (__ind = __sd[1]; __ind < __sd[2]; __ind = __ind + 1)
+`)
+	sb.WriteString("            ")
+	sb.WriteString(info.ComputeName)
+	sb.WriteString("(")
+	for i := 0; i < nOrig; i++ {
+		fmt.Fprintf(&sb, "%s, ", compute.Params[i].Nam)
+	}
+	sb.WriteString("__rt, __sd, __ind")
+	for i := range info.Hoisted {
+		fmt.Fprintf(&sb, ", __h%d", i)
+	}
+	sb.WriteString(");\n")
+	sb.WriteString("        barrier(3);\n    }\n}\n")
+	return sb.String()
+}

@@ -1,0 +1,361 @@
+package clc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// CType is a semantic CLC type.
+type CType struct {
+	K     CKind
+	Elem  *CType       // pointer element / array element
+	Space ir.AddrSpace // for pointers and arrays: address space of pointee
+	Len   int64        // for arrays: element count
+	Const bool
+}
+
+// CKind enumerates CLC type kinds.
+type CKind int
+
+// CLC type kinds. Unsigned integer types are folded onto their signed
+// counterparts: the kernels in this repository do not rely on wrap-around
+// or unsigned-division semantics.
+const (
+	CVoid CKind = iota
+	CBool
+	CInt    // int, uint, char (32-bit)
+	CLong   // long, ulong, size_t (64-bit)
+	CFloat  // float
+	CDouble // double
+	CPtr
+	CArray
+)
+
+// Convenience singleton types.
+var (
+	TypeVoid   = &CType{K: CVoid}
+	TypeBool   = &CType{K: CBool}
+	TypeInt    = &CType{K: CInt}
+	TypeLong   = &CType{K: CLong}
+	TypeFloat  = &CType{K: CFloat}
+	TypeDouble = &CType{K: CDouble}
+)
+
+// PtrTo returns a pointer type to elem in the given address space.
+func PtrTo(elem *CType, space ir.AddrSpace) *CType {
+	return &CType{K: CPtr, Elem: elem, Space: space}
+}
+
+// ArrayOf returns an array type.
+func ArrayOf(elem *CType, n int64, space ir.AddrSpace) *CType {
+	return &CType{K: CArray, Elem: elem, Len: n, Space: space}
+}
+
+// IsArith reports whether t participates in arithmetic.
+func (t *CType) IsArith() bool {
+	switch t.K {
+	case CBool, CInt, CLong, CFloat, CDouble:
+		return true
+	}
+	return false
+}
+
+// IsInt reports whether t is an integer type.
+func (t *CType) IsInt() bool { return t.K == CBool || t.K == CInt || t.K == CLong }
+
+// IsFloat reports whether t is float or double.
+func (t *CType) IsFloat() bool { return t.K == CFloat || t.K == CDouble }
+
+// Equal reports structural equality ignoring const.
+func (t *CType) Equal(o *CType) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.K != o.K {
+		return false
+	}
+	switch t.K {
+	case CPtr:
+		return t.Space == o.Space && t.Elem.Equal(o.Elem)
+	case CArray:
+		return t.Space == o.Space && t.Len == o.Len && t.Elem.Equal(o.Elem)
+	}
+	return true
+}
+
+// IR lowers the CLC type to its IR representation. Bools are lowered as
+// i32 in memory.
+func (t *CType) IR() *ir.Type {
+	switch t.K {
+	case CVoid:
+		return ir.VoidT
+	case CBool, CInt:
+		return ir.I32T
+	case CLong:
+		return ir.I64T
+	case CFloat:
+		return ir.F32T
+	case CDouble:
+		return ir.F64T
+	case CPtr:
+		return ir.PointerTo(t.Elem.IR(), t.Space)
+	case CArray:
+		return ir.PointerTo(t.Elem.IR(), t.Space)
+	}
+	panic("clc: bad type")
+}
+
+func (t *CType) String() string {
+	var sb strings.Builder
+	switch t.K {
+	case CVoid:
+		return "void"
+	case CBool:
+		return "bool"
+	case CInt:
+		return "int"
+	case CLong:
+		return "long"
+	case CFloat:
+		return "float"
+	case CDouble:
+		return "double"
+	case CPtr:
+		if t.Space != ir.Private {
+			fmt.Fprintf(&sb, "%s ", t.Space)
+		}
+		fmt.Fprintf(&sb, "%s*", t.Elem)
+		return sb.String()
+	case CArray:
+		if t.Space != ir.Private {
+			fmt.Fprintf(&sb, "%s ", t.Space)
+		}
+		fmt.Fprintf(&sb, "%s[%d]", t.Elem, t.Len)
+		return sb.String()
+	}
+	return "?"
+}
+
+// Expr is an expression node. Sema fills T (the expression's type) and
+// LV (whether it designates an lvalue).
+type Expr interface {
+	Pos() Pos
+	ctype() *CType
+	setType(*CType)
+	lvalue() bool
+	setLValue(bool)
+}
+
+type exprBase struct {
+	P  Pos
+	T  *CType
+	LV bool
+}
+
+// Pos implements Expr.
+func (e *exprBase) Pos() Pos          { return e.P }
+func (e *exprBase) ctype() *CType     { return e.T }
+func (e *exprBase) setType(t *CType)  { e.T = t }
+func (e *exprBase) lvalue() bool      { return e.LV }
+func (e *exprBase) setLValue(lv bool) { e.LV = lv }
+
+// TypeOf returns the semantic type assigned to an expression by Sema.
+func TypeOf(e Expr) *CType { return e.ctype() }
+
+// Ident is a name reference. Sema resolves Sym.
+type Ident struct {
+	exprBase
+	Name string
+	Sym  *Symbol
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	V int64
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	exprBase
+	V float64
+}
+
+// Unary is a prefix operator: - ! ~ * (deref) & (address-of).
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// IncDec is ++/-- in prefix or postfix position.
+type IncDec struct {
+	exprBase
+	Op   string // "++" or "--"
+	Post bool
+	X    Expr
+}
+
+// Binary is an infix arithmetic/relational/logical operator.
+type Binary struct {
+	exprBase
+	Op   string
+	X, Y Expr
+}
+
+// Assign is "=" or a compound assignment.
+type Assign struct {
+	exprBase
+	Op   string // "=", "+=", ...
+	L, R Expr
+}
+
+// Cond is the ?: operator.
+type Cond struct {
+	exprBase
+	C, Then, Else Expr
+}
+
+// Call is a function or builtin call. Sema fills Builtin (when the callee
+// is an OpenCL builtin) and Fn (when it is a user function).
+type Call struct {
+	exprBase
+	Name    string
+	Args    []Expr
+	Builtin *BuiltinInfo
+	Fn      *FuncDecl
+}
+
+// Index is the subscript operator X[I].
+type Index struct {
+	exprBase
+	X, I Expr
+}
+
+// CastExpr is an explicit cast "(type)x".
+type CastExpr struct {
+	exprBase
+	To *TypeExpr
+	X  Expr
+}
+
+// TypeExpr is a syntactic type as written in source.
+type TypeExpr struct {
+	P       Pos
+	Base    string // "int", "float", ...
+	Space   ir.AddrSpace
+	Const   bool
+	PtrDep  int   // pointer depth
+	ArrLen  Expr  // non-nil for array declarators
+	arrSize int64 // resolved by sema
+}
+
+// Stmt is a statement node.
+type Stmt interface{ Pos() Pos }
+
+type stmtBase struct{ P Pos }
+
+// Pos implements Stmt.
+func (s *stmtBase) Pos() Pos { return s.P }
+
+// DeclStmt declares a local variable.
+type DeclStmt struct {
+	stmtBase
+	Name string
+	Ty   *TypeExpr
+	Init Expr
+	Sym  *Symbol
+}
+
+// ExprStmt evaluates an expression for side effects.
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// BlockStmt is a braced statement list with its own scope.
+type BlockStmt struct {
+	stmtBase
+	List []Stmt
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// ForStmt is a C for loop; any of Init/Cond/Post may be nil.
+type ForStmt struct {
+	stmtBase
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// WhileStmt is while or do-while.
+type WhileStmt struct {
+	stmtBase
+	Cond    Expr
+	Body    Stmt
+	DoWhile bool
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	stmtBase
+	X Expr // may be nil
+}
+
+// BranchStmt is break or continue.
+type BranchStmt struct {
+	stmtBase
+	IsBreak bool
+}
+
+// EmptyStmt is a bare semicolon.
+type EmptyStmt struct{ stmtBase }
+
+// ParamDecl is a function parameter.
+type ParamDecl struct {
+	P    Pos
+	Name string
+	Ty   *TypeExpr
+	Sym  *Symbol
+}
+
+// FuncDecl is a function definition or prototype.
+type FuncDecl struct {
+	P        Pos
+	Name     string
+	Ret      *TypeExpr
+	Params   []*ParamDecl
+	Body     *BlockStmt // nil for prototypes
+	IsKernel bool
+
+	RetType *CType // resolved by sema
+}
+
+// Pos returns the declaration position.
+func (f *FuncDecl) Pos() Pos { return f.P }
+
+// File is a parsed translation unit.
+type File struct {
+	Funcs []*FuncDecl
+}
+
+// Symbol is a resolved variable.
+type Symbol struct {
+	Name  string
+	Ty    *CType
+	Param bool
+
+	// IRValue is the alloca (or parameter) holding the variable; set by
+	// the IR generator.
+	IRValue ir.Value
+}

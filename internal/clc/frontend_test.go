@@ -1,0 +1,277 @@
+package clc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// --- lexer ----------------------------------------------------------
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		tok := lx.Next()
+		if tok.Kind == TokEOF {
+			break
+		}
+		toks = append(toks, tok)
+	}
+	if err := lx.Err(); err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	return toks
+}
+
+func TestLexerNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind TokKind
+		ival int64
+		fval float64
+	}{
+		{"42", TokIntLit, 42, 0},
+		{"0x1F", TokIntLit, 31, 0},
+		{"7u", TokIntLit, 7, 0},
+		{"9L", TokIntLit, 9, 0},
+		{"1.5", TokFloatLit, 0, 1.5},
+		{"2.0f", TokFloatLit, 0, 2},
+		{"3f", TokFloatLit, 0, 3},
+		{"1e3", TokFloatLit, 0, 1000},
+		{"2.5e-1", TokFloatLit, 0, 0.25},
+		{".5", TokFloatLit, 0, 0.5},
+	}
+	for _, c := range cases {
+		toks := lexAll(t, c.src)
+		if len(toks) != 1 {
+			t.Errorf("%q lexed to %d tokens", c.src, len(toks))
+			continue
+		}
+		tok := toks[0]
+		if tok.Kind != c.kind {
+			t.Errorf("%q kind = %v", c.src, tok.Kind)
+		}
+		if c.kind == TokIntLit && tok.IntVal != c.ival {
+			t.Errorf("%q = %d, want %d", c.src, tok.IntVal, c.ival)
+		}
+		if c.kind == TokFloatLit && tok.FloatVal != c.fval {
+			t.Errorf("%q = %v, want %v", c.src, tok.FloatVal, c.fval)
+		}
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks := lexAll(t, `
+// line comment with * and /* inside
+a /* block
+   spanning lines */ b
+`)
+	if len(toks) != 2 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Errorf("comments not skipped: %v", toks)
+	}
+	lx := NewLexer("/* unterminated")
+	lx.Next()
+	if lx.Err() == nil {
+		t.Error("unterminated block comment not reported")
+	}
+}
+
+func TestLexerMultiCharOperators(t *testing.T) {
+	toks := lexAll(t, "a <<= b >>= c == d != e <= f >= g && h || i << j >> k ++ --")
+	var ops []string
+	for _, tok := range toks {
+		if tok.Kind == TokPunct {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks := lexAll(t, "a\n  b")
+	if toks[0].Pos.Line != 1 || toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("positions wrong: %+v", toks)
+	}
+}
+
+func TestMacroErrors(t *testing.T) {
+	lx := NewLexer("#define F(x) x\nF(1)")
+	for lx.Next().Kind != TokEOF {
+	}
+	if lx.Err() == nil {
+		t.Error("function-like macro not rejected")
+	}
+	lx2 := NewLexer("#define\nint x;")
+	for lx2.Next().Kind != TokEOF {
+	}
+	if lx2.Err() == nil {
+		t.Error("nameless #define not rejected")
+	}
+	// Self-referential macro must be caught, not loop forever.
+	lx3 := NewLexer("#define A A\nA")
+	for lx3.Next().Kind != TokEOF {
+	}
+	if lx3.Err() == nil {
+		t.Error("recursive macro expansion not bounded")
+	}
+}
+
+func TestPragmaIgnored(t *testing.T) {
+	if _, err := Compile(`
+#pragma OPENCL EXTENSION cl_khr_fp64 : enable
+kernel void k(global int* out) { out[0] = 1; }
+`, "p"); err != nil {
+		t.Errorf("pragma not ignored: %v", err)
+	}
+}
+
+// --- parser/sema error coverage --------------------------------------
+
+func TestFrontEndErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing semicolon":    `kernel void k(global int* p) { p[0] = 1 }`,
+		"unbalanced paren":     `kernel void k(global int* p) { p[0] = (1 + 2; }`,
+		"bad type":             `kernel void k(global wibble* p) { }`,
+		"assign to rvalue":     `kernel void k(global int* p) { 1 = 2; }`,
+		"call wrong arity":     `int f(int a) { return a; } kernel void k(global int* p) { p[0] = f(1, 2); }`,
+		"undeclared call":      `kernel void k(global int* p) { p[0] = nosuchfn(1); }`,
+		"redeclare variable":   `kernel void k(global int* p) { int a; int a; }`,
+		"redefine function":    `int f() { return 1; } int f() { return 2; } kernel void k(global int* p) { }`,
+		"void variable":        `kernel void k(global int* p) { void v; }`,
+		"non-const array len":  `kernel void k(global int* p, int n) { local int t[n]; barrier(1); }`,
+		"deref non-pointer":    `kernel void k(global int* p) { int a; p[0] = *a; }`,
+		"subscript scalar":     `kernel void k(global int* p) { int a; p[0] = a[1]; }`,
+		"continue outside":     `kernel void k(global int* p) { continue; }`,
+		"return value in void": `kernel void k(global int* p) { return 3; }`,
+		"missing return value": `int f() { return; } kernel void k(global int* p) { p[0] = f(); }`,
+		"pointer mismatch":     `kernel void k(global int* p, global float* q) { p = q; }`,
+		"barrier arity":        `kernel void k(global int* p) { barrier(); }`,
+		"atomic local scalar":  `kernel void k(global int* p) { int a; atomic_add(&a, 1); }`,
+		"multi declarator":     `kernel void k(global int* p) { int a = 1, b = 2; }`,
+	}
+	for name, src := range cases {
+		if _, err := Compile(src, "bad"); err == nil {
+			t.Errorf("%s: no error for %q", name, src)
+		}
+	}
+}
+
+func TestShadowingAllowed(t *testing.T) {
+	if _, err := Compile(`
+kernel void k(global int* out)
+{
+    int a = 1;
+    { int a = 2; out[1] = a; }
+    out[0] = a;
+}
+`, "shadow"); err != nil {
+		t.Errorf("block shadowing rejected: %v", err)
+	}
+}
+
+func TestUnsignedAliases(t *testing.T) {
+	m, err := Compile(`
+kernel void k(global uint* out, unsigned int a, unsigned long b, ulong c, size_t d)
+{
+    out[0] = a + (uint)b + (uint)c + (uint)d;
+}
+`, "uns")
+	if err != nil {
+		t.Fatalf("unsigned aliases rejected: %v", err)
+	}
+	f := m.Lookup("k")
+	if len(f.Params) != 5 {
+		t.Fatalf("params = %d", len(f.Params))
+	}
+}
+
+func TestPrototypeThenDefinition(t *testing.T) {
+	if _, err := Compile(`
+int helper(int x);
+kernel void k(global int* out) { out[0] = helper(4); }
+int helper(int x) { return x * x; }
+`, "proto"); err != nil {
+		t.Errorf("prototype-then-definition rejected: %v", err)
+	}
+}
+
+func TestArrayParamDecays(t *testing.T) {
+	if _, err := Compile(`
+kernel void k(global int out[], int n) { if (n > 0) out[0] = 1; }
+`, "decay"); err != nil {
+		t.Errorf("array parameter rejected: %v", err)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	m, err := Compile(`
+kernel void k(global int* out)
+{
+    out[0] = 2 + 3 * 4;        /* 14 */
+    out[1] = (2 + 3) * 4;      /* 20 */
+    out[2] = 1 << 2 + 1;       /* 8: + binds tighter than << */
+    out[3] = 10 - 4 - 3;       /* 3: left assoc */
+    out[4] = 7 & 3 | 4;        /* 7 */
+}
+`, "prec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fold and inspect.
+	text := m.String()
+	_ = text // values checked by the passes package; here parsing shape only
+}
+
+// Property: the lexer round-trips any identifier made of valid chars.
+func TestLexerIdentifierProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		var sb strings.Builder
+		sb.WriteByte('_')
+		for _, b := range raw {
+			c := byte('a') + b%26
+			sb.WriteByte(c)
+		}
+		id := sb.String()
+		lx := NewLexer(id)
+		tok := lx.Next()
+		return tok.Kind == TokIdent && tok.Text == id && lx.Next().Kind == TokEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: integer literal lexing matches the value.
+func TestLexerIntLiteralProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		src := itoa(int64(v))
+		lx := NewLexer(src)
+		tok := lx.Next()
+		return tok.Kind == TokIntLit && tok.IntVal == int64(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,742 @@
+package clc
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Compile parses, analyzes and lowers CLC source to an IR module.
+func Compile(src, name string) (*ir.Module, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Analyze(file); err != nil {
+		return nil, err
+	}
+	return Generate(file, name)
+}
+
+// Generate lowers an analyzed file to IR.
+func Generate(file *File, name string) (*ir.Module, error) {
+	g := &gen{m: ir.NewModule(name)}
+	for _, fd := range file.Funcs {
+		g.declare(fd)
+	}
+	for _, fd := range file.Funcs {
+		if fd.Body != nil {
+			g.genFunc(fd)
+		}
+	}
+	if g.err != nil {
+		return nil, g.err
+	}
+	if err := ir.Verify(g.m); err != nil {
+		return nil, fmt.Errorf("clc: internal error: generated invalid IR: %w", err)
+	}
+	return g.m, nil
+}
+
+type loopCtx struct {
+	brk, cont *ir.Block
+}
+
+type gen struct {
+	m     *ir.Module
+	b     *ir.Builder
+	fd    *FuncDecl
+	irFn  *ir.Function
+	loops []loopCtx
+	err   error
+}
+
+func (g *gen) errorf(pos Pos, format string, args ...interface{}) {
+	if g.err == nil {
+		g.err = fmt.Errorf("clc: %s: %s", pos, fmt.Sprintf(format, args...))
+	}
+}
+
+func (g *gen) declare(fd *FuncDecl) {
+	if g.m.Lookup(fd.Name) != nil && fd.Body == nil {
+		return
+	}
+	var params []*ir.Param
+	for i, p := range fd.Params {
+		ty := p.Sym.Ty
+		nm := p.Name
+		if nm == "" {
+			nm = fmt.Sprintf("arg%d", i)
+		}
+		params = append(params, &ir.Param{Nam: nm, Ty: ty.IR(), Idx: i})
+	}
+	f := g.m.NewFunction(fd.Name, fd.RetType.IR(), params...)
+	f.Kernel = fd.IsKernel
+}
+
+func (g *gen) genFunc(fd *FuncDecl) {
+	g.fd = fd
+	g.irFn = g.m.Lookup(fd.Name)
+	g.b = ir.NewBuilder(g.irFn)
+	// -O0 style: spill parameters to allocas so that every variable has a
+	// memory home.
+	for i, p := range fd.Params {
+		slot := g.b.Alloca(g.irFn.Params[i].Ty, 1, ir.Private)
+		g.b.Store(g.irFn.Params[i], slot)
+		p.Sym.IRValue = slot
+	}
+	g.genBlockStmt(fd.Body)
+	if !g.b.Cur.Terminated() {
+		if fd.RetType.K == CVoid {
+			g.b.Ret(nil)
+		} else {
+			g.b.Ret(g.zero(fd.RetType))
+		}
+	}
+	// Remove unterminated trailing blocks created by branches out of
+	// loops (e.g. a dead "after" block): give them explicit returns.
+	for _, blk := range g.irFn.Blocks {
+		if !blk.Terminated() {
+			save := g.b.Cur
+			g.b.SetInsert(blk)
+			if fd.RetType.K == CVoid {
+				g.b.Ret(nil)
+			} else {
+				g.b.Ret(g.zero(fd.RetType))
+			}
+			g.b.SetInsert(save)
+		}
+	}
+}
+
+func (g *gen) zero(t *CType) ir.Value {
+	switch t.IR().Kind {
+	case ir.I32:
+		return ir.CI(0)
+	case ir.I64:
+		return ir.CI64(0)
+	case ir.F32:
+		return ir.CF32(0)
+	case ir.F64:
+		return ir.CF64(0)
+	case ir.Pointer:
+		return &ir.ConstNull{Ty: t.IR()}
+	}
+	return ir.CI(0)
+}
+
+func (g *gen) genBlockStmt(b *BlockStmt) {
+	for _, st := range b.List {
+		g.genStmt(st)
+		if g.b.Cur.Terminated() {
+			// Dead code after return/break/continue: skip to keep IR
+			// well-formed.
+			return
+		}
+	}
+}
+
+func (g *gen) genStmt(st Stmt) {
+	switch x := st.(type) {
+	case *BlockStmt:
+		g.genBlockStmt(x)
+	case *EmptyStmt:
+	case *DeclStmt:
+		ty := x.Sym.Ty
+		var slot *ir.Instr
+		if ty.K == CArray {
+			slot = g.b.Alloca(ty.Elem.IR(), ty.Len, ty.Space)
+		} else {
+			slot = g.b.Alloca(ty.IR(), 1, ir.Private)
+		}
+		x.Sym.IRValue = slot
+		if x.Init != nil {
+			v := g.genExpr(x.Init)
+			v = g.convert(v, TypeOf(x.Init), ty)
+			g.b.Store(v, slot)
+		}
+	case *ExprStmt:
+		g.genExpr(x.X)
+	case *IfStmt:
+		cond := g.genCond(x.Cond)
+		thenB := g.b.NewBlock("if.then")
+		afterB := g.b.NewBlock("if.end")
+		elseB := afterB
+		if x.Else != nil {
+			elseB = g.b.NewBlock("if.else")
+		}
+		g.b.CondBr(cond, thenB, elseB)
+		g.b.SetInsert(thenB)
+		g.genStmt(x.Then)
+		if !g.b.Cur.Terminated() {
+			g.b.Br(afterB)
+		}
+		if x.Else != nil {
+			g.b.SetInsert(elseB)
+			g.genStmt(x.Else)
+			if !g.b.Cur.Terminated() {
+				g.b.Br(afterB)
+			}
+		}
+		g.b.SetInsert(afterB)
+	case *ForStmt:
+		if x.Init != nil {
+			g.genStmt(x.Init)
+		}
+		condB := g.b.NewBlock("for.cond")
+		bodyB := g.b.NewBlock("for.body")
+		postB := g.b.NewBlock("for.post")
+		afterB := g.b.NewBlock("for.end")
+		g.b.Br(condB)
+		g.b.SetInsert(condB)
+		if x.Cond != nil {
+			g.b.CondBr(g.genCond(x.Cond), bodyB, afterB)
+		} else {
+			g.b.Br(bodyB)
+		}
+		g.b.SetInsert(bodyB)
+		g.loops = append(g.loops, loopCtx{brk: afterB, cont: postB})
+		g.genStmt(x.Body)
+		g.loops = g.loops[:len(g.loops)-1]
+		if !g.b.Cur.Terminated() {
+			g.b.Br(postB)
+		}
+		g.b.SetInsert(postB)
+		if x.Post != nil {
+			g.genExpr(x.Post)
+		}
+		g.b.Br(condB)
+		g.b.SetInsert(afterB)
+	case *WhileStmt:
+		condB := g.b.NewBlock("while.cond")
+		bodyB := g.b.NewBlock("while.body")
+		afterB := g.b.NewBlock("while.end")
+		if x.DoWhile {
+			g.b.Br(bodyB)
+		} else {
+			g.b.Br(condB)
+		}
+		g.b.SetInsert(condB)
+		g.b.CondBr(g.genCond(x.Cond), bodyB, afterB)
+		g.b.SetInsert(bodyB)
+		g.loops = append(g.loops, loopCtx{brk: afterB, cont: condB})
+		g.genStmt(x.Body)
+		g.loops = g.loops[:len(g.loops)-1]
+		if !g.b.Cur.Terminated() {
+			g.b.Br(condB)
+		}
+		g.b.SetInsert(afterB)
+	case *ReturnStmt:
+		if x.X == nil {
+			g.b.Ret(nil)
+			return
+		}
+		v := g.genExpr(x.X)
+		v = g.convert(v, TypeOf(x.X), g.fd.RetType)
+		g.b.Ret(v)
+	case *BranchStmt:
+		if len(g.loops) == 0 {
+			g.errorf(x.P, "break/continue outside a loop")
+			return
+		}
+		lc := g.loops[len(g.loops)-1]
+		if x.IsBreak {
+			g.b.Br(lc.brk)
+		} else {
+			g.b.Br(lc.cont)
+		}
+		// Continue emitting any dead code into a fresh block.
+		g.b.SetInsert(g.b.NewBlock("dead"))
+	default:
+		panic(fmt.Sprintf("clc: unknown statement %T", st))
+	}
+}
+
+// convert emits the implicit conversion of v from type "from" to "to".
+func (g *gen) convert(v ir.Value, from, to *CType) ir.Value {
+	if from == nil || to == nil || from.Equal(to) {
+		return v
+	}
+	if from.K == CArray && to.K == CPtr {
+		return v // arrays are already pointers in IR
+	}
+	fi, ti := from.IR(), to.IR()
+	if fi.Equal(ti) {
+		return v
+	}
+	switch {
+	case fi.IsInt() && ti.IsInt():
+		if ti.Size() > fi.Size() {
+			return g.b.Cast(ir.SExt, v, ti)
+		}
+		return g.b.Cast(ir.Trunc, v, ti)
+	case fi.IsInt() && ti.IsFloat():
+		return g.b.Cast(ir.SIToFP, v, ti)
+	case fi.IsFloat() && ti.IsInt():
+		return g.b.Cast(ir.FPToSI, v, ti)
+	case fi.IsFloat() && ti.IsFloat():
+		if ti.Size() > fi.Size() {
+			return g.b.Cast(ir.FPExt, v, ti)
+		}
+		return g.b.Cast(ir.FPTrunc, v, ti)
+	case fi.IsPointer() && ti.IsPointer():
+		return g.b.Cast(ir.PtrCast, v, ti)
+	}
+	g.errorf(Pos{}, "unsupported conversion from %s to %s", from, to)
+	return v
+}
+
+// genCond evaluates e as an i1 condition with short-circuiting.
+func (g *gen) genCond(e Expr) ir.Value {
+	switch x := e.(type) {
+	case *Binary:
+		switch x.Op {
+		case "&&", "||":
+			// Short-circuit via a result slot.
+			slot := g.b.Alloca(ir.BoolT, 1, ir.Private)
+			lhs := g.genCond(x.X)
+			rhsB := g.b.NewBlock("sc.rhs")
+			endB := g.b.NewBlock("sc.end")
+			g.b.Store(lhs, slot)
+			if x.Op == "&&" {
+				g.b.CondBr(lhs, rhsB, endB)
+			} else {
+				g.b.CondBr(lhs, endB, rhsB)
+			}
+			g.b.SetInsert(rhsB)
+			rhs := g.genCond(x.Y)
+			g.b.Store(rhs, slot)
+			g.b.Br(endB)
+			g.b.SetInsert(endB)
+			return g.b.Load(slot)
+		case "==", "!=", "<", ">", "<=", ">=":
+			tx, ty := TypeOf(x.X), TypeOf(x.Y)
+			if tx.K == CPtr && ty.K == CPtr {
+				vx := g.genExpr(x.X)
+				vy := g.genExpr(x.Y)
+				pred := map[string]ir.CmpPred{"==": ir.IEQ, "!=": ir.INE, "<": ir.ILT, ">": ir.IGT, "<=": ir.ILE, ">=": ir.IGE}[x.Op]
+				return g.b.Cmp(pred, vx, vy)
+			}
+			ct := commonArith(tx, ty)
+			vx := g.convert(g.genExpr(x.X), tx, ct)
+			vy := g.convert(g.genExpr(x.Y), ty, ct)
+			var pred ir.CmpPred
+			if ct.IsFloat() {
+				pred = map[string]ir.CmpPred{"==": ir.FEQ, "!=": ir.FNE, "<": ir.FLT, ">": ir.FGT, "<=": ir.FLE, ">=": ir.FGE}[x.Op]
+			} else {
+				pred = map[string]ir.CmpPred{"==": ir.IEQ, "!=": ir.INE, "<": ir.ILT, ">": ir.IGT, "<=": ir.ILE, ">=": ir.IGE}[x.Op]
+			}
+			return g.b.Cmp(pred, vx, vy)
+		}
+	case *Unary:
+		if x.Op == "!" {
+			c := g.genCond(x.X)
+			return g.b.Bin(ir.Xor, c, ir.CBool(true))
+		}
+	}
+	// Fallback: value != 0.
+	v := g.genExpr(e)
+	t := TypeOf(e)
+	switch {
+	case t.K == CPtr:
+		return g.b.Cmp(ir.INE, v, &ir.ConstNull{Ty: t.IR()})
+	case t.IsFloat():
+		zero := ir.Value(ir.CF32(0))
+		if t.K == CDouble {
+			zero = ir.CF64(0)
+		}
+		return g.b.Cmp(ir.FNE, v, zero)
+	default:
+		zero := ir.Value(ir.CI(0))
+		if t.IR().Kind == ir.I64 {
+			zero = ir.CI64(0)
+		}
+		return g.b.Cmp(ir.INE, v, zero)
+	}
+}
+
+// genLValue returns a pointer to the storage designated by e.
+func (g *gen) genLValue(e Expr) ir.Value {
+	switch x := e.(type) {
+	case *Ident:
+		if x.Sym == nil || x.Sym.IRValue == nil {
+			g.errorf(x.P, "unresolved identifier %q", x.Name)
+			return g.b.Alloca(ir.I32T, 1, ir.Private)
+		}
+		return x.Sym.IRValue
+	case *Unary:
+		if x.Op == "*" {
+			return g.genExpr(x.X)
+		}
+	case *Index:
+		base := g.genExpr(x.X)
+		idx := g.genExpr(x.I)
+		idx = g.convert(idx, TypeOf(x.I), TypeLong)
+		return g.b.GEP(base, idx)
+	}
+	g.errorf(e.Pos(), "expression is not an lvalue")
+	return g.b.Alloca(ir.I32T, 1, ir.Private)
+}
+
+// genExpr evaluates e as an rvalue.
+func (g *gen) genExpr(e Expr) ir.Value {
+	switch x := e.(type) {
+	case *IntLit:
+		if TypeOf(x).K == CLong {
+			return ir.CI64(x.V)
+		}
+		return ir.CI(x.V)
+	case *FloatLit:
+		return ir.CF32(x.V)
+	case *Ident:
+		if x.Sym != nil && x.Sym.Ty.K == CArray {
+			return x.Sym.IRValue // decay
+		}
+		return g.b.Load(g.genLValue(x))
+	case *Unary:
+		switch x.Op {
+		case "-":
+			t := TypeOf(x)
+			v := g.convert(g.genExpr(x.X), TypeOf(x.X), t)
+			if t.IsFloat() {
+				return g.b.Bin(ir.FSub, g.zero(t), v)
+			}
+			return g.b.Bin(ir.Sub, g.zero(t), v)
+		case "~":
+			v := g.genExpr(x.X)
+			t := TypeOf(x.X)
+			allOnes := ir.Value(ir.CI(-1))
+			if t.IR().Kind == ir.I64 {
+				allOnes = ir.CI64(-1)
+			}
+			return g.b.Bin(ir.Xor, v, allOnes)
+		case "!":
+			c := g.genCond(x)
+			return g.b.Cast(ir.ZExt, c, ir.I32T)
+		case "*":
+			return g.b.Load(g.genExpr(x.X))
+		case "&":
+			return g.genLValue(x.X)
+		}
+	case *IncDec:
+		ptr := g.genLValue(x.X)
+		old := g.b.Load(ptr)
+		t := TypeOf(x.X)
+		var next ir.Value
+		switch {
+		case t.K == CPtr:
+			step := int64(1)
+			if x.Op == "--" {
+				step = -1
+			}
+			next = g.b.GEP(old, ir.CI64(step))
+		case t.IsFloat():
+			one := ir.Value(ir.CF32(1))
+			if t.K == CDouble {
+				one = ir.CF64(1)
+			}
+			k := ir.FAdd
+			if x.Op == "--" {
+				k = ir.FSub
+			}
+			next = g.b.Bin(k, old, one)
+		default:
+			one := ir.Value(ir.CI(1))
+			if t.IR().Kind == ir.I64 {
+				one = ir.CI64(1)
+			}
+			k := ir.Add
+			if x.Op == "--" {
+				k = ir.Sub
+			}
+			next = g.b.Bin(k, old, one)
+		}
+		g.b.Store(next, ptr)
+		if x.Post {
+			return old
+		}
+		return next
+	case *Binary:
+		return g.genBinary(x)
+	case *Assign:
+		return g.genAssign(x)
+	case *Cond:
+		t := TypeOf(x)
+		slot := g.b.Alloca(t.IR(), 1, ir.Private)
+		c := g.genCond(x.C)
+		thenB := g.b.NewBlock("cond.then")
+		elseB := g.b.NewBlock("cond.else")
+		endB := g.b.NewBlock("cond.end")
+		g.b.CondBr(c, thenB, elseB)
+		g.b.SetInsert(thenB)
+		tv := g.convert(g.genExpr(x.Then), TypeOf(x.Then), t)
+		g.b.Store(tv, slot)
+		g.b.Br(endB)
+		g.b.SetInsert(elseB)
+		ev := g.convert(g.genExpr(x.Else), TypeOf(x.Else), t)
+		g.b.Store(ev, slot)
+		g.b.Br(endB)
+		g.b.SetInsert(endB)
+		return g.b.Load(slot)
+	case *Index:
+		return g.b.Load(g.genLValue(x))
+	case *CastExpr:
+		v := g.genExpr(x.X)
+		return g.convert(v, TypeOf(x.X), TypeOf(x))
+	case *Call:
+		return g.genCall(x)
+	}
+	panic(fmt.Sprintf("clc: unknown expression %T", e))
+}
+
+var intBinOps = map[string]ir.BinKind{
+	"+": ir.Add, "-": ir.Sub, "*": ir.Mul, "/": ir.SDiv, "%": ir.SRem,
+	"&": ir.And, "|": ir.Or, "^": ir.Xor, "<<": ir.Shl, ">>": ir.AShr,
+}
+
+var floatBinOps = map[string]ir.BinKind{
+	"+": ir.FAdd, "-": ir.FSub, "*": ir.FMul, "/": ir.FDiv,
+}
+
+func (g *gen) genBinary(x *Binary) ir.Value {
+	switch x.Op {
+	case "&&", "||", "==", "!=", "<", ">", "<=", ">=":
+		c := g.genCond(x)
+		return g.b.Cast(ir.ZExt, c, ir.I32T)
+	}
+	tx, ty := TypeOf(x.X), TypeOf(x.Y)
+	// Pointer arithmetic.
+	if (tx.K == CPtr || tx.K == CArray) && ty.IsInt() {
+		base := g.genExpr(x.X)
+		idx := g.convert(g.genExpr(x.Y), ty, TypeLong)
+		if x.Op == "-" {
+			idx = g.b.Bin(ir.Sub, ir.CI64(0), idx)
+		}
+		return g.b.GEP(base, idx)
+	}
+	if x.Op == "+" && ty.K == CPtr && tx.IsInt() {
+		base := g.genExpr(x.Y)
+		idx := g.convert(g.genExpr(x.X), tx, TypeLong)
+		return g.b.GEP(base, idx)
+	}
+	if tx.K == CPtr && ty.K == CPtr && x.Op == "-" {
+		g.errorf(x.P, "pointer difference is not supported")
+		return ir.CI64(0)
+	}
+	t := TypeOf(x)
+	vx := g.convert(g.genExpr(x.X), tx, t)
+	vy := g.convert(g.genExpr(x.Y), ty, t)
+	if t.IsFloat() {
+		k, ok := floatBinOps[x.Op]
+		if !ok {
+			g.errorf(x.P, "invalid float operation %q", x.Op)
+			return vx
+		}
+		return g.b.Bin(k, vx, vy)
+	}
+	k, ok := intBinOps[x.Op]
+	if !ok {
+		g.errorf(x.P, "invalid integer operation %q", x.Op)
+		return vx
+	}
+	// Shift counts keep the left operand's type.
+	if x.Op == "<<" || x.Op == ">>" {
+		vx = g.convert(g.genExpr(x.X), tx, t)
+	}
+	return g.b.Bin(k, vx, vy)
+}
+
+func (g *gen) genAssign(x *Assign) ir.Value {
+	tl := TypeOf(x.L)
+	ptr := g.genLValue(x.L)
+	if x.Op == "=" {
+		v := g.convert(g.genExpr(x.R), TypeOf(x.R), tl)
+		g.b.Store(v, ptr)
+		return v
+	}
+	op := x.Op[:len(x.Op)-1]
+	old := g.b.Load(ptr)
+	tr := TypeOf(x.R)
+	if tl.K == CPtr {
+		idx := g.convert(g.genExpr(x.R), tr, TypeLong)
+		if op == "-" {
+			idx = g.b.Bin(ir.Sub, ir.CI64(0), idx)
+		}
+		next := g.b.GEP(old, idx)
+		g.b.Store(next, ptr)
+		return next
+	}
+	ct := commonArith(tl, tr)
+	a := g.convert(old, tl, ct)
+	bv := g.convert(g.genExpr(x.R), tr, ct)
+	var res ir.Value
+	if ct.IsFloat() {
+		k, ok := floatBinOps[op]
+		if !ok {
+			g.errorf(x.P, "invalid float operation %q", x.Op)
+			return old
+		}
+		res = g.b.Bin(k, a, bv)
+	} else {
+		k, ok := intBinOps[op]
+		if !ok {
+			g.errorf(x.P, "invalid integer operation %q", x.Op)
+			return old
+		}
+		res = g.b.Bin(k, a, bv)
+	}
+	res = g.convert(res, ct, tl)
+	g.b.Store(res, ptr)
+	return res
+}
+
+func (g *gen) genCall(x *Call) ir.Value {
+	if x.Fn != nil {
+		var args []ir.Value
+		callee := g.m.Lookup(x.Name)
+		for i, a := range x.Args {
+			v := g.genExpr(a)
+			at := TypeOf(a)
+			if i < len(x.Fn.Params) && x.Fn.Params[i].Sym != nil {
+				v = g.convert(v, at, x.Fn.Params[i].Sym.Ty)
+			}
+			args = append(args, v)
+		}
+		return g.b.Call(x.Name, callee.Ret, args...)
+	}
+	bi := x.Builtin
+	if bi == nil {
+		g.errorf(x.P, "unresolved call %q", x.Name)
+		return ir.CI(0)
+	}
+	switch bi.Kind {
+	case BWorkItem:
+		return g.genWorkItem(x, bi)
+	case BBarrier:
+		scope := ir.FenceLocal | ir.FenceGlobal
+		if v, ok := constOf(x.Args[0]); ok {
+			scope = int(v)
+			if scope == 0 {
+				scope = ir.FenceLocal
+			}
+		}
+		g.b.Barrier(scope)
+		return ir.CI(0)
+	case BAtomic:
+		ptr := g.genExpr(x.Args[0])
+		elem := TypeOf(x.Args[0]).Elem
+		var operand ir.Value
+		if bi.Inc {
+			if elem.IR().Kind == ir.I64 {
+				operand = ir.CI64(1)
+			} else {
+				operand = ir.CI(1)
+			}
+		} else {
+			operand = g.convert(g.genExpr(x.Args[1]), TypeOf(x.Args[1]), elem)
+		}
+		return g.b.Atomic(bi.Atom, ptr, operand)
+	case BMinMax:
+		return g.genMinMax(x, bi)
+	case BMath:
+		t := TypeOf(x)
+		irT := t.IR()
+		var args []ir.Value
+		for _, a := range x.Args {
+			args = append(args, g.convert(g.genExpr(a), TypeOf(a), t))
+		}
+		name := fmt.Sprintf("__clc_%s_%s", bi.Name, irT)
+		g.ensureMathDecl(name, irT, len(args))
+		return g.b.Call(name, irT, args...)
+	}
+	g.errorf(x.P, "unsupported builtin %q", x.Name)
+	return ir.CI(0)
+}
+
+func constOf(e Expr) (int64, bool) {
+	if lit, ok := e.(*IntLit); ok {
+		return lit.V, true
+	}
+	return 0, false
+}
+
+func (g *gen) ensureMathDecl(name string, t *ir.Type, nargs int) {
+	if g.m.Lookup(name) != nil {
+		return
+	}
+	var params []*ir.Param
+	for i := 0; i < nargs; i++ {
+		params = append(params, &ir.Param{Nam: fmt.Sprintf("x%d", i), Ty: t, Idx: i})
+	}
+	f := g.m.NewFunction(name, t, params...)
+	f.Builtin = true
+}
+
+func (g *gen) ensureWorkItemDecl(name string) {
+	if g.m.Lookup(name) != nil {
+		return
+	}
+	var params []*ir.Param
+	ret := ir.I64T
+	if name == "get_work_dim" {
+		ret = ir.I32T
+	} else {
+		params = []*ir.Param{{Nam: "dim", Ty: ir.I32T, Idx: 0}}
+	}
+	f := g.m.NewFunction(name, ret, params...)
+	f.Builtin = true
+}
+
+func (g *gen) genWorkItem(x *Call, bi *BuiltinInfo) ir.Value {
+	g.ensureWorkItemDecl(bi.Name)
+	if bi.Name == "get_work_dim" {
+		return g.b.Call(bi.Name, ir.I32T)
+	}
+	dim := g.convert(g.genExpr(x.Args[0]), TypeOf(x.Args[0]), TypeInt)
+	return g.b.Call(bi.Name, ir.I64T, dim)
+}
+
+func (g *gen) genMinMax(x *Call, bi *BuiltinInfo) ir.Value {
+	t := TypeOf(x)
+	conv := func(i int) ir.Value {
+		return g.convert(g.genExpr(x.Args[i]), TypeOf(x.Args[i]), t)
+	}
+	lt := ir.ILT
+	if t.IsFloat() {
+		lt = ir.FLT
+	}
+	switch bi.Name {
+	case "min":
+		a, b := conv(0), conv(1)
+		c := g.b.Cmp(lt, a, b)
+		return g.b.Select(c, a, b)
+	case "max":
+		a, b := conv(0), conv(1)
+		c := g.b.Cmp(lt, a, b)
+		return g.b.Select(c, b, a)
+	case "abs":
+		a := conv(0)
+		var neg ir.Value
+		if t.IsFloat() {
+			neg = g.b.Bin(ir.FSub, g.zero(t), a)
+		} else {
+			neg = g.b.Bin(ir.Sub, g.zero(t), a)
+		}
+		c := g.b.Cmp(lt, a, g.zero(t))
+		return g.b.Select(c, neg, a)
+	case "mad":
+		a, b, c := conv(0), conv(1), conv(2)
+		if t.IsFloat() {
+			return g.b.Bin(ir.FAdd, g.b.Bin(ir.FMul, a, b), c)
+		}
+		return g.b.Bin(ir.Add, g.b.Bin(ir.Mul, a, b), c)
+	case "clamp":
+		v, lo, hi := conv(0), conv(1), conv(2)
+		c1 := g.b.Cmp(lt, v, lo)
+		v2 := g.b.Select(c1, lo, v)
+		c2 := g.b.Cmp(lt, hi, v2)
+		return g.b.Select(c2, hi, v2)
+	}
+	g.errorf(x.P, "unsupported builtin %q", x.Name)
+	return ir.CI(0)
+}

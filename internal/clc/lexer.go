@@ -1,0 +1,292 @@
+package clc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lexer tokenizes CLC source. It implements a minimal preprocessor
+// handling object-like "#define NAME replacement" macros and line
+// comments; macro bodies are substituted as token sequences (one level of
+// recursion per expansion step, bounded).
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+
+	defines map[string][]Token
+	pending []Token // substituted tokens not yet consumed
+	err     error
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1, defines: make(map[string][]Token)}
+}
+
+// Err returns the first lexical error encountered, if any.
+func (lx *Lexer) Err() error { return lx.err }
+
+func (lx *Lexer) errorf(p Pos, format string, args ...interface{}) {
+	if lx.err == nil {
+		lx.err = fmt.Errorf("clc: %s: %s", p, fmt.Sprintf(format, args...))
+	}
+}
+
+func (lx *Lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peekAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peekAt(1) == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekAt(1) == '*':
+			start := Pos{lx.line, lx.col}
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.peekByte() == '*' && lx.peekAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				lx.errorf(start, "unterminated block comment")
+				return
+			}
+		case c == '#':
+			lx.directive()
+		default:
+			return
+		}
+	}
+}
+
+// directive handles "#define NAME tokens..." (and ignores other
+// directives such as #pragma until end of line).
+func (lx *Lexer) directive() {
+	p := Pos{lx.line, lx.col}
+	startLine := lx.line
+	lx.advance() // '#'
+	word := lx.scanWord()
+	rest := strings.TrimSpace(lx.restOfLine(startLine))
+	if word != "define" {
+		return // #pragma etc. skipped
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		lx.errorf(p, "#define without a name")
+		return
+	}
+	name := fields[0]
+	if strings.Contains(name, "(") {
+		lx.errorf(p, "function-like macros are not supported")
+		return
+	}
+	body := strings.TrimSpace(strings.TrimPrefix(rest, name))
+	sub := NewLexer(body)
+	sub.defines = lx.defines
+	var toks []Token
+	for {
+		t := sub.rawNext()
+		if t.Kind == TokEOF {
+			break
+		}
+		toks = append(toks, t)
+	}
+	if sub.err != nil {
+		lx.errorf(p, "in #define %s: %v", name, sub.err)
+		return
+	}
+	lx.defines[name] = toks
+}
+
+func (lx *Lexer) scanWord() string {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentChar(lx.peekByte()) {
+		lx.advance()
+	}
+	return lx.src[start:lx.pos]
+}
+
+func (lx *Lexer) restOfLine(line int) string {
+	start := lx.pos
+	for lx.pos < len(lx.src) && lx.line == line {
+		lx.advance()
+	}
+	return strings.TrimSuffix(lx.src[start:lx.pos], "\n")
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token, applying macro substitution.
+func (lx *Lexer) Next() Token {
+	const maxExpand = 64
+	for i := 0; i < maxExpand; i++ {
+		var t Token
+		if len(lx.pending) > 0 {
+			t = lx.pending[0]
+			lx.pending = lx.pending[1:]
+		} else {
+			t = lx.rawNext()
+		}
+		if t.Kind == TokIdent {
+			if body, ok := lx.defines[t.Text]; ok {
+				expanded := make([]Token, len(body))
+				for j, bt := range body {
+					bt.Pos = t.Pos
+					expanded[j] = bt
+				}
+				lx.pending = append(expanded, lx.pending...)
+				continue
+			}
+		}
+		return t
+	}
+	lx.errorf(Pos{lx.line, lx.col}, "macro expansion too deep")
+	return Token{Kind: TokEOF, Pos: Pos{lx.line, lx.col}}
+}
+
+// rawNext returns the next token without macro substitution.
+func (lx *Lexer) rawNext() Token {
+	lx.skipSpaceAndComments()
+	p := Pos{lx.line, lx.col}
+	if lx.pos >= len(lx.src) || lx.err != nil {
+		return Token{Kind: TokEOF, Pos: p}
+	}
+	c := lx.peekByte()
+	switch {
+	case isIdentStart(c):
+		word := lx.scanWord()
+		kind := TokIdent
+		if keywords[word] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: word, Pos: p}
+	case isDigit(c) || (c == '.' && isDigit(lx.peekAt(1))):
+		return lx.number(p)
+	}
+	for _, pn := range puncts {
+		if strings.HasPrefix(lx.src[lx.pos:], pn) {
+			for range pn {
+				lx.advance()
+			}
+			return Token{Kind: TokPunct, Text: pn, Pos: p}
+		}
+	}
+	lx.errorf(p, "unexpected character %q", string(c))
+	return Token{Kind: TokEOF, Pos: p}
+}
+
+func (lx *Lexer) number(p Pos) Token {
+	start := lx.pos
+	isFloat := false
+	if lx.peekByte() == '0' && (lx.peekAt(1) == 'x' || lx.peekAt(1) == 'X') {
+		lx.advance()
+		lx.advance()
+		for isHexDigit(lx.peekByte()) {
+			lx.advance()
+		}
+	} else {
+		for isDigit(lx.peekByte()) {
+			lx.advance()
+		}
+		if lx.peekByte() == '.' {
+			isFloat = true
+			lx.advance()
+			for isDigit(lx.peekByte()) {
+				lx.advance()
+			}
+		}
+		if e := lx.peekByte(); e == 'e' || e == 'E' {
+			next := lx.peekAt(1)
+			if isDigit(next) || ((next == '+' || next == '-') && isDigit(lx.peekAt(2))) {
+				isFloat = true
+				lx.advance()
+				if s := lx.peekByte(); s == '+' || s == '-' {
+					lx.advance()
+				}
+				for isDigit(lx.peekByte()) {
+					lx.advance()
+				}
+			}
+		}
+	}
+	text := lx.src[start:lx.pos]
+	// Suffixes: f/F (float), u/U, l/L in any combination.
+	for {
+		s := lx.peekByte()
+		if s == 'f' || s == 'F' {
+			isFloat = true
+			lx.advance()
+			continue
+		}
+		if s == 'u' || s == 'U' || s == 'l' || s == 'L' {
+			lx.advance()
+			continue
+		}
+		break
+	}
+	if isFloat {
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			lx.errorf(p, "bad float literal %q", text)
+		}
+		return Token{Kind: TokFloatLit, Text: text, Pos: p, FloatVal: v}
+	}
+	v, err := strconv.ParseInt(text, 0, 64)
+	if err != nil {
+		// Very large unsigned literals: parse as uint64 bit pattern.
+		u, uerr := strconv.ParseUint(text, 0, 64)
+		if uerr != nil {
+			lx.errorf(p, "bad integer literal %q", text)
+		}
+		v = int64(u)
+	}
+	return Token{Kind: TokIntLit, Text: text, Pos: p, IntVal: v}
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

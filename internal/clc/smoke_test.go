@@ -1,0 +1,108 @@
+package clc
+
+import (
+	"strings"
+	"testing"
+)
+
+const mopSrc = `
+kernel void mop(global const float* ina, global const float* inb, global float* out)
+{
+    size_t gid = get_global_id(0);
+    size_t grid = get_group_id(0);
+    if (grid < 4)
+        out[gid] = ina[gid] + inb[gid];
+    else
+        out[gid] = ina[gid] - inb[gid];
+}
+`
+
+func TestCompileMop(t *testing.T) {
+	m, err := Compile(mopSrc, "mop")
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	f := m.Lookup("mop")
+	if f == nil || !f.Kernel {
+		t.Fatalf("mop kernel not found or not marked kernel")
+	}
+	if len(f.Params) != 3 {
+		t.Fatalf("mop has %d params, want 3", len(f.Params))
+	}
+	text := m.String()
+	for _, want := range []string{"get_global_id", "get_group_id", "fadd", "fsub", "gep"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("printed IR missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCompileControlFlowAndBuiltins(t *testing.T) {
+	src := `
+#define TILE 16
+int helper(int a, int b) { return a > b ? a - b : b - a; }
+kernel void k(global int* out, global const float* in, int n, local float* scratch)
+{
+    local float tile[TILE];
+    int lid = (int)get_local_id(0);
+    int i;
+    float acc = 0.0f;
+    for (i = lid; i < n; i += TILE) {
+        tile[lid] = in[i];
+        barrier(1);
+        acc += sqrt(fabs(tile[lid])) + fmax(tile[lid], 0.5f);
+        barrier(1);
+    }
+    while (lid > 0) { lid >>= 1; acc *= 2.0f; }
+    do { acc += 1.0f; } while (acc < 0.0f);
+    atomic_add(&out[0], helper((int)acc, n));
+    out[get_global_id(0) + 1] = min(max((int)acc, 0), 255);
+}
+`
+	m, err := Compile(src, "cf")
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if m.Lookup("helper") == nil {
+		t.Fatal("helper function missing")
+	}
+	text := m.String()
+	for _, want := range []string{"atomicrmw add", "barrier", "alloca float, count 16, space local", "__clc_sqrt_float", "select"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("printed IR missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`kernel int k() { return 1; }`,                         // kernel returning non-void
+		`kernel void k(global int* p) { q[0] = 1; }`,           // undeclared identifier
+		`kernel void k(global int* p) { p[0] = "str"; }`,       // bad token
+		`void f() { local float x[4]; }`,                       // local outside kernel
+		`kernel void k(global int* p) { break; }`,              // break outside loop
+		`kernel void k(global float* p) { atomic_add(p, 1); }`, // atomic on float
+	}
+	for _, src := range cases {
+		if _, err := Compile(src, "bad"); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestDefineSubstitution(t *testing.T) {
+	src := `
+#define N 8
+#define DOUBLE_N (N * 2)
+kernel void k(global int* out) {
+    out[0] = DOUBLE_N;
+}
+`
+	m, err := Compile(src, "def")
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if !strings.Contains(m.String(), "mul i32 8, 2") {
+		t.Errorf("macro body not substituted; IR:\n%s", m.String())
+	}
+}

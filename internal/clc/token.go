@@ -1,0 +1,80 @@
+// Package clc implements a front end for the subset of OpenCL C used by
+// the Parboil-style kernels in this repository: a lexer, a recursive
+// descent parser, a semantic analyzer and an IR generator targeting
+// internal/ir.
+//
+// Supported language: the scalar types void/bool/int/uint/long/ulong/
+// size_t/float/double, pointers with OpenCL address-space qualifiers
+// (global, local, constant, private), one-dimensional local/private
+// arrays, the usual C expressions and statements (if/else, for, while,
+// do-while, break, continue, return), object-like #define macros, OpenCL
+// work-item builtins, barriers and atomics.
+package clc
+
+import "fmt"
+
+// TokKind classifies a token.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokKeyword
+	TokPunct
+)
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+
+	IntVal   int64   // valid for TokIntLit
+	FloatVal float64 // valid for TokFloatLit
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"void": true, "bool": true, "char": true, "int": true, "uint": true,
+	"long": true, "ulong": true, "size_t": true, "float": true,
+	"double": true, "unsigned": true,
+	"kernel": true, "__kernel": true,
+	"global": true, "__global": true,
+	"local": true, "__local": true,
+	"constant": true, "__constant": true,
+	"private": true, "__private": true,
+	"const": true, "restrict": true, "volatile": true,
+	"if": true, "else": true, "for": true, "while": true, "do": true,
+	"return": true, "break": true, "continue": true,
+	"true": true, "false": true,
+	"extern": true,
+}
+
+var puncts = []string{
+	// three-char first, then two-char, then one-char: the lexer matches
+	// greedily in slice order.
+	"<<=", ">>=",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+	"(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~", ".",
+}

@@ -1,0 +1,100 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPlatformPresets(t *testing.T) {
+	nv := NVIDIAK20m()
+	if nv.NumCUs != 13 || nv.ThreadsPerCU != 2048 || nv.LocalMemPerCU != 48*1024 {
+		t.Errorf("K20m topology wrong: %+v", nv)
+	}
+	if nv.TotalThreads() != 13*2048 {
+		t.Errorf("TotalThreads = %d", nv.TotalThreads())
+	}
+	amd := AMDR9295X2()
+	if amd.NumCUs != 44 || amd.WarpSize != 64 {
+		t.Errorf("R9 topology wrong: %+v", amd)
+	}
+	if !amd.ExclusiveKernels || nv.ExclusiveKernels {
+		t.Error("exclusive-kernel flags: AMD serializes, NVIDIA co-schedules")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"nvidia", "k20m", "NVIDIA", "amd", "r9", "AMD"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("intel"); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+func TestRoundWarp(t *testing.T) {
+	nv := NVIDIAK20m()
+	cases := [][2]int64{{1, 32}, {32, 32}, {33, 64}, {256, 256}, {100, 128}}
+	for _, c := range cases {
+		if got := nv.RoundWarp(c[0]); got != c[1] {
+			t.Errorf("RoundWarp(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestOccupancyLimits(t *testing.T) {
+	nv := NVIDIAK20m()
+	// Thread-limited: 2048/256 = 8 per SMX.
+	if got := nv.WGsPerCU(Footprint{Threads: 256}); got != 8 {
+		t.Errorf("thread-limited occupancy = %d, want 8", got)
+	}
+	// Local-memory limited: 48K/24K = 2.
+	if got := nv.WGsPerCU(Footprint{Threads: 64, LocalBytes: 24 * 1024}); got != 2 {
+		t.Errorf("local-limited occupancy = %d, want 2", got)
+	}
+	// Register limited: 65536/(64*256) = 4.
+	if got := nv.WGsPerCU(Footprint{Threads: 256, Regs: 64 * 256}); got != 4 {
+		t.Errorf("register-limited occupancy = %d, want 4", got)
+	}
+	if got := nv.MaxConcurrentWGs(Footprint{Threads: 256}); got != 8*13 {
+		t.Errorf("device occupancy = %d, want 104", got)
+	}
+	if got := nv.WGsPerCU(Footprint{Threads: 0}); got != 0 {
+		t.Errorf("zero-thread footprint occupancy = %d, want 0", got)
+	}
+}
+
+func TestOccupancyRespectsEveryResource(t *testing.T) {
+	f := func(thr, lmem, regs uint16) bool {
+		nv := NVIDIAK20m()
+		fp := Footprint{
+			Threads:    1 + int64(thr%1024),
+			LocalBytes: int64(lmem) % nv.LocalMemPerCU,
+			Regs:       int64(regs) * 4,
+		}
+		n := nv.WGsPerCU(fp)
+		if n < 0 {
+			return false
+		}
+		// n resident groups must fit every per-CU budget.
+		if n*nv.RoundWarp(fp.Threads) > nv.ThreadsPerCU {
+			return false
+		}
+		if fp.LocalBytes > 0 && n*fp.LocalBytes > nv.LocalMemPerCU {
+			return false
+		}
+		if fp.Regs > 0 && n*fp.Regs > nv.RegsPerCU {
+			return false
+		}
+		// And n+1 must violate at least one budget (tightness).
+		m := n + 1
+		tight := m*nv.RoundWarp(fp.Threads) > nv.ThreadsPerCU ||
+			(fp.LocalBytes > 0 && m*fp.LocalBytes > nv.LocalMemPerCU) ||
+			(fp.Regs > 0 && m*fp.Regs > nv.RegsPerCU)
+		return tight
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package elastic reimplements the Elastic Kernels comparator (Pai et
+// al., ASPLOS'13) the way the paper evaluates it (§7.3): kernels are made
+// grid-elastic and statically merged into a single co-scheduled launch.
+// Resource allocation is decided once, at merge time, proportional to
+// each kernel's total work; every physical work-group receives a fixed
+// contiguous range of virtual groups. There is no dynamic rebalancing and
+// no notion of fairness — the properties the paper shows cause EK to fall
+// behind accelOS as the number of concurrent requests grows.
+package elastic
+
+import (
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// Plan computes the static EK allocation for a set of concurrent
+// requests. It returns the per-kernel launches (with static ranges) and
+// the merged kernel's per-work-group footprint: merged code pays the
+// maximum work-group size (smaller kernels pad with idle work-items),
+// the maximum register demand and the maximum local memory of the set —
+// the occupancy cost of static merging.
+func Plan(dev *device.Platform, execs []*sim.KernelExec) ([]*sim.Launch, device.Footprint) {
+	if len(execs) == 0 {
+		return nil, device.Footprint{}
+	}
+	var merged device.Footprint
+	var maxRegsPT int64
+	for _, k := range execs {
+		if k.WGSize > merged.Threads {
+			merged.Threads = k.WGSize
+		}
+		if k.LocalBytes > merged.LocalBytes {
+			merged.LocalBytes = k.LocalBytes
+		}
+		if k.RegsPerThread > maxRegsPT {
+			maxRegsPT = k.RegsPerThread
+		}
+	}
+	merged.Regs = maxRegsPT * merged.Threads
+
+	slots := dev.MaxConcurrentWGs(merged)
+	if slots < int64(len(execs)) {
+		slots = int64(len(execs))
+	}
+
+	// Static split of the physical slots proportional to grid size —
+	// EK slices kernels by their NDRanges with no knowledge of per-
+	// work-group cost, so kernels with expensive groups are starved and
+	// cheap-group kernels over-provisioned (the root of EK's fairness
+	// problem in the paper's comparison).
+	weights := make([]int64, len(execs))
+	var total int64
+	for i, k := range execs {
+		weights[i] = k.NumWGs * k.WGSize
+		if weights[i] < 1 {
+			weights[i] = 1
+		}
+		total += weights[i]
+	}
+	launches := make([]*sim.Launch, len(execs))
+	// Every member receives at least half an equal share: EK's slicer
+	// bounds how small a co-scheduled kernel's slice can get.
+	floor := slots / (2 * int64(len(execs)))
+	if floor < 1 {
+		floor = 1
+	}
+	for i, k := range execs {
+		n := slots * weights[i] / total
+		if n < floor {
+			n = floor
+		}
+		if n > k.NumWGs {
+			n = k.NumWGs
+		}
+		launches[i] = &sim.Launch{
+			K:       k,
+			PhysWGs: n,
+			FP:      merged,
+			Ranges:  splitRanges(k.NumWGs, n),
+		}
+	}
+	return launches, merged
+}
+
+// splitRanges partitions [0, total) into n contiguous ranges whose sizes
+// differ by at most one.
+func splitRanges(total, n int64) [][2]int64 {
+	if n > total {
+		n = total
+	}
+	ranges := make([][2]int64, 0, n)
+	base := total / n
+	rem := total % n
+	var cur int64
+	for i := int64(0); i < n; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		ranges = append(ranges, [2]int64{cur, cur + sz})
+		cur += sz
+	}
+	return ranges
+}

@@ -1,0 +1,121 @@
+package elastic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+func mk(id int, wgs, numWGs, cost, regs int64) *sim.KernelExec {
+	return &sim.KernelExec{
+		ID: id, WGSize: wgs, NumWGs: numWGs, BaseWGCost: cost,
+		RegsPerThread: regs, LocalBytes: 1024, MemIntensity: 0.5, SatFrac: 0.4,
+	}
+}
+
+func TestMergedFootprintIsUnionOfMaxima(t *testing.T) {
+	dev := device.NVIDIAK20m()
+	execs := []*sim.KernelExec{
+		mk(0, 64, 100, 1000, 40),
+		mk(1, 256, 200, 2000, 16),
+	}
+	execs[1].LocalBytes = 8192
+	_, merged := Plan(dev, execs)
+	if merged.Threads != 256 {
+		t.Errorf("merged threads = %d, want the max 256", merged.Threads)
+	}
+	if merged.LocalBytes != 8192 {
+		t.Errorf("merged local = %d, want 8192", merged.LocalBytes)
+	}
+	if merged.Regs != 40*256 {
+		t.Errorf("merged regs = %d, want maxRegsPerThread*maxThreads = %d", merged.Regs, 40*256)
+	}
+}
+
+func TestPlanCoversEveryVirtualGroup(t *testing.T) {
+	dev := device.NVIDIAK20m()
+	execs := []*sim.KernelExec{
+		mk(0, 128, 777, 1500, 20),
+		mk(1, 64, 13, 9000, 24),
+		mk(2, 256, 4096, 800, 12),
+	}
+	launches, _ := Plan(dev, execs)
+	for i, l := range launches {
+		var covered int64
+		prevEnd := int64(0)
+		for _, r := range l.Ranges {
+			if r[0] != prevEnd {
+				t.Errorf("kernel %d: range starts at %d, want %d (contiguous)", i, r[0], prevEnd)
+			}
+			if r[1] <= r[0] {
+				t.Errorf("kernel %d: empty or inverted range %v", i, r)
+			}
+			covered += r[1] - r[0]
+			prevEnd = r[1]
+		}
+		if covered != execs[i].NumWGs {
+			t.Errorf("kernel %d: ranges cover %d of %d virtual groups", i, covered, execs[i].NumWGs)
+		}
+		if int64(len(l.Ranges)) != l.PhysWGs {
+			t.Errorf("kernel %d: %d ranges for %d physical WGs", i, len(l.Ranges), l.PhysWGs)
+		}
+	}
+}
+
+func TestGridProportionalStarvation(t *testing.T) {
+	dev := device.NVIDIAK20m()
+	// A tiny grid of expensive groups merged with a huge grid of cheap
+	// ones: EK starves the former.
+	small := mk(0, 128, 64, 100000, 20)
+	big := mk(1, 128, 8192, 1000, 20)
+	launches, _ := Plan(dev, []*sim.KernelExec{small, big})
+	if launches[0].PhysWGs >= launches[1].PhysWGs {
+		t.Errorf("grid-proportional split gave the small grid %d >= %d workers",
+			launches[0].PhysWGs, launches[1].PhysWGs)
+	}
+	if launches[0].PhysWGs < 1 {
+		t.Error("slice floor violated")
+	}
+}
+
+func TestSplitRangesProperty(t *testing.T) {
+	f := func(total16, n16 uint16) bool {
+		total := int64(total16%5000) + 1
+		n := int64(n16%64) + 1
+		rs := splitRanges(total, n)
+		var covered int64
+		prev := int64(0)
+		for _, r := range rs {
+			if r[0] != prev || r[1] <= r[0] {
+				return false
+			}
+			sz := r[1] - r[0]
+			// Sizes differ by at most one.
+			if sz < total/min64(n, total) || sz > total/min64(n, total)+1 {
+				return false
+			}
+			covered += sz
+			prev = r[1]
+		}
+		return covered == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestPlanEmpty(t *testing.T) {
+	launches, merged := Plan(device.NVIDIAK20m(), nil)
+	if launches != nil || merged.Threads != 0 {
+		t.Error("empty plan should be empty")
+	}
+}

@@ -1,0 +1,362 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§8) on the simulated platforms: unfairness and fairness
+// improvement (Figs. 9-11), kernel execution overlap (Fig. 12),
+// throughput speedups (Figs. 13-14), the motivating 4-kernel example
+// (Fig. 2), STP/ANTT tables (Tables 1-2), and the single-kernel overhead
+// study (Fig. 15).
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/accelos"
+	"repro/internal/device"
+	"repro/internal/elastic"
+	"repro/internal/metrics"
+	"repro/internal/parboil"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Scheme identifies an execution regime.
+type Scheme int
+
+// Schemes compared throughout the evaluation.
+const (
+	Baseline     Scheme = iota // standard OpenCL
+	EK                         // Elastic Kernels
+	AccelOS                    // accelOS (optimized, adaptive chunks)
+	AccelOSNaive               // accelOS without adaptive scheduling
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Baseline:
+		return "OpenCL"
+	case EK:
+		return "EK"
+	case AccelOS:
+		return "accelOS"
+	case AccelOSNaive:
+		return "accelOS-naive"
+	}
+	return "?"
+}
+
+// BaseIters is the iteration count of the longest application in every
+// workload (shorter members iterate proportionally more).
+const BaseIters = 2
+
+// Engine caches isolated-execution baselines per kernel and runs
+// workloads under every scheme.
+type Engine struct {
+	Dev *device.Platform
+	// WithOverlap additionally runs the steady-state co-execution mode
+	// per workload to measure the Fig. 12 overlap metric.
+	WithOverlap bool
+
+	mu  sync.Mutex
+	iso map[string]int64 // kernel full name + iters -> isolated duration
+}
+
+// NewEngine returns an experiment engine for the platform.
+func NewEngine(dev *device.Platform) *Engine {
+	return &Engine{Dev: dev, WithOverlap: true, iso: make(map[string]int64)}
+}
+
+// isolated returns the duration of the application running alone on the
+// baseline stack (the T(a) of the slowdown metric), cached per kernel
+// and iteration count.
+func (e *Engine) isolated(k *sim.KernelExec) int64 {
+	key := fmt.Sprintf("%s/%d", k.Name, k.NumIters())
+	e.mu.Lock()
+	if v, ok := e.iso[key]; ok {
+		e.mu.Unlock()
+		return v
+	}
+	e.mu.Unlock()
+	kc := *k
+	kc.ID = 0
+	r := sim.RunBaseline(e.Dev, []*sim.KernelExec{&kc})
+	d := r.Timings[0].Duration()
+	e.mu.Lock()
+	e.iso[key] = d
+	e.mu.Unlock()
+	return d
+}
+
+// WorkloadResult holds every metric of one workload under all schemes.
+type WorkloadResult struct {
+	Kernels []string
+	// Slowdowns[scheme][i] is IS_i.
+	Slowdowns map[Scheme][]float64
+	// Unfairness[scheme] is U.
+	Unfairness map[Scheme]float64
+	// Speedup[scheme] is throughput relative to baseline.
+	Speedup map[Scheme]float64
+	// Overlap[scheme] is the co-execution fraction O.
+	Overlap map[Scheme]float64
+	// STP / ANTT / worst ANTT per scheme.
+	STP   map[Scheme]float64
+	ANTT  map[Scheme]float64
+	WANTT map[Scheme]float64
+}
+
+// FairnessImprovement returns U_baseline / U_scheme for the workload.
+func (w *WorkloadResult) FairnessImprovement(s Scheme) float64 {
+	return metrics.FairnessImprovement(w.Unfairness[Baseline], w.Unfairness[s])
+}
+
+// RunWorkload simulates one workload (kernel indices into the Parboil
+// set) under baseline, EK and accelOS.
+//
+// Fairness and throughput metrics use the paper's request model: K
+// kernel execution requests arriving concurrently, one execution each
+// (§7.2). The overlap metric uses the steady-state co-execution mode
+// (every application looping with equalized durations), matching the
+// paper's measurement of co-residency on the device.
+func (e *Engine) RunWorkload(idxs []int) *WorkloadResult {
+	execs := workload.BuildSingle(e.Dev, idxs)
+	res := &WorkloadResult{
+		Slowdowns:  make(map[Scheme][]float64),
+		Unfairness: make(map[Scheme]float64),
+		Speedup:    make(map[Scheme]float64),
+		Overlap:    make(map[Scheme]float64),
+		STP:        make(map[Scheme]float64),
+		ANTT:       make(map[Scheme]float64),
+		WANTT:      make(map[Scheme]float64),
+	}
+	for _, k := range execs {
+		res.Kernels = append(res.Kernels, k.Name)
+	}
+
+	runs := map[Scheme]*sim.Result{
+		Baseline: sim.RunBaseline(e.Dev, workload.Clone(execs)),
+		EK:       sim.RunElastic(e.Dev, workload.Clone(execs), elastic.Plan),
+		AccelOS:  sim.RunAccelOS(e.Dev, workload.Clone(execs), false, accelos.PlanShares),
+	}
+	for scheme, r := range runs {
+		iss := make([]float64, len(execs))
+		for i, k := range execs {
+			iss[i] = metrics.IndividualSlowdown(r.ByID(k.ID).Duration(), e.isolated(k))
+		}
+		res.Slowdowns[scheme] = iss
+		res.Unfairness[scheme] = metrics.Unfairness(iss)
+		res.Speedup[scheme] = metrics.ThroughputSpeedup(runs[Baseline].Makespan, r.Makespan)
+		res.STP[scheme] = metrics.STP(iss)
+		res.ANTT[scheme] = metrics.ANTT(iss)
+		res.WANTT[scheme] = metrics.WorstANTT(iss)
+	}
+	if e.WithOverlap {
+		loop := workload.Build(e.Dev, idxs, BaseIters)
+		res.Overlap[Baseline] = sim.RunBaseline(e.Dev, workload.Clone(loop)).Overlap()
+		res.Overlap[EK] = sim.RunElastic(e.Dev, workload.Clone(loop), elastic.Plan).Overlap()
+		res.Overlap[AccelOS] = sim.RunAccelOS(e.Dev, workload.Clone(loop), false, accelos.PlanShares).Overlap()
+	}
+	return res
+}
+
+// Population is a set of workload results of one request size.
+type Population struct {
+	K       int
+	Results []*WorkloadResult
+}
+
+// Sizes configures population sizes; Full matches the paper
+// (625 / 16384 / 32768).
+type Sizes struct {
+	Pairs  int // 0 or >=625 means all 625
+	Fours  int
+	Eights int
+}
+
+// PaperSizes are the populations evaluated in the paper.
+var PaperSizes = Sizes{Pairs: 625, Fours: 16384, Eights: 32768}
+
+// QuickSizes keep test and benchmark runtimes reasonable while
+// preserving the population structure.
+var QuickSizes = Sizes{Pairs: 60, Fours: 48, Eights: 32}
+
+// RunPopulations runs the 2-, 4- and 8-request populations.
+func (e *Engine) RunPopulations(sz Sizes, parallelism int) []*Population {
+	var pops []*Population
+
+	pairs := workload.Pairs()
+	if sz.Pairs > 0 && sz.Pairs < len(pairs) {
+		// Random sample of the 625 pair grid (a stride sample would walk
+		// the diagonal and keep pairing kernels with themselves).
+		pairs = workload.Random(0xCAFE, 2, sz.Pairs)
+	}
+	pops = append(pops, e.runSet(2, pairs, parallelism))
+	pops = append(pops, e.runSet(4, workload.Random(0xA11CE, 4, sz.Fours), parallelism))
+	pops = append(pops, e.runSet(8, workload.Random(0xB0B, 8, sz.Eights), parallelism))
+	return pops
+}
+
+func (e *Engine) runSet(k int, combos [][]int, parallelism int) *Population {
+	pop := &Population{K: k, Results: make([]*WorkloadResult, len(combos))}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, c := range combos {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, c []int) {
+			defer wg.Done()
+			pop.Results[i] = e.RunWorkload(c)
+			<-sem
+		}(i, c)
+	}
+	wg.Wait()
+	return pop
+}
+
+// AvgUnfairness averages U over the population for one scheme (Fig. 9).
+func (p *Population) AvgUnfairness(s Scheme) float64 {
+	var xs []float64
+	for _, r := range p.Results {
+		xs = append(xs, r.Unfairness[s])
+	}
+	return metrics.Mean(xs)
+}
+
+// AvgFairnessImprovement averages U_base/U_s (Figs. 9-10 summary).
+func (p *Population) AvgFairnessImprovement(s Scheme) float64 {
+	var xs []float64
+	for _, r := range p.Results {
+		xs = append(xs, r.FairnessImprovement(s))
+	}
+	return metrics.Mean(xs)
+}
+
+// FairnessImprovements returns the per-workload improvement distribution
+// (Fig. 10).
+func (p *Population) FairnessImprovements(s Scheme) []float64 {
+	var xs []float64
+	for _, r := range p.Results {
+		xs = append(xs, r.FairnessImprovement(s))
+	}
+	return xs
+}
+
+// AvgOverlap averages the co-execution fraction (Fig. 12).
+func (p *Population) AvgOverlap(s Scheme) float64 {
+	var xs []float64
+	for _, r := range p.Results {
+		xs = append(xs, r.Overlap[s])
+	}
+	return metrics.Mean(xs)
+}
+
+// AvgSpeedup averages throughput speedup over baseline (Fig. 13).
+func (p *Population) AvgSpeedup(s Scheme) float64 {
+	var xs []float64
+	for _, r := range p.Results {
+		xs = append(xs, r.Speedup[s])
+	}
+	return metrics.Mean(xs)
+}
+
+// Speedups returns the per-workload speedup distribution (Fig. 14).
+func (p *Population) Speedups(s Scheme) []float64 {
+	var xs []float64
+	for _, r := range p.Results {
+		xs = append(xs, r.Speedup[s])
+	}
+	return xs
+}
+
+// AvgSTP / AvgANTT / AvgWANTT aggregate the Table 1/2 columns.
+func (p *Population) AvgSTP(s Scheme) float64 {
+	var xs []float64
+	for _, r := range p.Results {
+		xs = append(xs, r.STP[s])
+	}
+	return metrics.Mean(xs)
+}
+
+// AvgANTT averages the ANTT column.
+func (p *Population) AvgANTT(s Scheme) float64 {
+	var xs []float64
+	for _, r := range p.Results {
+		xs = append(xs, r.ANTT[s])
+	}
+	return metrics.Mean(xs)
+}
+
+// MaxWANTT is the worst ANTT observed in the population.
+func (p *Population) MaxWANTT(s Scheme) float64 {
+	var mx float64
+	for _, r := range p.Results {
+		if r.WANTT[s] > mx {
+			mx = r.WANTT[s]
+		}
+	}
+	return mx
+}
+
+// SingleKernelResult is one bar of Fig. 15.
+type SingleKernelResult struct {
+	Kernel    string
+	Naive     float64 // speedup of naive accelOS over standard OpenCL
+	Optimized float64 // speedup with adaptive scheduling
+}
+
+// Fig15 measures the transformation's single-kernel performance impact
+// for every Parboil kernel: isolated execution under accelOS (naive and
+// optimized) relative to the standard stack.
+func (e *Engine) Fig15() []SingleKernelResult {
+	var out []SingleKernelResult
+	for _, pk := range parboil.Kernels() {
+		k := pk.Exec(0)
+		k.Iters = 3
+		alone := e.isolated(k)
+		naive := sim.RunAccelOS(e.Dev, workload.Clone([]*sim.KernelExec{k}), true, accelos.PlanShares)
+		opt := sim.RunAccelOS(e.Dev, workload.Clone([]*sim.KernelExec{k}), false, accelos.PlanShares)
+		out = append(out, SingleKernelResult{
+			Kernel:    pk.FullName(),
+			Naive:     float64(alone) / float64(naive.Timings[0].Duration()),
+			Optimized: float64(alone) / float64(opt.Timings[0].Duration()),
+		})
+	}
+	return out
+}
+
+// Fig2Workload is the motivating example's kernel set: bfs, cutcp,
+// stencil and tpacf launched concurrently.
+func Fig2Workload() []int {
+	names := []string{"bfs/BFS_kernel", "cutcp/lattice6overlap", "stencil/naive_kernel", "tpacf/gen_hists"}
+	var idxs []int
+	for _, n := range names {
+		for i, k := range parboil.Kernels() {
+			if k.FullName() == n {
+				idxs = append(idxs, i)
+			}
+		}
+	}
+	return idxs
+}
+
+// Fig11Pairs returns the paper's 13 alphabetical-neighbour pairs
+// (bfs with cutcp, histo_final with histo_intermediates, ...).
+func Fig11Pairs() [][]int {
+	ks := parboil.Kernels()
+	// Sort indices by full name.
+	idx := make([]int, len(ks))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && ks[idx[j]].FullName() < ks[idx[j-1]].FullName(); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	var out [][]int
+	for i := 0; i+1 < len(idx); i += 2 {
+		out = append(out, []int{idx[i], idx[i+1]})
+	}
+	return out
+}

@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestProbeFig11(t *testing.T) {
+	e := NewEngine(device.NVIDIAK20m())
+	e.WithOverlap = false
+	for _, p := range Fig11Pairs()[:4] {
+		r := e.RunWorkload(p)
+		t.Logf("%v: U base=%.2f ek=%.2f acc=%.2f IS base=%v acc=%v",
+			r.Kernels, r.Unfairness[Baseline], r.Unfairness[EK], r.Unfairness[AccelOS],
+			r.Slowdowns[Baseline], r.Slowdowns[AccelOS])
+	}
+}

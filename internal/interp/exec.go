@@ -1,0 +1,569 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/ir"
+)
+
+// NDRange describes a kernel launch geometry. Sizes are in work-items;
+// Local must evenly divide Global in every used dimension.
+type NDRange struct {
+	Dims   int
+	Global [3]int64
+	Local  [3]int64
+}
+
+// ND1 builds a 1-D NDRange.
+func ND1(global, local int64) NDRange {
+	return NDRange{Dims: 1, Global: [3]int64{global, 1, 1}, Local: [3]int64{local, 1, 1}}
+}
+
+// ND2 builds a 2-D NDRange.
+func ND2(gx, gy, lx, ly int64) NDRange {
+	return NDRange{Dims: 2, Global: [3]int64{gx, gy, 1}, Local: [3]int64{lx, ly, 1}}
+}
+
+// NumGroups returns the work-group grid dimensions.
+func (n NDRange) NumGroups() [3]int64 {
+	var g [3]int64
+	for i := 0; i < 3; i++ {
+		if n.Local[i] == 0 {
+			g[i] = 1
+			continue
+		}
+		g[i] = n.Global[i] / n.Local[i]
+	}
+	return g
+}
+
+// TotalGroups returns the total number of work-groups.
+func (n NDRange) TotalGroups() int64 {
+	g := n.NumGroups()
+	return g[0] * g[1] * g[2]
+}
+
+// WGSize returns work-items per work-group.
+func (n NDRange) WGSize() int64 { return n.Local[0] * n.Local[1] * n.Local[2] }
+
+// Validate checks the launch geometry.
+func (n NDRange) Validate() error {
+	if n.Dims < 1 || n.Dims > 3 {
+		return fmt.Errorf("interp: NDRange dims %d out of range", n.Dims)
+	}
+	for i := 0; i < n.Dims; i++ {
+		if n.Global[i] <= 0 || n.Local[i] <= 0 {
+			return fmt.Errorf("interp: non-positive NDRange sizes in dim %d", i)
+		}
+		if n.Global[i]%n.Local[i] != 0 {
+			return fmt.Errorf("interp: global size %d not divisible by local size %d in dim %d", n.Global[i], n.Local[i], i)
+		}
+	}
+	return nil
+}
+
+type launchCtx struct {
+	m    *Machine
+	fn   *ir.Function
+	args []Value
+	nd   NDRange
+	ng   [3]int64
+}
+
+type wgCtx struct {
+	l     *launchCtx
+	group [3]int64
+	bar   *barrier
+
+	mu     sync.Mutex
+	locals map[*ir.Instr]*Region
+}
+
+type wiCtx struct {
+	wg  *wgCtx
+	lid [3]int64
+}
+
+// Launch runs a kernel to completion: all work-groups of the NDRange are
+// executed (sequentially across groups, concurrently within a group, as a
+// single compute unit would time-slice them). The error reports the first
+// fault.
+func (m *Machine) Launch(kernel string, args []Value, nd NDRange) error {
+	fn := m.Mod.Lookup(kernel)
+	if fn == nil {
+		return fmt.Errorf("interp: kernel %q not found", kernel)
+	}
+	if !fn.Kernel {
+		return fmt.Errorf("interp: function %q is not a kernel", kernel)
+	}
+	if fn.IsDecl() {
+		return fmt.Errorf("interp: kernel %q has no body", kernel)
+	}
+	if err := nd.Validate(); err != nil {
+		return err
+	}
+	if len(args) != len(fn.Params) {
+		return fmt.Errorf("interp: kernel %q takes %d args, got %d", kernel, len(fn.Params), len(args))
+	}
+	if m.MaxWorkItems > 0 {
+		total := nd.Global[0] * nd.Global[1] * nd.Global[2]
+		if total > m.MaxWorkItems {
+			return fmt.Errorf("interp: launch of %d work-items exceeds limit %d", total, m.MaxWorkItems)
+		}
+	}
+	l := &launchCtx{m: m, fn: fn, args: args, nd: nd, ng: nd.NumGroups()}
+	for gz := int64(0); gz < l.ng[2]; gz++ {
+		for gy := int64(0); gy < l.ng[1]; gy++ {
+			for gx := int64(0); gx < l.ng[0]; gx++ {
+				if err := l.runGroup([3]int64{gx, gy, gz}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (l *launchCtx) runGroup(group [3]int64) error {
+	nd := l.nd
+	size := int(nd.WGSize())
+	wg := &wgCtx{l: l, group: group, bar: newBarrier(size), locals: make(map[*ir.Instr]*Region)}
+	errc := make(chan error, size)
+	var wgrp sync.WaitGroup
+	for lz := int64(0); lz < nd.Local[2]; lz++ {
+		for ly := int64(0); ly < nd.Local[1]; ly++ {
+			for lx := int64(0); lx < nd.Local[0]; lx++ {
+				wi := &wiCtx{wg: wg, lid: [3]int64{lx, ly, lz}}
+				wgrp.Add(1)
+				go func() {
+					defer wgrp.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							wg.bar.poison()
+							if t, ok := r.(trap); ok {
+								errc <- t
+								return
+							}
+							errc <- fmt.Errorf("interp: panic: %v", r)
+						}
+					}()
+					fr := &frame{wi: wi, env: make(map[ir.Value]Value)}
+					fr.call(l.fn, l.args)
+				}()
+			}
+		}
+	}
+	wgrp.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+// frame is one function activation for one work-item.
+type frame struct {
+	wi  *wiCtx
+	env map[ir.Value]Value
+}
+
+const maxCallDepth = 64
+
+// call executes fn with args and returns its result value.
+func (fr *frame) call(fn *ir.Function, args []Value) Value {
+	return fr.callDepth(fn, args, 0)
+}
+
+func (fr *frame) callDepth(fn *ir.Function, args []Value, depth int) Value {
+	if depth > maxCallDepth {
+		panic(trap{"call depth exceeded (runaway recursion?)"})
+	}
+	callee := &frame{wi: fr.wi, env: make(map[ir.Value]Value)}
+	for i, p := range fn.Params {
+		callee.env[p] = args[i]
+	}
+	return callee.run(fn, depth)
+}
+
+// run executes the body of fn in this frame.
+func (fr *frame) run(fn *ir.Function, depth int) Value {
+	blk := fn.Entry()
+	steps := 0
+	const maxSteps = 200_000_000
+	for {
+		for _, in := range blk.Instrs {
+			steps++
+			if steps > maxSteps {
+				panic(trap{fmt.Sprintf("instruction budget exceeded in %s", fn.Name)})
+			}
+			switch in.Op {
+			case ir.OpBr:
+				blk = in.Then
+			case ir.OpCondBr:
+				if fr.eval(in.Args[0]).Bool() {
+					blk = in.Then
+				} else {
+					blk = in.Else
+				}
+			case ir.OpRet:
+				if len(in.Args) == 0 {
+					return Value{}
+				}
+				return fr.eval(in.Args[0])
+			default:
+				fr.exec(in, depth)
+			}
+		}
+		if !blk.Terminated() {
+			panic(trap{fmt.Sprintf("fell off unterminated block in %s", fn.Name)})
+		}
+	}
+}
+
+func (fr *frame) eval(v ir.Value) Value {
+	switch c := v.(type) {
+	case *ir.ConstInt:
+		return Value{K: c.Ty.Kind, I: c.V}
+	case *ir.ConstFloat:
+		return Value{K: c.Ty.Kind, F: c.V}
+	case *ir.ConstNull:
+		return Value{K: ir.Pointer}
+	}
+	val, ok := fr.env[v]
+	if !ok {
+		panic(trap{fmt.Sprintf("use of undefined value %s", v.Ident())})
+	}
+	return val
+}
+
+func (fr *frame) exec(in *ir.Instr, depth int) {
+	m := fr.wi.wg.l.m
+	switch in.Op {
+	case ir.OpAlloca:
+		size := in.AllocaElem.Size() * in.AllocaCount
+		var r *Region
+		if in.AllocaSpace == ir.Local {
+			// One region per work-group, shared by all work-items.
+			wg := fr.wi.wg
+			wg.mu.Lock()
+			r = wg.locals[in]
+			if r == nil {
+				r = m.NewRegion(size, ir.Local)
+				wg.locals[in] = r
+			}
+			wg.mu.Unlock()
+		} else {
+			r = m.NewRegion(size, in.AllocaSpace)
+		}
+		fr.env[in] = Value{K: ir.Pointer, P: Ptr{R: r}}
+	case ir.OpLoad:
+		p := fr.eval(in.Args[0]).P
+		fr.env[in] = m.load(in.Ty, p)
+	case ir.OpStore:
+		v := fr.eval(in.Args[0])
+		p := fr.eval(in.Args[1]).P
+		m.store(in.Args[0].Type(), v, p)
+	case ir.OpGEP:
+		base := fr.eval(in.Args[0])
+		idx := fr.eval(in.Args[1]).I
+		elem := in.Ty.Elem
+		if base.P.IsNull() {
+			panic(trap{"gep on null pointer"})
+		}
+		fr.env[in] = Value{K: ir.Pointer, P: Ptr{R: base.P.R, Off: base.P.Off + idx*elem.Size()}}
+	case ir.OpBin:
+		fr.env[in] = binOp(in.BinK, in.Ty, fr.eval(in.Args[0]), fr.eval(in.Args[1]))
+	case ir.OpCmp:
+		fr.env[in] = cmpOp(in.CmpK, fr.eval(in.Args[0]), fr.eval(in.Args[1]))
+	case ir.OpCast:
+		fr.env[in] = castOp(in.CastK, in.Ty, fr.eval(in.Args[0]))
+	case ir.OpSelect:
+		if fr.eval(in.Args[0]).Bool() {
+			fr.env[in] = fr.eval(in.Args[1])
+		} else {
+			fr.env[in] = fr.eval(in.Args[2])
+		}
+	case ir.OpAtomic:
+		p := fr.eval(in.Args[0]).P
+		v := fr.eval(in.Args[1])
+		t := in.Args[1].Type()
+		m.atomicMu.Lock()
+		old := m.load(t, p)
+		var next Value
+		switch in.AtomK {
+		case ir.AtomAdd:
+			next = Value{K: old.K, I: old.I + v.I}
+		case ir.AtomSub:
+			next = Value{K: old.K, I: old.I - v.I}
+		case ir.AtomMin:
+			next = old
+			if v.I < old.I {
+				next = v
+			}
+		case ir.AtomMax:
+			next = old
+			if v.I > old.I {
+				next = v
+			}
+		case ir.AtomAnd:
+			next = Value{K: old.K, I: old.I & v.I}
+		case ir.AtomOr:
+			next = Value{K: old.K, I: old.I | v.I}
+		case ir.AtomXchg:
+			next = v
+		}
+		m.store(t, next, p)
+		m.atomicMu.Unlock()
+		fr.env[in] = old
+	case ir.OpBarrier:
+		fr.wi.wg.bar.await()
+	case ir.OpCall:
+		fr.env[in] = fr.execCall(in, depth)
+	default:
+		panic(trap{fmt.Sprintf("unsupported opcode %d", in.Op)})
+	}
+}
+
+func (fr *frame) execCall(in *ir.Instr, depth int) Value {
+	m := fr.wi.wg.l.m
+	fn := m.Mod.Lookup(in.Callee)
+	if fn == nil {
+		panic(trap{fmt.Sprintf("call to unknown function %q", in.Callee)})
+	}
+	args := make([]Value, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = fr.eval(a)
+	}
+	if fn.IsDecl() {
+		return fr.execBuiltin(in.Callee, args)
+	}
+	return fr.callDepth(fn, args, depth+1)
+}
+
+// execBuiltin evaluates work-item and math builtins.
+func (fr *frame) execBuiltin(name string, args []Value) Value {
+	wi := fr.wi
+	l := wi.wg.l
+	dim := 0
+	if len(args) == 1 && args[0].K != ir.Pointer && !strings.HasPrefix(name, "__clc_") {
+		dim = int(args[0].I)
+	}
+	if dim < 0 || dim > 2 {
+		dim = 0
+	}
+	switch name {
+	case "get_global_id":
+		return LongV(wi.wg.group[dim]*l.nd.Local[dim] + wi.lid[dim])
+	case "get_local_id":
+		return LongV(wi.lid[dim])
+	case "get_group_id":
+		return LongV(wi.wg.group[dim])
+	case "get_num_groups":
+		return LongV(l.ng[dim])
+	case "get_local_size":
+		return LongV(l.nd.Local[dim])
+	case "get_global_size":
+		return LongV(l.nd.Global[dim])
+	case "get_global_offset":
+		return LongV(0)
+	case "get_work_dim":
+		return IntV(int64(l.nd.Dims))
+	}
+	if strings.HasPrefix(name, "__clc_") {
+		return execMath(name, args)
+	}
+	panic(trap{fmt.Sprintf("unknown builtin %q", name)})
+}
+
+// execMath evaluates a math builtin named "__clc_<op>_<type>".
+func execMath(name string, args []Value) Value {
+	body := strings.TrimPrefix(name, "__clc_")
+	idx := strings.LastIndex(body, "_")
+	if idx < 0 {
+		panic(trap{fmt.Sprintf("malformed math builtin %q", name)})
+	}
+	op := body[:idx]
+	kind := ir.F32
+	if body[idx+1:] == "double" {
+		kind = ir.F64
+	}
+	x := args[0].F
+	var y float64
+	if len(args) > 1 {
+		y = args[1].F
+	}
+	var r float64
+	switch op {
+	case "sqrt":
+		r = math.Sqrt(x)
+	case "rsqrt":
+		r = 1 / math.Sqrt(x)
+	case "fabs":
+		r = math.Abs(x)
+	case "exp":
+		r = math.Exp(x)
+	case "exp2":
+		r = math.Exp2(x)
+	case "log":
+		r = math.Log(x)
+	case "log2":
+		r = math.Log2(x)
+	case "sin":
+		r = math.Sin(x)
+	case "cos":
+		r = math.Cos(x)
+	case "tan":
+		r = math.Tan(x)
+	case "atan2":
+		r = math.Atan2(x, y)
+	case "floor":
+		r = math.Floor(x)
+	case "ceil":
+		r = math.Ceil(x)
+	case "pow":
+		r = math.Pow(x, y)
+	case "fmod":
+		r = math.Mod(x, y)
+	case "fmin":
+		r = math.Min(x, y)
+	case "fmax":
+		r = math.Max(x, y)
+	case "native_divide":
+		r = x / y
+	default:
+		panic(trap{fmt.Sprintf("unknown math builtin %q", op)})
+	}
+	if kind == ir.F32 {
+		return Value{K: ir.F32, F: float64(float32(r))}
+	}
+	return Value{K: ir.F64, F: r}
+}
+
+func binOp(k ir.BinKind, t *ir.Type, x, y Value) Value {
+	if k.IsFloatOp() {
+		var r float64
+		switch k {
+		case ir.FAdd:
+			r = x.F + y.F
+		case ir.FSub:
+			r = x.F - y.F
+		case ir.FMul:
+			r = x.F * y.F
+		case ir.FDiv:
+			r = x.F / y.F
+		}
+		if t.Kind == ir.F32 {
+			r = float64(float32(r))
+		}
+		return Value{K: t.Kind, F: r}
+	}
+	var r int64
+	switch k {
+	case ir.Add:
+		r = x.I + y.I
+	case ir.Sub:
+		r = x.I - y.I
+	case ir.Mul:
+		r = x.I * y.I
+	case ir.SDiv:
+		if y.I == 0 {
+			panic(trap{"integer division by zero"})
+		}
+		r = x.I / y.I
+	case ir.SRem:
+		if y.I == 0 {
+			panic(trap{"integer remainder by zero"})
+		}
+		r = x.I % y.I
+	case ir.And:
+		r = x.I & y.I
+	case ir.Or:
+		r = x.I | y.I
+	case ir.Xor:
+		r = x.I ^ y.I
+	case ir.Shl:
+		r = x.I << uint64(y.I&63)
+	case ir.AShr:
+		r = x.I >> uint64(y.I&63)
+	}
+	return truncInt(t.Kind, r)
+}
+
+func truncInt(k ir.Kind, v int64) Value {
+	switch k {
+	case ir.Bool:
+		return Value{K: k, I: v & 1}
+	case ir.I32:
+		return Value{K: k, I: int64(int32(v))}
+	default:
+		return Value{K: k, I: v}
+	}
+}
+
+func cmpOp(p ir.CmpPred, x, y Value) Value {
+	var b bool
+	if p.IsFloatPred() {
+		switch p {
+		case ir.FEQ:
+			b = x.F == y.F
+		case ir.FNE:
+			b = x.F != y.F
+		case ir.FLT:
+			b = x.F < y.F
+		case ir.FLE:
+			b = x.F <= y.F
+		case ir.FGT:
+			b = x.F > y.F
+		case ir.FGE:
+			b = x.F >= y.F
+		}
+		return BoolV(b)
+	}
+	xi, yi := x.I, y.I
+	if x.K == ir.Pointer {
+		xi, yi = int64(encodePtr(x.P)), int64(encodePtr(y.P))
+	}
+	switch p {
+	case ir.IEQ:
+		b = xi == yi
+	case ir.INE:
+		b = xi != yi
+	case ir.ILT:
+		b = xi < yi
+	case ir.ILE:
+		b = xi <= yi
+	case ir.IGT:
+		b = xi > yi
+	case ir.IGE:
+		b = xi >= yi
+	}
+	return BoolV(b)
+}
+
+func castOp(k ir.CastKind, to *ir.Type, x Value) Value {
+	switch k {
+	case ir.Trunc:
+		return truncInt(to.Kind, x.I)
+	case ir.SExt, ir.ZExt:
+		return Value{K: to.Kind, I: x.I}
+	case ir.FPToSI:
+		return truncInt(to.Kind, int64(x.F))
+	case ir.SIToFP:
+		r := float64(x.I)
+		if to.Kind == ir.F32 {
+			r = float64(float32(r))
+		}
+		return Value{K: to.Kind, F: r}
+	case ir.FPTrunc:
+		return Value{K: to.Kind, F: float64(float32(x.F))}
+	case ir.FPExt:
+		return Value{K: to.Kind, F: x.F}
+	case ir.PtrCast:
+		return Value{K: ir.Pointer, P: x.P}
+	}
+	panic(trap{fmt.Sprintf("unsupported cast %v", k)})
+}

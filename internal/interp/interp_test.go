@@ -1,0 +1,469 @@
+package interp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/clc"
+	"repro/internal/ir"
+)
+
+func compile(t *testing.T, src string) *Machine {
+	t.Helper()
+	m, err := clc.Compile(src, "test")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return NewMachine(m)
+}
+
+func TestVectorAdd(t *testing.T) {
+	m := compile(t, `
+kernel void vadd(global const float* a, global const float* b, global float* c, int n)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) c[i] = a[i] + b[i];
+}
+`)
+	const n = 256
+	a := m.NewRegion(n*4, ir.Global)
+	b := m.NewRegion(n*4, ir.Global)
+	c := m.NewRegion(n*4, ir.Global)
+	av := make([]float32, n)
+	bv := make([]float32, n)
+	for i := range av {
+		av[i] = float32(i)
+		bv[i] = float32(2 * i)
+	}
+	a.WriteFloat32s(0, av)
+	b.WriteFloat32s(0, bv)
+	args := []Value{
+		{K: ir.Pointer, P: Ptr{R: a}},
+		{K: ir.Pointer, P: Ptr{R: b}},
+		{K: ir.Pointer, P: Ptr{R: c}},
+		IntV(n),
+	}
+	if err := m.Launch("vadd", args, ND1(n, 64)); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	got := c.ReadFloat32s(0, n)
+	for i, v := range got {
+		if v != float32(3*i) {
+			t.Fatalf("c[%d] = %v, want %v", i, v, float32(3*i))
+		}
+	}
+}
+
+func TestGroupIDBranch(t *testing.T) {
+	// The paper's running example (Fig. 8a): add for low group IDs,
+	// subtract for high ones.
+	m := compile(t, `
+#define NConstant 2
+kernel void mop(global const float* ina, global const float* inb, global float* out)
+{
+    size_t gid = get_global_id(0);
+    size_t grid = get_group_id(0);
+    if (grid < NConstant)
+        out[gid] = ina[gid] + inb[gid];
+    else
+        out[gid] = ina[gid] - inb[gid];
+}
+`)
+	const n, wg = 128, 32
+	a := m.NewRegion(n*4, ir.Global)
+	b := m.NewRegion(n*4, ir.Global)
+	c := m.NewRegion(n*4, ir.Global)
+	av := make([]float32, n)
+	bv := make([]float32, n)
+	for i := range av {
+		av[i] = float32(i) + 1
+		bv[i] = 3
+	}
+	a.WriteFloat32s(0, av)
+	b.WriteFloat32s(0, bv)
+	args := []Value{{K: ir.Pointer, P: Ptr{R: a}}, {K: ir.Pointer, P: Ptr{R: b}}, {K: ir.Pointer, P: Ptr{R: c}}}
+	if err := m.Launch("mop", args, ND1(n, wg)); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	got := c.ReadFloat32s(0, n)
+	for i := range got {
+		want := av[i] + 3
+		if i >= 2*wg {
+			want = av[i] - 3
+		}
+		if got[i] != want {
+			t.Fatalf("out[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestBarrierReduction(t *testing.T) {
+	// Tree reduction in local memory: exercises barriers and local
+	// arrays.
+	m := compile(t, `
+#define WG 64
+kernel void reduce(global const int* in, global int* out)
+{
+    local int scratch[WG];
+    int lid = (int)get_local_id(0);
+    int gid = (int)get_global_id(0);
+    scratch[lid] = in[gid];
+    barrier(1);
+    int s;
+    for (s = WG / 2; s > 0; s >>= 1) {
+        if (lid < s) scratch[lid] += scratch[lid + s];
+        barrier(1);
+    }
+    if (lid == 0) out[get_group_id(0)] = scratch[0];
+}
+`)
+	const n, wg = 256, 64
+	in := m.NewRegion(n*4, ir.Global)
+	out := m.NewRegion((n/wg)*4, ir.Global)
+	iv := make([]int32, n)
+	for i := range iv {
+		iv[i] = int32(i)
+	}
+	in.WriteInt32s(0, iv)
+	args := []Value{{K: ir.Pointer, P: Ptr{R: in}}, {K: ir.Pointer, P: Ptr{R: out}}}
+	if err := m.Launch("reduce", args, ND1(n, wg)); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	got := out.ReadInt32s(0, n/wg)
+	for g := 0; g < n/wg; g++ {
+		want := int32(0)
+		for i := g * wg; i < (g+1)*wg; i++ {
+			want += int32(i)
+		}
+		if got[g] != want {
+			t.Fatalf("group %d sum = %d, want %d", g, got[g], want)
+		}
+	}
+}
+
+func TestAtomicHistogram(t *testing.T) {
+	m := compile(t, `
+kernel void histo(global const int* data, global int* bins, int n)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) atomic_add(&bins[data[i] % 16], 1);
+}
+`)
+	const n = 512
+	data := m.NewRegion(n*4, ir.Global)
+	bins := m.NewRegion(16*4, ir.Global)
+	dv := make([]int32, n)
+	for i := range dv {
+		dv[i] = int32(i * 7)
+	}
+	data.WriteInt32s(0, dv)
+	args := []Value{{K: ir.Pointer, P: Ptr{R: data}}, {K: ir.Pointer, P: Ptr{R: bins}}, IntV(n)}
+	if err := m.Launch("histo", args, ND1(n, 64)); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	got := bins.ReadInt32s(0, 16)
+	want := make([]int32, 16)
+	for _, v := range dv {
+		want[v%16]++
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bin %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMathBuiltins(t *testing.T) {
+	m := compile(t, `
+kernel void mathk(global float* out)
+{
+    int i = (int)get_global_id(0);
+    float x = (float)(i + 1);
+    if (i == 0) out[i] = sqrt(x * 4.0f);
+    if (i == 1) out[i] = exp(0.0f) + log(1.0f);
+    if (i == 2) out[i] = fmax(sin(0.0f), cos(0.0f));
+    if (i == 3) out[i] = pow(2.0f, 10.0f);
+    if (i == 4) out[i] = rsqrt(4.0f);
+    if (i == 5) out[i] = fabs(-3.5f);
+}
+`)
+	out := m.NewRegion(6*4, ir.Global)
+	args := []Value{{K: ir.Pointer, P: Ptr{R: out}}}
+	if err := m.Launch("mathk", args, ND1(6, 6)); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	got := out.ReadFloat32s(0, 6)
+	want := []float32{2, 1, 1, 1024, 0.5, 3.5}
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-5 {
+			t.Fatalf("out[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTwoDimensionalLaunch(t *testing.T) {
+	m := compile(t, `
+kernel void idx2d(global long* out, int width)
+{
+    long x = get_global_id(0);
+    long y = get_global_id(1);
+    out[y * width + x] = get_group_id(0) * 1000 + get_group_id(1) * 100 + get_local_id(0) * 10 + get_local_id(1);
+}
+`)
+	const w, h, lx, ly = 8, 4, 4, 2
+	out := m.NewRegion(w*h*8, ir.Global)
+	args := []Value{{K: ir.Pointer, P: Ptr{R: out}}, IntV(w)}
+	if err := m.Launch("idx2d", args, ND2(w, h, lx, ly)); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	got := out.ReadInt64s(0, w*h)
+	for y := int64(0); y < h; y++ {
+		for x := int64(0); x < w; x++ {
+			want := (x/lx)*1000 + (y/ly)*100 + (x%lx)*10 + y%ly
+			if got[y*w+x] != want {
+				t.Fatalf("out[%d,%d] = %d, want %d", y, x, got[y*w+x], want)
+			}
+		}
+	}
+}
+
+func TestOutOfBoundsTraps(t *testing.T) {
+	m := compile(t, `
+kernel void oob(global int* out) { out[1000000] = 1; }
+`)
+	out := m.NewRegion(16, ir.Global)
+	args := []Value{{K: ir.Pointer, P: Ptr{R: out}}}
+	if err := m.Launch("oob", args, ND1(1, 1)); err == nil {
+		t.Fatal("expected out-of-bounds trap")
+	}
+}
+
+func TestDivByZeroTraps(t *testing.T) {
+	m := compile(t, `
+kernel void dz(global int* out, int d) { out[0] = 7 / d; }
+`)
+	out := m.NewRegion(16, ir.Global)
+	args := []Value{{K: ir.Pointer, P: Ptr{R: out}}, IntV(0)}
+	if err := m.Launch("dz", args, ND1(1, 1)); err == nil {
+		t.Fatal("expected division-by-zero trap")
+	}
+}
+
+func TestHelperFunctionCall(t *testing.T) {
+	m := compile(t, `
+float square(float x) { return x * x; }
+int clampi(int v, int lo, int hi) { if (v < lo) return lo; if (v > hi) return hi; return v; }
+kernel void k(global float* out, global int* iout)
+{
+    int i = (int)get_global_id(0);
+    out[i] = square((float)i);
+    iout[i] = clampi(i - 2, 0, 3);
+}
+`)
+	out := m.NewRegion(8*4, ir.Global)
+	iout := m.NewRegion(8*4, ir.Global)
+	args := []Value{{K: ir.Pointer, P: Ptr{R: out}}, {K: ir.Pointer, P: Ptr{R: iout}}}
+	if err := m.Launch("k", args, ND1(8, 4)); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	f := out.ReadFloat32s(0, 8)
+	iv := iout.ReadInt32s(0, 8)
+	for i := 0; i < 8; i++ {
+		if f[i] != float32(i*i) {
+			t.Fatalf("square(%d) = %v", i, f[i])
+		}
+		want := int32(i - 2)
+		if want < 0 {
+			want = 0
+		}
+		if want > 3 {
+			want = 3
+		}
+		if iv[i] != want {
+			t.Fatalf("clampi(%d) = %d, want %d", i-2, iv[i], want)
+		}
+	}
+}
+
+func compileOrDie(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := clc.Compile(src, "t")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+func TestRecursionDepthTrap(t *testing.T) {
+	m := compile(t, `
+int loop(int x) { return loop(x + 1); }
+kernel void k(global int* out) { out[0] = loop(0); }
+`)
+	out := m.NewRegion(8, ir.Global)
+	if err := m.Launch("k", []Value{{K: ir.Pointer, P: Ptr{R: out}}}, ND1(1, 1)); err == nil {
+		t.Fatal("runaway recursion not trapped")
+	}
+}
+
+func TestAtomicKindsAll(t *testing.T) {
+	m := compile(t, `
+kernel void k(global int* v)
+{
+    atomic_add(&v[0], 5);
+    atomic_sub(&v[1], 3);
+    atomic_min(&v[2], -7);
+    atomic_max(&v[3], 9);
+    atomic_and(&v[4], 12);
+    atomic_or(&v[5], 3);
+    int old = atomic_xchg(&v[6], 42);
+    atomic_inc(&v[7]);
+    atomic_dec(&v[8]);
+    v[9] = old;
+}
+`)
+	v := m.NewRegion(10*4, ir.Global)
+	v.WriteInt32s(0, []int32{1, 10, 0, 0, 13, 8, 17, 100, 100, 0})
+	if err := m.Launch("k", []Value{{K: ir.Pointer, P: Ptr{R: v}}}, ND1(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got := v.ReadInt32s(0, 10)
+	want := []int32{6, 7, -7, 9, 12, 11, 42, 101, 99, 17}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("v[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	// The right operand of && / || must not evaluate when short-circuited;
+	// here evaluation would trap (division by zero).
+	m := compile(t, `
+kernel void k(global int* out, int zero)
+{
+    int a = 0;
+    if (a != 0 && 1 / zero > 0) out[0] = 1; else out[0] = 2;
+    if (a == 0 || 1 / zero > 0) out[1] = 3; else out[1] = 4;
+}
+`)
+	out := m.NewRegion(8, ir.Global)
+	args := []Value{{K: ir.Pointer, P: Ptr{R: out}}, IntV(0)}
+	if err := m.Launch("k", args, ND1(1, 1)); err != nil {
+		t.Fatalf("short-circuit evaluated the trapping side: %v", err)
+	}
+	got := out.ReadInt32s(0, 2)
+	if got[0] != 2 || got[1] != 3 {
+		t.Errorf("short-circuit results = %v", got)
+	}
+}
+
+func TestDoWhileAndContinueBreak(t *testing.T) {
+	m := compile(t, `
+kernel void k(global int* out)
+{
+    int sum = 0;
+    int i = 0;
+    do { sum += i; ++i; } while (i < 5);       /* 0+1+2+3+4 = 10 */
+    int j;
+    for (j = 0; j < 10; ++j) {
+        if (j % 2 == 0) continue;
+        if (j > 6) break;
+        sum += j;                               /* 1+3+5 = 9 */
+    }
+    out[0] = sum;
+}
+`)
+	out := m.NewRegion(4, ir.Global)
+	if err := m.Launch("k", []Value{{K: ir.Pointer, P: Ptr{R: out}}}, ND1(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.ReadInt32s(0, 1)[0]; got != 19 {
+		t.Errorf("sum = %d, want 19", got)
+	}
+}
+
+func TestIncDecSemantics(t *testing.T) {
+	m := compile(t, `
+kernel void k(global int* out)
+{
+    int a = 5;
+    out[0] = a++;  /* 5, a=6 */
+    out[1] = ++a;  /* 7 */
+    out[2] = a--;  /* 7, a=6 */
+    out[3] = --a;  /* 5 */
+    float f = 1.5f;
+    f++;
+    out[4] = (int)(f * 2.0f); /* 5 */
+}
+`)
+	out := m.NewRegion(5*4, ir.Global)
+	if err := m.Launch("k", []Value{{K: ir.Pointer, P: Ptr{R: out}}}, ND1(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got := out.ReadInt32s(0, 5)
+	want := []int32{5, 7, 7, 5, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCompoundAssignMixedTypes(t *testing.T) {
+	m := compile(t, `
+kernel void k(global float* fout, global int* iout)
+{
+    float f = 10.0f;
+    f /= 4;          /* int converted to float: 2.5 */
+    fout[0] = f;
+    int i = 7;
+    i += 2.9f;       /* float converted back: 9 */
+    iout[0] = i;
+    i <<= 2;         /* 36 */
+    iout[1] = i;
+    i %= 7;          /* 1 */
+    iout[2] = i;
+}
+`)
+	fout := m.NewRegion(4, ir.Global)
+	iout := m.NewRegion(12, ir.Global)
+	args := []Value{{K: ir.Pointer, P: Ptr{R: fout}}, {K: ir.Pointer, P: Ptr{R: iout}}}
+	if err := m.Launch("k", args, ND1(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := fout.ReadFloat32s(0, 1)[0]; got != 2.5 {
+		t.Errorf("f = %v, want 2.5", got)
+	}
+	got := iout.ReadInt32s(0, 3)
+	if got[0] != 9 || got[1] != 36 || got[2] != 1 {
+		t.Errorf("ints = %v, want [9 36 1]", got)
+	}
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	m := compile(t, `
+kernel void k(global int* data, int n)
+{
+    global int* p = data + 2;
+    p[0] = 10;          /* data[2] */
+    *(p + 1) = 20;      /* data[3] */
+    p += 2;
+    *p = 30;            /* data[4] */
+    global int* q = data;
+    q++;
+    *q = 40;            /* data[1] */
+}
+`)
+	data := m.NewRegion(5*4, ir.Global)
+	args := []Value{{K: ir.Pointer, P: Ptr{R: data}}, IntV(5)}
+	if err := m.Launch("k", args, ND1(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got := data.ReadInt32s(0, 5)
+	want := []int32{0, 40, 10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("data[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,306 @@
+// Package interp executes IR modules the way an OpenCL device would run
+// native kernel code: an NDRange of work-groups, work-items running
+// concurrently within a group (one goroutine each), work-group barriers,
+// atomics, and byte-addressed memory split into regions (buffers, local
+// scratchpads, private allocas).
+//
+// The interpreter is the functional half of the device substitute: the
+// timing half lives in internal/sim. It is used to verify that the accelOS
+// kernel transformation preserves semantics (the transformed dyn_sched
+// kernel must produce bit-identical buffers).
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/ir"
+)
+
+// Region is a contiguous block of byte-addressable memory. Pointers are
+// (region, offset) pairs; storing a pointer to memory encodes the region's
+// registry ID.
+type Region struct {
+	ID    int
+	Bytes []byte
+	Space ir.AddrSpace
+}
+
+// Ptr is a pointer value: a region plus a byte offset.
+type Ptr struct {
+	R   *Region
+	Off int64
+}
+
+// IsNull reports whether the pointer is null.
+func (p Ptr) IsNull() bool { return p.R == nil }
+
+// Value is a runtime value: one of the scalar kinds or a pointer.
+type Value struct {
+	K ir.Kind
+	I int64
+	F float64
+	P Ptr
+}
+
+// IntV returns an i32 value.
+func IntV(v int64) Value { return Value{K: ir.I32, I: v} }
+
+// LongV returns an i64 value.
+func LongV(v int64) Value { return Value{K: ir.I64, I: v} }
+
+// BoolV returns an i1 value.
+func BoolV(b bool) Value {
+	v := int64(0)
+	if b {
+		v = 1
+	}
+	return Value{K: ir.Bool, I: v}
+}
+
+// FloatV returns a float value.
+func FloatV(v float64) Value { return Value{K: ir.F32, F: v} }
+
+// DoubleV returns a double value.
+func DoubleV(v float64) Value { return Value{K: ir.F64, F: v} }
+
+// PtrV returns a pointer value.
+func PtrV(p Ptr, space ir.AddrSpace) Value {
+	return Value{K: ir.Pointer, P: p}
+}
+
+// Bool reports the truthiness of an integer value.
+func (v Value) Bool() bool { return v.I != 0 }
+
+// Machine owns the memory registry and executes kernel launches over a
+// module.
+type Machine struct {
+	Mod *ir.Module
+
+	mu      sync.Mutex
+	regions []*Region
+
+	atomicMu sync.Mutex
+
+	// MaxWorkItems bounds a single launch as a safety net against
+	// runaway NDRanges in tests. Zero means no limit.
+	MaxWorkItems int64
+}
+
+// NewMachine returns a machine for the module.
+func NewMachine(mod *ir.Module) *Machine {
+	m := &Machine{Mod: mod}
+	// Region ID 0 is reserved so that a zero word never decodes to a
+	// valid pointer.
+	m.regions = append(m.regions, nil)
+	return m
+}
+
+// NewRegion allocates a zeroed region of the given size.
+func (m *Machine) NewRegion(size int64, space ir.AddrSpace) *Region {
+	r := &Region{Bytes: make([]byte, size), Space: space}
+	m.mu.Lock()
+	r.ID = len(m.regions)
+	m.regions = append(m.regions, r)
+	m.mu.Unlock()
+	return r
+}
+
+// regionByID resolves an encoded region ID.
+func (m *Machine) regionByID(id int) *Region {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id <= 0 || id >= len(m.regions) {
+		return nil
+	}
+	return m.regions[id]
+}
+
+const ptrOffBits = 40
+
+// encodePtr packs a pointer into a 64-bit word for in-memory storage.
+func encodePtr(p Ptr) uint64 {
+	if p.R == nil {
+		return 0
+	}
+	if p.Off < 0 || p.Off >= 1<<ptrOffBits {
+		panic(trap{fmt.Sprintf("pointer offset %d out of encodable range", p.Off)})
+	}
+	return uint64(p.R.ID)<<ptrOffBits | uint64(p.Off)
+}
+
+// decodePtr unpacks a stored pointer word.
+func (m *Machine) decodePtr(w uint64) Ptr {
+	if w == 0 {
+		return Ptr{}
+	}
+	id := int(w >> ptrOffBits)
+	off := int64(w & (1<<ptrOffBits - 1))
+	r := m.regionByID(id)
+	if r == nil {
+		panic(trap{fmt.Sprintf("load of dangling pointer word %#x", w)})
+	}
+	return Ptr{R: r, Off: off}
+}
+
+// trap is an execution fault (out-of-bounds access, division by zero, ...).
+type trap struct{ msg string }
+
+func (t trap) Error() string { return "interp: " + t.msg }
+
+func checkBounds(p Ptr, size int64) {
+	if p.IsNull() {
+		panic(trap{"null pointer dereference"})
+	}
+	if p.Off < 0 || p.Off+size > int64(len(p.R.Bytes)) {
+		panic(trap{fmt.Sprintf("out-of-bounds access: offset %d size %d in region of %d bytes", p.Off, size, len(p.R.Bytes))})
+	}
+}
+
+// load reads a typed value from memory.
+func (m *Machine) load(t *ir.Type, p Ptr) Value {
+	size := t.Size()
+	checkBounds(p, size)
+	b := p.R.Bytes[p.Off:]
+	switch t.Kind {
+	case ir.Bool:
+		return Value{K: ir.Bool, I: int64(b[0] & 1)}
+	case ir.I32:
+		return Value{K: ir.I32, I: int64(int32(binary.LittleEndian.Uint32(b)))}
+	case ir.I64:
+		return Value{K: ir.I64, I: int64(binary.LittleEndian.Uint64(b))}
+	case ir.F32:
+		return Value{K: ir.F32, F: float64(math.Float32frombits(binary.LittleEndian.Uint32(b)))}
+	case ir.F64:
+		return Value{K: ir.F64, F: math.Float64frombits(binary.LittleEndian.Uint64(b))}
+	case ir.Pointer:
+		return Value{K: ir.Pointer, P: m.decodePtr(binary.LittleEndian.Uint64(b))}
+	}
+	panic(trap{fmt.Sprintf("load of unsupported type %s", t)})
+}
+
+// store writes a typed value to memory.
+func (m *Machine) store(t *ir.Type, v Value, p Ptr) {
+	size := t.Size()
+	checkBounds(p, size)
+	b := p.R.Bytes[p.Off:]
+	switch t.Kind {
+	case ir.Bool:
+		b[0] = byte(v.I & 1)
+	case ir.I32:
+		binary.LittleEndian.PutUint32(b, uint32(v.I))
+	case ir.I64:
+		binary.LittleEndian.PutUint64(b, uint64(v.I))
+	case ir.F32:
+		binary.LittleEndian.PutUint32(b, math.Float32bits(float32(v.F)))
+	case ir.F64:
+		binary.LittleEndian.PutUint64(b, math.Float64bits(v.F))
+	case ir.Pointer:
+		binary.LittleEndian.PutUint64(b, encodePtr(v.P))
+	default:
+		panic(trap{fmt.Sprintf("store of unsupported type %s", t)})
+	}
+}
+
+// Buffer helpers for host code (the mini OpenCL runtime).
+
+// WriteInt32s copies host data into a region at a byte offset.
+func (r *Region) WriteInt32s(off int64, data []int32) {
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(r.Bytes[off+int64(i)*4:], uint32(v))
+	}
+}
+
+// ReadInt32s copies data out of a region.
+func (r *Region) ReadInt32s(off int64, n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(r.Bytes[off+int64(i)*4:]))
+	}
+	return out
+}
+
+// WriteInt64s copies host data into a region.
+func (r *Region) WriteInt64s(off int64, data []int64) {
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(r.Bytes[off+int64(i)*8:], uint64(v))
+	}
+}
+
+// ReadInt64s copies data out of a region.
+func (r *Region) ReadInt64s(off int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(r.Bytes[off+int64(i)*8:]))
+	}
+	return out
+}
+
+// WriteFloat32s copies host data into a region.
+func (r *Region) WriteFloat32s(off int64, data []float32) {
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(r.Bytes[off+int64(i)*4:], math.Float32bits(v))
+	}
+}
+
+// ReadFloat32s copies data out of a region.
+func (r *Region) ReadFloat32s(off int64, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(r.Bytes[off+int64(i)*4:]))
+	}
+	return out
+}
+
+// barrier is a reusable (cyclic) synchronization barrier for the
+// work-items of one work-group.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+	dead  bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all n work-items arrive. If the barrier has been
+// poisoned (a sibling work-item trapped), it panics to unwind this
+// work-item too.
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.dead {
+		panic(trap{"barrier poisoned by sibling work-item fault"})
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen && !b.dead {
+		b.cond.Wait()
+	}
+	if b.dead {
+		panic(trap{"barrier poisoned by sibling work-item fault"})
+	}
+}
+
+// poison wakes all waiters with a fault so a trapped work-group unwinds
+// instead of deadlocking.
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.dead = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

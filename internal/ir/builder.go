@@ -1,0 +1,119 @@
+package ir
+
+import "fmt"
+
+// Builder incrementally constructs a function body. It tracks an insertion
+// block; every emit method appends to that block.
+type Builder struct {
+	Fn  *Function
+	Cur *Block
+}
+
+// NewBuilder returns a builder positioned at a fresh entry block of f.
+func NewBuilder(f *Function) *Builder {
+	b := &Builder{Fn: f}
+	b.Cur = f.NewBlock("entry")
+	return b
+}
+
+// SetInsert moves the insertion point to blk.
+func (b *Builder) SetInsert(blk *Block) { b.Cur = blk }
+
+// NewBlock creates a new block in the function without moving the
+// insertion point.
+func (b *Builder) NewBlock(hint string) *Block { return b.Fn.NewBlock(hint) }
+
+func (b *Builder) emit(in *Instr) *Instr {
+	if b.Cur == nil {
+		panic("ir: builder has no insertion block")
+	}
+	if b.Cur.Terminated() {
+		panic(fmt.Sprintf("ir: emitting %v after terminator in %s", in.Op, b.Cur.Name))
+	}
+	return b.Cur.Append(in)
+}
+
+// Alloca allocates count elements of elem in the given address space and
+// returns the pointer.
+func (b *Builder) Alloca(elem *Type, count int64, space AddrSpace) *Instr {
+	return b.emit(&Instr{
+		Op: OpAlloca, Ty: PointerTo(elem, space),
+		AllocaElem: elem, AllocaCount: count, AllocaSpace: space,
+	})
+}
+
+// Load reads a value of the pointee type through ptr.
+func (b *Builder) Load(ptr Value) *Instr {
+	pt := ptr.Type()
+	if !pt.IsPointer() {
+		panic("ir: load from non-pointer")
+	}
+	return b.emit(&Instr{Op: OpLoad, Ty: pt.Elem, Args: []Value{ptr}})
+}
+
+// Store writes val through ptr.
+func (b *Builder) Store(val, ptr Value) *Instr {
+	return b.emit(&Instr{Op: OpStore, Ty: VoidT, Args: []Value{val, ptr}})
+}
+
+// GEP computes ptr + idx*sizeof(elem), yielding a pointer of the same
+// type.
+func (b *Builder) GEP(ptr, idx Value) *Instr {
+	return b.emit(&Instr{Op: OpGEP, Ty: ptr.Type(), Args: []Value{ptr, idx}})
+}
+
+// Bin emits a binary arithmetic operation; both operands must share the
+// result type.
+func (b *Builder) Bin(k BinKind, x, y Value) *Instr {
+	return b.emit(&Instr{Op: OpBin, Ty: x.Type(), BinK: k, Args: []Value{x, y}})
+}
+
+// Cmp emits a comparison producing an i1.
+func (b *Builder) Cmp(p CmpPred, x, y Value) *Instr {
+	return b.emit(&Instr{Op: OpCmp, Ty: BoolT, CmpK: p, Args: []Value{x, y}})
+}
+
+// Cast emits a conversion of x to "to".
+func (b *Builder) Cast(k CastKind, x Value, to *Type) *Instr {
+	return b.emit(&Instr{Op: OpCast, Ty: to, CastK: k, Args: []Value{x}})
+}
+
+// Call emits a call to the named function.
+func (b *Builder) Call(callee string, ret *Type, args ...Value) *Instr {
+	return b.emit(&Instr{Op: OpCall, Ty: ret, Callee: callee, Args: args})
+}
+
+// Select emits cond ? x : y.
+func (b *Builder) Select(cond, x, y Value) *Instr {
+	return b.emit(&Instr{Op: OpSelect, Ty: x.Type(), Args: []Value{cond, x, y}})
+}
+
+// Atomic emits an atomic read-modify-write on ptr with operand val,
+// returning the previous value.
+func (b *Builder) Atomic(k AtomicKind, ptr, val Value) *Instr {
+	return b.emit(&Instr{Op: OpAtomic, Ty: val.Type(), AtomK: k, Args: []Value{ptr, val}})
+}
+
+// Barrier emits a work-group barrier with the given fence flags.
+func (b *Builder) Barrier(scope int) *Instr {
+	return b.emit(&Instr{Op: OpBarrier, Ty: VoidT, Scope: scope})
+}
+
+// Br emits an unconditional branch.
+func (b *Builder) Br(dst *Block) *Instr {
+	return b.emit(&Instr{Op: OpBr, Ty: VoidT, Then: dst})
+}
+
+// CondBr emits a conditional branch.
+func (b *Builder) CondBr(cond Value, t, f *Block) *Instr {
+	return b.emit(&Instr{Op: OpCondBr, Ty: VoidT, Args: []Value{cond}, Then: t, Else: f})
+}
+
+// Ret emits a return; val may be nil for void functions.
+func (b *Builder) Ret(val Value) *Instr {
+	in := &Instr{Op: OpRet, Ty: VoidT}
+	if val != nil {
+		in.Args = []Value{val}
+	}
+	return b.emit(in)
+}

@@ -1,0 +1,85 @@
+package ir
+
+// CloneModule returns a deep copy of the module: functions, blocks and
+// instructions are all fresh objects, so the copy can be transformed or
+// linked without affecting the original.
+func CloneModule(m *Module) *Module {
+	out := NewModule(m.Name)
+	for _, f := range m.Funcs {
+		out.Add(CloneFunction(f))
+	}
+	return out
+}
+
+// CloneFunction returns a deep copy of a function.
+func CloneFunction(f *Function) *Function {
+	nf := &Function{
+		Name:    f.Name,
+		Ret:     f.Ret,
+		Kernel:  f.Kernel,
+		Builtin: f.Builtin,
+		nblk:    f.nblk,
+	}
+	paramMap := make(map[*Param]*Param, len(f.Params))
+	for _, p := range f.Params {
+		np := &Param{Nam: p.Nam, Ty: p.Ty, Idx: p.Idx}
+		paramMap[p] = np
+		nf.Params = append(nf.Params, np)
+	}
+	blockMap := make(map[*Block]*Block, len(f.Blocks))
+	instrMap := make(map[*Instr]*Instr)
+	for _, b := range f.Blocks {
+		nb := &Block{Name: b.Name, Fn: nf}
+		blockMap[b] = nb
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	// First pass: clone instructions without operands resolved.
+	for _, b := range f.Blocks {
+		nb := blockMap[b]
+		for _, in := range b.Instrs {
+			ni := &Instr{
+				Op: in.Op, Ty: in.Ty,
+				BinK: in.BinK, CmpK: in.CmpK, CastK: in.CastK, AtomK: in.AtomK,
+				Callee:     in.Callee,
+				AllocaElem: in.AllocaElem, AllocaCount: in.AllocaCount, AllocaSpace: in.AllocaSpace,
+				Scope: in.Scope,
+			}
+			instrMap[in] = ni
+			nb.Append(ni)
+		}
+	}
+	// Second pass: remap operands and branch targets.
+	remap := func(v Value) Value {
+		switch x := v.(type) {
+		case *Instr:
+			if ni, ok := instrMap[x]; ok {
+				return ni
+			}
+			return x
+		case *Param:
+			if np, ok := paramMap[x]; ok {
+				return np
+			}
+			return x
+		}
+		return v
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			ni := instrMap[in]
+			if len(in.Args) > 0 {
+				ni.Args = make([]Value, len(in.Args))
+				for i, a := range in.Args {
+					ni.Args[i] = remap(a)
+				}
+			}
+			if in.Then != nil {
+				ni.Then = blockMap[in.Then]
+			}
+			if in.Else != nil {
+				ni.Else = blockMap[in.Else]
+			}
+		}
+	}
+	return nf
+}

@@ -1,0 +1,179 @@
+package ir
+
+// Opcode identifies the operation performed by an instruction.
+type Opcode int
+
+// Instruction opcodes.
+const (
+	OpAlloca  Opcode = iota // allocate AllocaCount elements of AllocaElem in AllocaSpace
+	OpLoad                  // load Ty from Args[0]
+	OpStore                 // store Args[0] to Args[1]
+	OpGEP                   // Args[0] + Args[1]*sizeof(elem); result is pointer
+	OpBin                   // binary arithmetic, BinK
+	OpCmp                   // comparison, CmpK; result i1
+	OpCast                  // conversion, CastK
+	OpCall                  // call Callee(Args...)
+	OpSelect                // Args[0] ? Args[1] : Args[2]
+	OpAtomic                // atomic read-modify-write AtomK on Args[0] with Args[1]; yields old value
+	OpBarrier               // work-group barrier; Args empty, Scope holds fence flags
+	OpBr                    // unconditional branch to Then
+	OpCondBr                // conditional branch on Args[0] to Then / Else
+	OpRet                   // return Args[0] (or void if none)
+)
+
+// BinKind identifies a binary arithmetic operation.
+type BinKind int
+
+// Binary operation kinds.
+const (
+	Add BinKind = iota
+	Sub
+	Mul
+	SDiv
+	SRem
+	And
+	Or
+	Xor
+	Shl
+	AShr
+	FAdd
+	FSub
+	FMul
+	FDiv
+)
+
+var binNames = [...]string{"add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "ashr", "fadd", "fsub", "fmul", "fdiv"}
+
+func (k BinKind) String() string { return binNames[k] }
+
+// IsFloatOp reports whether the kind is a floating-point operation.
+func (k BinKind) IsFloatOp() bool { return k >= FAdd }
+
+// CmpPred identifies a comparison predicate.
+type CmpPred int
+
+// Comparison predicates. The I-prefixed forms are signed integer
+// comparisons; the F-prefixed forms are ordered float comparisons.
+const (
+	IEQ CmpPred = iota
+	INE
+	ILT
+	ILE
+	IGT
+	IGE
+	FEQ
+	FNE
+	FLT
+	FLE
+	FGT
+	FGE
+)
+
+var cmpNames = [...]string{"eq", "ne", "slt", "sle", "sgt", "sge", "oeq", "one", "olt", "ole", "ogt", "oge"}
+
+func (p CmpPred) String() string { return cmpNames[p] }
+
+// IsFloatPred reports whether p compares floats.
+func (p CmpPred) IsFloatPred() bool { return p >= FEQ }
+
+// CastKind identifies a conversion.
+type CastKind int
+
+// Conversion kinds.
+const (
+	Trunc   CastKind = iota // integer truncation
+	SExt                    // signed integer extension
+	ZExt                    // zero extension (bool -> int)
+	FPToSI                  // float -> signed int
+	SIToFP                  // signed int -> float
+	FPTrunc                 // double -> float
+	FPExt                   // float -> double
+	PtrCast                 // pointer bitcast (same address space)
+)
+
+var castNames = [...]string{"trunc", "sext", "zext", "fptosi", "sitofp", "fptrunc", "fpext", "bitcast"}
+
+func (k CastKind) String() string { return castNames[k] }
+
+// AtomicKind identifies an atomic read-modify-write operation.
+type AtomicKind int
+
+// Atomic operation kinds.
+const (
+	AtomAdd AtomicKind = iota
+	AtomSub
+	AtomMin
+	AtomMax
+	AtomAnd
+	AtomOr
+	AtomXchg
+)
+
+var atomNames = [...]string{"add", "sub", "min", "max", "and", "or", "xchg"}
+
+func (k AtomicKind) String() string { return atomNames[k] }
+
+// Instr is a single IR instruction. One concrete struct represents all
+// opcodes; op-specific fields are valid only for their opcode (see the
+// Opcode comments). An Instr is also a Value when it produces a result.
+type Instr struct {
+	Op   Opcode
+	Ty   *Type   // result type; VoidT for instructions without results
+	Args []Value // operands
+
+	BinK  BinKind
+	CmpK  CmpPred
+	CastK CastKind
+	AtomK AtomicKind
+
+	Callee string // OpCall target, resolved by name at link/run time
+
+	AllocaElem  *Type
+	AllocaCount int64
+	AllocaSpace AddrSpace
+
+	Scope int // OpBarrier fence flags (FenceLocal|FenceGlobal)
+
+	Then *Block // OpBr / OpCondBr true target
+	Else *Block // OpCondBr false target
+
+	name string // printable SSA name, assigned by the numbering pass
+	blk  *Block
+}
+
+// Barrier fence flags.
+const (
+	FenceLocal  = 1
+	FenceGlobal = 2
+)
+
+// Type implements Value.
+func (in *Instr) Type() *Type { return in.Ty }
+
+// Ident implements Value.
+func (in *Instr) Ident() string {
+	if in.name == "" {
+		return "%<unnamed>"
+	}
+	return "%" + in.name
+}
+
+// SetName assigns the printable name of the instruction result.
+func (in *Instr) SetName(n string) { in.name = n }
+
+// Name returns the assigned printable name (may be empty before numbering).
+func (in *Instr) Name() string { return in.name }
+
+// Block returns the block containing the instruction, if it has been
+// appended to one.
+func (in *Instr) Block() *Block { return in.blk }
+
+// IsTerminator reports whether the instruction ends a basic block.
+func (in *Instr) IsTerminator() bool {
+	return in.Op == OpBr || in.Op == OpCondBr || in.Op == OpRet
+}
+
+// HasResult reports whether the instruction produces a value.
+func (in *Instr) HasResult() bool {
+	return in.Ty != nil && in.Ty.Kind != Void
+}

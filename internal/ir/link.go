@@ -1,0 +1,50 @@
+package ir
+
+import "fmt"
+
+// Link merges the functions of src into dst, resolving declarations
+// against definitions by name. A declaration in either module is satisfied
+// by a definition in the other; two definitions of the same name are an
+// error. Builtin declarations are deduplicated.
+//
+// This mirrors the paper's static linking of transformed kernels against
+// the GPU scheduling runtime library (§6).
+func Link(dst, src *Module) error {
+	for _, sf := range src.Funcs {
+		df := dst.Lookup(sf.Name)
+		switch {
+		case df == nil:
+			dst.Add(sf)
+		case df.IsDecl() && !sf.IsDecl():
+			if err := checkSigMatch(df, sf); err != nil {
+				return err
+			}
+			dst.Add(sf) // definition replaces declaration
+		case !df.IsDecl() && sf.IsDecl():
+			if err := checkSigMatch(df, sf); err != nil {
+				return err
+			}
+			// keep existing definition
+		case df.IsDecl() && sf.IsDecl():
+			if err := checkSigMatch(df, sf); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("ir link: duplicate definition of %q", sf.Name)
+		}
+	}
+	return nil
+}
+
+func checkSigMatch(a, b *Function) error {
+	if len(a.Params) != len(b.Params) || !a.Ret.Equal(b.Ret) {
+		return fmt.Errorf("ir link: signature mismatch for %q: %s vs %s", a.Name, a.Signature(), b.Signature())
+	}
+	for i := range a.Params {
+		if !a.Params[i].Ty.Equal(b.Params[i].Ty) {
+			return fmt.Errorf("ir link: signature mismatch for %q: param %d %s vs %s",
+				a.Name, i, a.Params[i].Ty, b.Params[i].Ty)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Number assigns sequential SSA names (%0, %1, ...) to every
+// result-producing instruction in the function. It must be called before
+// printing; transformations may invalidate names, in which case calling it
+// again renumbers.
+func Number(f *Function) {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.HasResult() {
+				in.SetName(strconv.Itoa(n))
+				n++
+			} else {
+				in.SetName("")
+			}
+		}
+	}
+}
+
+// String renders the module in an LLVM-like textual form.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; module %s\n", m.Name)
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// String renders the function in an LLVM-like textual form.
+func (f *Function) String() string {
+	var sb strings.Builder
+	if f.IsDecl() {
+		kw := "declare"
+		if f.Builtin {
+			kw = "declare builtin"
+		}
+		fmt.Fprintf(&sb, "%s %s\n", kw, f.Signature())
+		return sb.String()
+	}
+	Number(f)
+	kw := "define"
+	if f.Kernel {
+		kw = "define kernel"
+	}
+	fmt.Fprintf(&sb, "%s %s {\n", kw, f.Signature())
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(in.String())
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String renders one instruction. Instruction results must have been
+// numbered (see Number).
+func (in *Instr) String() string {
+	res := ""
+	if in.HasResult() {
+		res = in.Ident() + " = "
+	}
+	switch in.Op {
+	case OpAlloca:
+		return fmt.Sprintf("%salloca %s, count %d, space %s", res, in.AllocaElem, in.AllocaCount, in.AllocaSpace)
+	case OpLoad:
+		return fmt.Sprintf("%sload %s, %s", res, in.Ty, typedIdent(in.Args[0]))
+	case OpStore:
+		return fmt.Sprintf("store %s, %s", typedIdent(in.Args[0]), typedIdent(in.Args[1]))
+	case OpGEP:
+		return fmt.Sprintf("%sgep %s, %s", res, typedIdent(in.Args[0]), typedIdent(in.Args[1]))
+	case OpBin:
+		return fmt.Sprintf("%s%s %s %s, %s", res, in.BinK, in.Ty, in.Args[0].Ident(), in.Args[1].Ident())
+	case OpCmp:
+		op := "icmp"
+		if in.CmpK.IsFloatPred() {
+			op = "fcmp"
+		}
+		return fmt.Sprintf("%s%s %s %s %s, %s", res, op, in.CmpK, in.Args[0].Type(), in.Args[0].Ident(), in.Args[1].Ident())
+	case OpCast:
+		return fmt.Sprintf("%s%s %s to %s", res, in.CastK, typedIdent(in.Args[0]), in.Ty)
+	case OpCall:
+		var args []string
+		for _, a := range in.Args {
+			args = append(args, typedIdent(a))
+		}
+		return fmt.Sprintf("%scall %s @%s(%s)", res, in.Ty, in.Callee, strings.Join(args, ", "))
+	case OpSelect:
+		return fmt.Sprintf("%sselect %s, %s, %s", res, typedIdent(in.Args[0]), typedIdent(in.Args[1]), typedIdent(in.Args[2]))
+	case OpAtomic:
+		return fmt.Sprintf("%satomicrmw %s %s, %s", res, in.AtomK, typedIdent(in.Args[0]), typedIdent(in.Args[1]))
+	case OpBarrier:
+		return fmt.Sprintf("barrier scope %d", in.Scope)
+	case OpBr:
+		return fmt.Sprintf("br label %%%s", in.Then.Name)
+	case OpCondBr:
+		return fmt.Sprintf("br %s, label %%%s, label %%%s", typedIdent(in.Args[0]), in.Then.Name, in.Else.Name)
+	case OpRet:
+		if len(in.Args) == 0 {
+			return "ret void"
+		}
+		return fmt.Sprintf("ret %s", typedIdent(in.Args[0]))
+	}
+	return "<bad instr>"
+}

@@ -1,0 +1,138 @@
+// Package ir defines a small typed intermediate representation modeled on
+// LLVM IR in -O0 form: locals are allocas, expressions are unnamed
+// temporaries, control flow is explicit basic blocks with terminators.
+//
+// The accelOS JIT transformation (package accelpass) operates on this IR,
+// mirroring the paper's LLVM pass pipeline. The IR is deliberately
+// memory-oriented (no phi nodes) so that the front end, the transformation
+// and the interpreter stay simple and auditable.
+package ir
+
+import "fmt"
+
+// Kind enumerates the primitive type kinds of the IR.
+type Kind int
+
+// Type kinds.
+const (
+	Void Kind = iota
+	Bool
+	I32
+	I64
+	F32
+	F64
+	Pointer
+)
+
+// AddrSpace identifies an OpenCL address space. Pointer types carry the
+// address space of the memory they reference.
+type AddrSpace int
+
+// Address spaces, following OpenCL numbering conventions.
+const (
+	Private  AddrSpace = 0
+	Global   AddrSpace = 1
+	Local    AddrSpace = 3
+	Constant AddrSpace = 2
+)
+
+func (s AddrSpace) String() string {
+	switch s {
+	case Private:
+		return "private"
+	case Global:
+		return "global"
+	case Local:
+		return "local"
+	case Constant:
+		return "constant"
+	}
+	return fmt.Sprintf("addrspace(%d)", int(s))
+}
+
+// Type is an IR type. Types are compared structurally via Equal; the
+// primitive singletons below should be used where possible.
+type Type struct {
+	Kind  Kind
+	Elem  *Type     // Pointer element type
+	Space AddrSpace // Pointer address space
+}
+
+// Primitive type singletons.
+var (
+	VoidT = &Type{Kind: Void}
+	BoolT = &Type{Kind: Bool}
+	I32T  = &Type{Kind: I32}
+	I64T  = &Type{Kind: I64}
+	F32T  = &Type{Kind: F32}
+	F64T  = &Type{Kind: F64}
+)
+
+// PointerTo returns the type "elem* addrspace(space)".
+func PointerTo(elem *Type, space AddrSpace) *Type {
+	return &Type{Kind: Pointer, Elem: elem, Space: space}
+}
+
+// IsInt reports whether t is an integer type (bool included).
+func (t *Type) IsInt() bool {
+	return t.Kind == Bool || t.Kind == I32 || t.Kind == I64
+}
+
+// IsFloat reports whether t is a floating-point type.
+func (t *Type) IsFloat() bool { return t.Kind == F32 || t.Kind == F64 }
+
+// IsPointer reports whether t is a pointer type.
+func (t *Type) IsPointer() bool { return t.Kind == Pointer }
+
+// Size returns the in-memory size of the type in bytes. Pointers occupy 8
+// bytes in the interpreter's memory model.
+func (t *Type) Size() int64 {
+	switch t.Kind {
+	case Void:
+		return 0
+	case Bool:
+		return 1
+	case I32, F32:
+		return 4
+	case I64, F64, Pointer:
+		return 8
+	}
+	panic("ir: unknown type kind")
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	if t.Kind == Pointer {
+		return t.Space == o.Space && t.Elem.Equal(o.Elem)
+	}
+	return true
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case Void:
+		return "void"
+	case Bool:
+		return "i1"
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F32:
+		return "float"
+	case F64:
+		return "double"
+	case Pointer:
+		if t.Space == Private {
+			return t.Elem.String() + "*"
+		}
+		return fmt.Sprintf("%s %s*", t.Space, t.Elem)
+	}
+	return "?"
+}

@@ -1,0 +1,111 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Value is anything that can appear as an instruction operand: constants,
+// function parameters and instruction results.
+type Value interface {
+	// Type returns the IR type of the value.
+	Type() *Type
+	// Ident returns the printable identifier or literal for the value.
+	Ident() string
+}
+
+// ConstInt is an integer constant (also used for booleans).
+type ConstInt struct {
+	Ty *Type
+	V  int64
+}
+
+// CI returns an i32 constant.
+func CI(v int64) *ConstInt { return &ConstInt{Ty: I32T, V: v} }
+
+// CI64 returns an i64 constant.
+func CI64(v int64) *ConstInt { return &ConstInt{Ty: I64T, V: v} }
+
+// CBool returns an i1 constant.
+func CBool(b bool) *ConstInt {
+	v := int64(0)
+	if b {
+		v = 1
+	}
+	return &ConstInt{Ty: BoolT, V: v}
+}
+
+// Type implements Value.
+func (c *ConstInt) Type() *Type { return c.Ty }
+
+// Ident implements Value.
+func (c *ConstInt) Ident() string { return strconv.FormatInt(c.V, 10) }
+
+// ConstFloat is a floating-point constant.
+type ConstFloat struct {
+	Ty *Type
+	V  float64
+}
+
+// CF32 returns a float constant.
+func CF32(v float64) *ConstFloat { return &ConstFloat{Ty: F32T, V: v} }
+
+// CF64 returns a double constant.
+func CF64(v float64) *ConstFloat { return &ConstFloat{Ty: F64T, V: v} }
+
+// Type implements Value.
+func (c *ConstFloat) Type() *Type { return c.Ty }
+
+// Ident implements Value.
+func (c *ConstFloat) Ident() string { return strconv.FormatFloat(c.V, 'g', -1, 64) }
+
+// ConstNull is a null pointer constant.
+type ConstNull struct{ Ty *Type }
+
+// Type implements Value.
+func (c *ConstNull) Type() *Type { return c.Ty }
+
+// Ident implements Value.
+func (c *ConstNull) Ident() string { return "null" }
+
+// Param is a function parameter.
+type Param struct {
+	Nam string
+	Ty  *Type
+	Idx int
+}
+
+// Type implements Value.
+func (p *Param) Type() *Type { return p.Ty }
+
+// Ident implements Value.
+func (p *Param) Ident() string { return "%" + p.Nam }
+
+// IsConst reports whether v is a constant value.
+func IsConst(v Value) bool {
+	switch v.(type) {
+	case *ConstInt, *ConstFloat, *ConstNull:
+		return true
+	}
+	return false
+}
+
+// ConstIntValue extracts the integer from a ConstInt operand.
+func ConstIntValue(v Value) (int64, bool) {
+	if c, ok := v.(*ConstInt); ok {
+		return c.V, true
+	}
+	return 0, false
+}
+
+// ConstFloatValue extracts the float from a ConstFloat operand.
+func ConstFloatValue(v Value) (float64, bool) {
+	if c, ok := v.(*ConstFloat); ok {
+		return c.V, true
+	}
+	return 0, false
+}
+
+func typedIdent(v Value) string {
+	return fmt.Sprintf("%s %s", v.Type(), v.Ident())
+}

@@ -1,0 +1,146 @@
+package ir
+
+import "fmt"
+
+// VerifyError describes a verification failure.
+type VerifyError struct {
+	Fn  string
+	Blk string
+	Msg string
+}
+
+func (e *VerifyError) Error() string {
+	if e.Blk != "" {
+		return fmt.Sprintf("ir verify: %s/%s: %s", e.Fn, e.Blk, e.Msg)
+	}
+	return fmt.Sprintf("ir verify: %s: %s", e.Fn, e.Msg)
+}
+
+// Verify checks structural well-formedness of the module: every block is
+// terminated, branch targets belong to the same function, operand types
+// agree with opcode expectations, and calls match the signatures of their
+// callees where the callee is known.
+func Verify(m *Module) error {
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		if err := verifyFunc(m, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verifyFunc(m *Module, f *Function) error {
+	blocks := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		blocks[b] = true
+	}
+	errf := func(b *Block, format string, args ...interface{}) error {
+		name := ""
+		if b != nil {
+			name = b.Name
+		}
+		return &VerifyError{Fn: f.Name, Blk: name, Msg: fmt.Sprintf(format, args...)}
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 || !b.Instrs[len(b.Instrs)-1].IsTerminator() {
+			return errf(b, "block not terminated")
+		}
+		for i, in := range b.Instrs {
+			if in.IsTerminator() && i != len(b.Instrs)-1 {
+				return errf(b, "terminator %v in middle of block", in.Op)
+			}
+			switch in.Op {
+			case OpLoad:
+				pt := in.Args[0].Type()
+				if !pt.IsPointer() || !pt.Elem.Equal(in.Ty) {
+					return errf(b, "load type mismatch: %s from %s", in.Ty, pt)
+				}
+			case OpStore:
+				pt := in.Args[1].Type()
+				if !pt.IsPointer() || !pt.Elem.Equal(in.Args[0].Type()) {
+					return errf(b, "store type mismatch: %s into %s", in.Args[0].Type(), pt)
+				}
+			case OpGEP:
+				if !in.Args[0].Type().IsPointer() {
+					return errf(b, "gep base is not a pointer")
+				}
+				if !in.Args[1].Type().IsInt() {
+					return errf(b, "gep index is not an integer")
+				}
+				if !in.Ty.Equal(in.Args[0].Type()) {
+					return errf(b, "gep result type mismatch")
+				}
+			case OpBin:
+				x, y := in.Args[0].Type(), in.Args[1].Type()
+				if !x.Equal(y) || !x.Equal(in.Ty) {
+					return errf(b, "binop operand types differ: %s %s %s", x, in.BinK, y)
+				}
+				if in.BinK.IsFloatOp() != x.IsFloat() {
+					return errf(b, "binop %s applied to %s", in.BinK, x)
+				}
+			case OpCmp:
+				x, y := in.Args[0].Type(), in.Args[1].Type()
+				if !x.Equal(y) {
+					return errf(b, "cmp operand types differ: %s vs %s", x, y)
+				}
+				if in.CmpK.IsFloatPred() != x.IsFloat() && !x.IsPointer() {
+					return errf(b, "cmp predicate %s applied to %s", in.CmpK, x)
+				}
+			case OpCall:
+				callee := m.Lookup(in.Callee)
+				if callee == nil {
+					return errf(b, "call to unknown function %q", in.Callee)
+				}
+				if len(callee.Params) != len(in.Args) {
+					return errf(b, "call %s: %d args, want %d", in.Callee, len(in.Args), len(callee.Params))
+				}
+				for i, p := range callee.Params {
+					if !p.Ty.Equal(in.Args[i].Type()) {
+						return errf(b, "call %s: arg %d has type %s, want %s", in.Callee, i, in.Args[i].Type(), p.Ty)
+					}
+				}
+				if !callee.Ret.Equal(in.Ty) {
+					return errf(b, "call %s: result type %s, want %s", in.Callee, in.Ty, callee.Ret)
+				}
+			case OpSelect:
+				if in.Args[0].Type().Kind != Bool {
+					return errf(b, "select condition is not i1")
+				}
+				if !in.Args[1].Type().Equal(in.Args[2].Type()) {
+					return errf(b, "select arm types differ")
+				}
+			case OpAtomic:
+				pt := in.Args[0].Type()
+				if !pt.IsPointer() || !pt.Elem.Equal(in.Args[1].Type()) {
+					return errf(b, "atomic operand/pointer mismatch")
+				}
+				if !pt.Elem.IsInt() {
+					return errf(b, "atomic on non-integer type %s", pt.Elem)
+				}
+			case OpBr:
+				if !blocks[in.Then] {
+					return errf(b, "branch to foreign block")
+				}
+			case OpCondBr:
+				if !blocks[in.Then] || !blocks[in.Else] {
+					return errf(b, "branch to foreign block")
+				}
+				if in.Args[0].Type().Kind != Bool {
+					return errf(b, "condbr condition is not i1")
+				}
+			case OpRet:
+				if f.Ret.Kind == Void {
+					if len(in.Args) != 0 {
+						return errf(b, "ret with value in void function")
+					}
+				} else if len(in.Args) != 1 || !in.Args[0].Type().Equal(f.Ret) {
+					return errf(b, "ret type mismatch")
+				}
+			}
+		}
+	}
+	return nil
+}

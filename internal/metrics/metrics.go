@@ -1,0 +1,156 @@
+// Package metrics implements the evaluation metrics of the paper (§7.4):
+// individual slowdown, system unfairness (Ebrahimi et al.), fairness
+// improvement, kernel execution overlap, throughput speedup, STP
+// (Eyerman & Eeckhout) and ANTT.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// IndividualSlowdown is IS_i = T(shared)_i / T(alone)_i.
+func IndividualSlowdown(shared, alone int64) float64 {
+	if alone <= 0 {
+		return math.Inf(1)
+	}
+	return float64(shared) / float64(alone)
+}
+
+// Unfairness is U = max(IS_0..IS_{K-1}) / min(IS_0..IS_{K-1}); 1.0 is
+// perfectly fair.
+func Unfairness(slowdowns []float64) float64 {
+	if len(slowdowns) == 0 {
+		return 1
+	}
+	mn, mx := slowdowns[0], slowdowns[0]
+	for _, s := range slowdowns[1:] {
+		if s < mn {
+			mn = s
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	if mn <= 0 {
+		return math.Inf(1)
+	}
+	return mx / mn
+}
+
+// FairnessImprovement is U_baseline / U_scheme (higher is better).
+func FairnessImprovement(baseline, scheme float64) float64 {
+	if scheme <= 0 {
+		return math.Inf(1)
+	}
+	return baseline / scheme
+}
+
+// ThroughputSpeedup is T_baseline / T_scheme for the whole workload.
+func ThroughputSpeedup(baseline, scheme int64) float64 {
+	if scheme <= 0 {
+		return math.Inf(1)
+	}
+	return float64(baseline) / float64(scheme)
+}
+
+// STP is system throughput Σ_i 1/IS_i — the accumulated normalized
+// progress of the co-running kernels (K would be ideal).
+func STP(slowdowns []float64) float64 {
+	var s float64
+	for _, is := range slowdowns {
+		if is > 0 {
+			s += 1 / is
+		}
+	}
+	return s
+}
+
+// ANTT is the average normalized turnaround time (1/K)·Σ_i IS_i; lower
+// is better, 1.0 is ideal.
+func ANTT(slowdowns []float64) float64 {
+	if len(slowdowns) == 0 {
+		return 0
+	}
+	var s float64
+	for _, is := range slowdowns {
+		s += is
+	}
+	return s / float64(len(slowdowns))
+}
+
+// WorstANTT returns the maximum IS — the paper's "W. ANTT" column.
+func WorstANTT(slowdowns []float64) float64 {
+	var mx float64
+	for _, is := range slowdowns {
+		if is > mx {
+			mx = is
+		}
+	}
+	return mx
+}
+
+// Mean is the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean is the geometric mean of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation; xs need not be sorted (a copy is sorted internally).
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// FractionBelow returns the fraction of values strictly below the
+// threshold.
+func FractionBelow(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x < threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestIndividualSlowdown(t *testing.T) {
+	if got := IndividualSlowdown(200, 100); got != 2 {
+		t.Errorf("IS = %v, want 2", got)
+	}
+	if got := IndividualSlowdown(100, 0); !math.IsInf(got, 1) {
+		t.Errorf("IS with zero isolated time = %v, want +Inf", got)
+	}
+}
+
+func TestUnfairness(t *testing.T) {
+	if got := Unfairness([]float64{2, 2, 2}); got != 1 {
+		t.Errorf("equal slowdowns U = %v, want 1", got)
+	}
+	if got := Unfairness([]float64{1, 4}); got != 4 {
+		t.Errorf("U = %v, want 4", got)
+	}
+	if got := Unfairness(nil); got != 1 {
+		t.Errorf("empty U = %v, want 1", got)
+	}
+	if got := Unfairness([]float64{0, 1}); !math.IsInf(got, 1) {
+		t.Errorf("U with zero slowdown = %v, want +Inf", got)
+	}
+}
+
+func TestFairnessAndThroughput(t *testing.T) {
+	if got := FairnessImprovement(8, 2); got != 4 {
+		t.Errorf("FI = %v, want 4", got)
+	}
+	if got := ThroughputSpeedup(300, 200); !almost(got, 1.5) {
+		t.Errorf("speedup = %v, want 1.5", got)
+	}
+}
+
+func TestSTPAndANTT(t *testing.T) {
+	iss := []float64{1, 2, 4}
+	if got := STP(iss); !almost(got, 1+0.5+0.25) {
+		t.Errorf("STP = %v, want 1.75", got)
+	}
+	if got := ANTT(iss); !almost(got, 7.0/3) {
+		t.Errorf("ANTT = %v, want 7/3", got)
+	}
+	if got := WorstANTT(iss); got != 4 {
+		t.Errorf("WorstANTT = %v, want 4", got)
+	}
+	if ANTT(nil) != 0 || STP(nil) != 0 {
+		t.Error("empty STP/ANTT should be 0")
+	}
+}
+
+func TestMeansAndPercentiles(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Mean(xs); !almost(got, 2.5) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := GeoMean([]float64{1, 4}); !almost(got, 2) {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("GeoMean with a zero should be 0")
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Errorf("p100 = %v, want 4", got)
+	}
+	if got := Percentile(xs, 50); !almost(got, 2.5) {
+		t.Errorf("p50 = %v, want 2.5", got)
+	}
+	if got := FractionBelow(xs, 2.5); !almost(got, 0.5) {
+		t.Errorf("FractionBelow = %v, want 0.5", got)
+	}
+}
+
+// Properties.
+
+func TestUnfairnessProperties(t *testing.T) {
+	// U >= 1 and scale-invariant.
+	f := func(raw []uint16, scale uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var iss, scaled []float64
+		s := 1 + float64(scale%100)
+		for _, r := range raw {
+			v := 1 + float64(r%1000)/10
+			iss = append(iss, v)
+			scaled = append(scaled, v*s)
+		}
+		u := Unfairness(iss)
+		return u >= 1 && almost(u, Unfairness(scaled))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSTPBounds(t *testing.T) {
+	// With every IS >= 1, STP is at most the kernel count and positive.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var iss []float64
+		for _, r := range raw {
+			iss = append(iss, 1+float64(r%1000)/10)
+		}
+		s := STP(iss)
+		return s > 0 && s <= float64(len(iss))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestANTTAtLeastOne(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var iss []float64
+		for _, r := range raw {
+			iss = append(iss, 1+float64(r%1000)/10)
+		}
+		a := ANTT(iss)
+		return a >= 1 && a <= WorstANTT(iss)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var xs []float64
+		for _, r := range raw {
+			xs = append(xs, float64(r))
+		}
+		p, q := float64(a%101), float64(b%101)
+		if p > q {
+			p, q = q, p
+		}
+		return Percentile(xs, p) <= Percentile(xs, q)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var xs []float64
+		mn, mx := math.Inf(1), 0.0
+		for _, r := range raw {
+			v := 0.5 + float64(r%1000)/100
+			xs = append(xs, v)
+			mn = math.Min(mn, v)
+			mx = math.Max(mx, v)
+		}
+		g := GeoMean(xs)
+		return g >= mn-1e-9 && g <= mx+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

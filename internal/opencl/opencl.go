@@ -1,0 +1,284 @@
+// Package opencl is a miniature OpenCL host API over the in-process
+// device substitute: platforms/contexts/programs/kernels/buffers/queues
+// with the call shapes of the real API (level 0 of the paper's stack,
+// Fig. 5). Functional execution runs on the IR interpreter; timing
+// studies use internal/sim instead.
+//
+// The accelOS runtime (internal/accelos) interposes on this API through
+// ProxyCL exactly as the paper's runtime interposes on vendor OpenCL.
+package opencl
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/clc"
+	"repro/internal/device"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// Platform pairs the API with a modeled device.
+type Platform struct {
+	Dev *device.Platform
+}
+
+// GetPlatforms lists the available platforms (the paper's two
+// evaluation machines).
+func GetPlatforms() []*Platform {
+	var ps []*Platform
+	for _, d := range device.Platforms() {
+		ps = append(ps, &Platform{Dev: d})
+	}
+	return ps
+}
+
+// Context owns device memory and programs.
+type Context struct {
+	Plat *Platform
+
+	mu        sync.Mutex
+	allocated int64
+}
+
+// CreateContext returns a context on the platform.
+func (p *Platform) CreateContext() *Context {
+	return &Context{Plat: p}
+}
+
+// GlobalMemBytes returns the device memory capacity.
+func (c *Context) GlobalMemBytes() int64 {
+	return c.Plat.Dev.GlobalMemMB * 1024 * 1024
+}
+
+// AllocatedBytes returns the current device memory usage.
+func (c *Context) AllocatedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.allocated
+}
+
+// Buffer is a device memory allocation.
+type Buffer struct {
+	ctx  *Context
+	Size int64
+	// Region is the backing store; the accelOS runtime binds it to the
+	// interpreter machine at launch time.
+	Bytes []byte
+
+	released bool
+}
+
+// CreateBuffer allocates device memory.
+func (c *Context) CreateBuffer(size int64) (*Buffer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("opencl: invalid buffer size %d", size)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.allocated+size > c.GlobalMemBytes() {
+		return nil, ErrOutOfMemory
+	}
+	c.allocated += size
+	return &Buffer{ctx: c, Size: size, Bytes: make([]byte, size)}, nil
+}
+
+// ErrOutOfMemory mirrors CL_MEM_OBJECT_ALLOCATION_FAILURE.
+var ErrOutOfMemory = fmt.Errorf("opencl: device memory exhausted")
+
+// Release frees the buffer's device memory.
+func (b *Buffer) Release() {
+	if b.released {
+		return
+	}
+	b.released = true
+	b.ctx.mu.Lock()
+	b.ctx.allocated -= b.Size
+	b.ctx.mu.Unlock()
+}
+
+// Program is kernel source plus its build product.
+type Program struct {
+	Ctx    *Context
+	Source string
+	Module *ir.Module
+}
+
+// CreateProgramWithSource registers kernel source.
+func (c *Context) CreateProgramWithSource(src string) *Program {
+	return &Program{Ctx: c, Source: src}
+}
+
+// Build compiles the program ("vendor compiler" path). The accelOS JIT
+// intercepts this step and substitutes the transformed module.
+func (p *Program) Build() error {
+	if p.Module != nil {
+		return nil
+	}
+	m, err := clc.Compile(p.Source, "program")
+	if err != nil {
+		return fmt.Errorf("opencl: build failed: %w", err)
+	}
+	p.Module = m
+	return nil
+}
+
+// Kernel is a program entry point with bound arguments.
+type Kernel struct {
+	Prog *Program
+	Name string
+
+	args []arg
+}
+
+type arg struct {
+	set bool
+	buf *Buffer
+	val interp.Value
+}
+
+// CreateKernel resolves a kernel by name.
+func (p *Program) CreateKernel(name string) (*Kernel, error) {
+	if p.Module == nil {
+		return nil, fmt.Errorf("opencl: program not built")
+	}
+	f := p.Module.Lookup(name)
+	if f == nil || !f.Kernel {
+		return nil, fmt.Errorf("opencl: kernel %q not found", name)
+	}
+	return &Kernel{Prog: p, Name: name, args: make([]arg, len(f.Params))}, nil
+}
+
+// NumArgs returns the kernel's declared argument count.
+func (k *Kernel) NumArgs() int { return len(k.args) }
+
+// SetArgBuffer binds a buffer argument.
+func (k *Kernel) SetArgBuffer(i int, b *Buffer) error {
+	if i < 0 || i >= len(k.args) {
+		return fmt.Errorf("opencl: argument index %d out of range", i)
+	}
+	k.args[i] = arg{set: true, buf: b}
+	return nil
+}
+
+// SetArgInt32 binds an int scalar.
+func (k *Kernel) SetArgInt32(i int, v int32) error {
+	if i < 0 || i >= len(k.args) {
+		return fmt.Errorf("opencl: argument index %d out of range", i)
+	}
+	k.args[i] = arg{set: true, val: interp.IntV(int64(v))}
+	return nil
+}
+
+// SetArgInt64 binds a long scalar.
+func (k *Kernel) SetArgInt64(i int, v int64) error {
+	if i < 0 || i >= len(k.args) {
+		return fmt.Errorf("opencl: argument index %d out of range", i)
+	}
+	k.args[i] = arg{set: true, val: interp.LongV(v)}
+	return nil
+}
+
+// SetArgFloat32 binds a float scalar.
+func (k *Kernel) SetArgFloat32(i int, v float32) error {
+	if i < 0 || i >= len(k.args) {
+		return fmt.Errorf("opencl: argument index %d out of range", i)
+	}
+	k.args[i] = arg{set: true, val: interp.FloatV(float64(v))}
+	return nil
+}
+
+// NDRange is a launch geometry.
+type NDRange = interp.NDRange
+
+// CommandQueue executes launches in order.
+type CommandQueue struct {
+	Ctx *Context
+	mu  sync.Mutex
+}
+
+// CreateCommandQueue returns an in-order queue.
+func (c *Context) CreateCommandQueue() *CommandQueue {
+	return &CommandQueue{Ctx: c}
+}
+
+// EnqueueWriteBuffer copies host bytes into a buffer.
+func (q *CommandQueue) EnqueueWriteBuffer(b *Buffer, off int64, data []byte) error {
+	if off < 0 || off+int64(len(data)) > b.Size {
+		return fmt.Errorf("opencl: write outside buffer bounds")
+	}
+	copy(b.Bytes[off:], data)
+	return nil
+}
+
+// EnqueueReadBuffer copies buffer bytes back to the host.
+func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, off int64, out []byte) error {
+	if off < 0 || off+int64(len(out)) > b.Size {
+		return fmt.Errorf("opencl: read outside buffer bounds")
+	}
+	copy(out, b.Bytes[off:])
+	return nil
+}
+
+// EnqueueNDRangeKernel launches the kernel synchronously (the in-order
+// queue model: Finish is implicit per launch).
+func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, nd NDRange) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return launchOnModule(k.Prog.Module, k, nd, nil)
+}
+
+// launchOnModule runs the kernel on the interpreter, binding buffers to
+// machine regions and copying results back. extraArgs (used by the
+// accelOS scheduler for the RT descriptor) are appended after the user
+// arguments.
+func launchOnModule(mod *ir.Module, k *Kernel, nd NDRange, extraArgs []interp.Value) error {
+	mach := interp.NewMachine(mod)
+	vals := make([]interp.Value, 0, len(k.args)+len(extraArgs))
+	type binding struct {
+		buf *Buffer
+		r   *interp.Region
+	}
+	var binds []binding
+	for i, a := range k.args {
+		if !a.set {
+			return fmt.Errorf("opencl: kernel %q argument %d not set", k.Name, i)
+		}
+		if a.buf != nil {
+			r := mach.NewRegion(a.buf.Size, ir.Global)
+			copy(r.Bytes, a.buf.Bytes)
+			binds = append(binds, binding{buf: a.buf, r: r})
+			vals = append(vals, interp.Value{K: ir.Pointer, P: interp.Ptr{R: r}})
+			continue
+		}
+		vals = append(vals, a.val)
+	}
+	vals = append(vals, extraArgs...)
+	if err := mach.Launch(k.Name, vals, nd); err != nil {
+		return err
+	}
+	for _, b := range binds {
+		copy(b.buf.Bytes, b.r.Bytes)
+	}
+	return nil
+}
+
+// LaunchTransformed is the hook the accelOS Kernel Scheduler uses: it
+// launches kernel name from an arbitrary (transformed) module with the
+// RT descriptor appended and a reduced physical grid.
+func LaunchTransformed(mod *ir.Module, k *Kernel, nd NDRange, rtWords []int64, physGroups int64) error {
+	rt := make([]byte, len(rtWords)*8)
+	for i, w := range rtWords {
+		for b := 0; b < 8; b++ {
+			rt[i*8+b] = byte(uint64(w) >> (8 * b))
+		}
+	}
+	rtBuf := &Buffer{Size: int64(len(rt)), Bytes: rt}
+	k2 := &Kernel{Prog: &Program{Module: mod}, Name: k.Name, args: append(append([]arg{}, k.args...), arg{set: true, buf: rtBuf})}
+	phys := NDRange{
+		Dims:   nd.Dims,
+		Global: [3]int64{physGroups * nd.Local[0], nd.Local[1], nd.Local[2]},
+		Local:  nd.Local,
+	}
+	return launchOnModule(mod, k2, phys, nil)
+}

@@ -1,0 +1,61 @@
+package parboil
+
+// Deterministic input generators for verification launches. A fixed LCG
+// keeps every run (and every scheme) on identical data.
+
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed*6364136223846793005 + 1442695040888963407} }
+
+func (r *lcg) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 17
+}
+
+// intn returns a value in [0, n).
+func (r *lcg) intn(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// f01 returns a float32 in [0, 1).
+func (r *lcg) f01() float32 {
+	return float32(r.next()%(1<<24)) / (1 << 24)
+}
+
+// f32s fills n floats in [lo, hi).
+func (r *lcg) f32s(n int, lo, hi float32) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*r.f01()
+	}
+	return out
+}
+
+// i32s fills n ints in [0, mod).
+func (r *lcg) i32s(n int, mod int64) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(r.intn(mod))
+	}
+	return out
+}
+
+// csrGraph builds a deterministic CSR graph with n nodes and roughly
+// deg edges per node. Returns (row, col).
+func csrGraph(seed uint64, n, deg int) ([]int32, []int32) {
+	r := newLCG(seed)
+	row := make([]int32, n+1)
+	var col []int32
+	for v := 0; v < n; v++ {
+		row[v] = int32(len(col))
+		d := 1 + int(r.intn(int64(2*deg)))
+		for e := 0; e < d; e++ {
+			col = append(col, int32(r.intn(int64(n))))
+		}
+	}
+	row[n] = int32(len(col))
+	return row, col
+}

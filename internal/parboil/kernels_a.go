@@ -1,0 +1,304 @@
+package parboil
+
+// Kernels of bfs, cutcp, histo and lbm.
+
+var bfsKernel = register(&Kernel{
+	Benchmark: "bfs",
+	Name:      "BFS_kernel",
+	Source: `
+/* One level of breadth-first search over a CSR graph. Nodes at the
+   current level relax their unvisited neighbours; the benign write race
+   (all writers store level+1) keeps the result deterministic. */
+kernel void BFS_kernel(global const int* row, global const int* col,
+                       global int* cost, global int* changed,
+                       int level, int n)
+{
+    int node = (int)get_global_id(0);
+    if (node < n && cost[node] == level) {
+        int e;
+        for (e = row[node]; e < row[node + 1]; ++e) {
+            int nb = col[e];
+            if (cost[nb] < 0) {
+                cost[nb] = level + 1;
+                changed[0] = 1;
+            }
+        }
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const n = 512
+		row, col := csrGraph(11, n, 4)
+		cost := make([]int32, n)
+		for i := range cost {
+			cost[i] = -1
+		}
+		cost[0] = 0
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "row", I32: row},
+				{Name: "col", I32: col},
+				{Name: "cost", I32: cost, Out: true},
+				{Name: "changed", I32: make([]int32, 1), Out: true},
+				ScalarArg("level", 0),
+				ScalarArg("n", n),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 64, NumWGs: 1536, LocalBytes: 0, RegsPerThread: 18,
+		BaseWGCost: 9000, Imbalance: 0.35, Skew: 0.15,
+		MemIntensity: 0.85, SatFrac: 0.22, InstrCount: 80,
+	},
+})
+
+var cutcpKernel = register(&Kernel{
+	Benchmark: "cutcp",
+	Name:      "lattice6overlap",
+	Source: `
+/* Cutoff Coulombic potential: every lattice point accumulates the
+   potential of atoms within the cutoff radius. */
+kernel void lattice6overlap(global const float* atoms, global float* lattice,
+                            int natoms, int npoints)
+{
+    int i = (int)get_global_id(0);
+    if (i < npoints) {
+        float x = (float)(i % 32);
+        float y = (float)((i / 32) % 32);
+        float z = (float)(i / 1024);
+        float energy = 0.0f;
+        int a;
+        for (a = 0; a < natoms; ++a) {
+            float dx = atoms[a * 4] - x;
+            float dy = atoms[a * 4 + 1] - y;
+            float dz = atoms[a * 4 + 2] - z;
+            float r2 = dx * dx + dy * dy + dz * dz;
+            if (r2 < 64.0f) {
+                float s = 1.0f - r2 * 0.015625f;
+                energy += atoms[a * 4 + 3] * rsqrt(r2 + 0.5f) * s * s;
+            }
+        }
+        lattice[i] = energy;
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const natoms, npoints = 64, 2048
+		r := newLCG(23)
+		atoms := make([]float32, natoms*4)
+		for a := 0; a < natoms; a++ {
+			atoms[a*4] = 32 * r.f01()
+			atoms[a*4+1] = 32 * r.f01()
+			atoms[a*4+2] = 2 * r.f01()
+			atoms[a*4+3] = 0.2 + r.f01()
+		}
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{npoints, 1, 1}, Local: [3]int64{128, 1, 1},
+			Args: []Arg{
+				{Name: "atoms", F32: atoms},
+				{Name: "lattice", F32: make([]float32, npoints), Out: true},
+				ScalarArg("natoms", natoms),
+				ScalarArg("npoints", npoints),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 128, NumWGs: 768, LocalBytes: 2048, RegsPerThread: 32,
+		BaseWGCost: 46000, Imbalance: 0.15, Skew: 0,
+		MemIntensity: 0.35, SatFrac: 0.5, InstrCount: 120,
+	},
+})
+
+var histoPrescan = register(&Kernel{
+	Benchmark: "histo",
+	Name:      "histo_prescan",
+	Source: `
+/* Input range prescan: local tree reduction of min/max, merged into a
+   global result with atomics. */
+#define PSWG 128
+kernel void histo_prescan(global const int* data, int n, global int* minmax)
+{
+    local int lmin[PSWG];
+    local int lmax[PSWG];
+    int lid = (int)get_local_id(0);
+    int gid = (int)get_global_id(0);
+    int v = (gid < n) ? data[gid] : data[0];
+    lmin[lid] = v;
+    lmax[lid] = v;
+    barrier(1);
+    int s;
+    for (s = PSWG / 2; s > 0; s >>= 1) {
+        if (lid < s) {
+            lmin[lid] = min(lmin[lid], lmin[lid + s]);
+            lmax[lid] = max(lmax[lid], lmax[lid + s]);
+        }
+        barrier(1);
+    }
+    if (lid == 0) {
+        atomic_min(&minmax[0], lmin[0]);
+        atomic_max(&minmax[1], lmax[0]);
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const n = 2048
+		r := newLCG(31)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{128, 1, 1},
+			Args: []Arg{
+				{Name: "data", I32: r.i32s(n, 1<<20)},
+				ScalarArg("n", n),
+				{Name: "minmax", I32: []int32{1 << 30, -(1 << 30)}, Out: true},
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 256, NumWGs: 1024, LocalBytes: 1024, RegsPerThread: 14,
+		BaseWGCost: 3000, Imbalance: 0.1, Skew: 0,
+		MemIntensity: 0.7, SatFrac: 0.3, InstrCount: 60,
+	},
+})
+
+var histoIntermediates = register(&Kernel{
+	Benchmark: "histo",
+	Name:      "histo_intermediates",
+	Source: `
+/* Convert input samples into bin indices for the main histogramming
+   pass. */
+kernel void histo_intermediates(global const int* input, global int* bins, int n)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) {
+        int v = input[i];
+        if (v < 0) v = -v;
+        bins[i] = (v * 7 + (v >> 5)) % 1024;
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const n = 4096
+		r := newLCG(37)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "input", I32: r.i32s(n, 1<<22)},
+				{Name: "bins", I32: make([]int32, n), Out: true},
+				ScalarArg("n", n),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 192, NumWGs: 12288, LocalBytes: 0, RegsPerThread: 16,
+		BaseWGCost: 2200, Imbalance: 0.1, Skew: 0,
+		MemIntensity: 0.75, SatFrac: 0.35, InstrCount: 18,
+	},
+})
+
+var histoMain = register(&Kernel{
+	Benchmark: "histo",
+	Name:      "histo_main",
+	Source: `
+/* Main histogramming pass: scattered atomic increments over the bin
+   array — the classic contention-heavy Parboil kernel. */
+kernel void histo_main(global const int* indices, int n, global int* histo)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) {
+        atomic_add(&histo[indices[i]], 1);
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const n, bins = 4096, 1024
+		r := newLCG(41)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "indices", I32: r.i32s(n, bins)},
+				ScalarArg("n", n),
+				{Name: "histo", I32: make([]int32, bins), Out: true},
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 256, NumWGs: 512, LocalBytes: 4096, RegsPerThread: 22,
+		BaseWGCost: 30000, Imbalance: 0.4, Skew: 0.2,
+		MemIntensity: 0.85, SatFrac: 0.25, InstrCount: 90,
+	},
+})
+
+var histoFinal = register(&Kernel{
+	Benchmark: "histo",
+	Name:      "histo_final",
+	Source: `
+/* Saturate bin counts to the 8-bit output format. */
+kernel void histo_final(global const int* histo, global int* out, int n)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) {
+        out[i] = min(histo[i], 255);
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const n = 1024
+		r := newLCG(43)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "histo", I32: r.i32s(n, 600)},
+				{Name: "out", I32: make([]int32, n), Out: true},
+				ScalarArg("n", n),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 256, NumWGs: 12288, LocalBytes: 0, RegsPerThread: 12,
+		BaseWGCost: 2400, Imbalance: 0.1, Skew: 0,
+		MemIntensity: 0.8, SatFrac: 0.4, InstrCount: 12,
+	},
+})
+
+var lbmKernel = register(&Kernel{
+	Benchmark: "lbm",
+	Name:      "performStreamCollide",
+	Source: `
+/* Lattice-Boltzmann stream-and-collide step over a flattened grid with
+   periodic boundaries (reduced neighbour set). */
+kernel void performStreamCollide(global const float* src, global float* dst,
+                                 int nx, int n)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) {
+        float c = src[i];
+        float e = src[(i + 1) % n];
+        float w = src[(i + n - 1) % n];
+        float no = src[(i + nx) % n];
+        float so = src[(i + n - nx) % n];
+        float rho = c + e + w + no + so;
+        float u = (e - w) * 0.1f + (no - so) * 0.05f;
+        float eq = rho * 0.2f * (1.0f + 3.0f * u + 4.5f * u * u);
+        dst[i] = c + 0.6f * (eq - c);
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const nx, n = 64, 4096
+		r := newLCG(47)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{128, 1, 1},
+			Args: []Arg{
+				{Name: "src", F32: r.f32s(n, 0.5, 1.5)},
+				{Name: "dst", F32: make([]float32, n), Out: true},
+				ScalarArg("nx", nx),
+				ScalarArg("n", n),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 128, NumWGs: 2048, LocalBytes: 0, RegsPerThread: 38,
+		BaseWGCost: 44000, Imbalance: 0.08, Skew: 0,
+		MemIntensity: 0.9, SatFrac: 0.18, InstrCount: 600,
+	},
+})

@@ -1,0 +1,453 @@
+package parboil
+
+// Kernels of mri-gridding (9) and mri-q (2).
+
+var griddingBinning = register(&Kernel{
+	Benchmark: "mri-gridding",
+	Name:      "binning_kernel",
+	Source: `
+/* Count samples per uniform grid cell with atomic increments. */
+kernel void binning_kernel(global const float* sx, global const float* sy,
+                           global int* binCounts, int n, int grid)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) {
+        int bx = clamp((int)(sx[i] * (float)grid), 0, grid - 1);
+        int by = clamp((int)(sy[i] * (float)grid), 0, grid - 1);
+        atomic_add(&binCounts[by * grid + bx], 1);
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const n, grid = 2048, 16
+		r := newLCG(53)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "sx", F32: r.f32s(n, 0, 1)},
+				{Name: "sy", F32: r.f32s(n, 0, 1)},
+				{Name: "binCounts", I32: make([]int32, grid*grid), Out: true},
+				ScalarArg("n", n),
+				ScalarArg("grid", grid),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 192, NumWGs: 12288, LocalBytes: 0, RegsPerThread: 16,
+		BaseWGCost: 2300, Imbalance: 0.25, Skew: 0.1,
+		MemIntensity: 0.8, SatFrac: 0.3, InstrCount: 18,
+	},
+})
+
+var griddingReorder = register(&Kernel{
+	Benchmark: "mri-gridding",
+	Name:      "reorder_kernel",
+	Source: `
+/* Gather samples into bin order using a precomputed permutation. */
+kernel void reorder_kernel(global const int* perm, global const float* in,
+                           global float* out, int n)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) {
+        out[i] = in[perm[i]];
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const n = 2048
+		r := newLCG(59)
+		perm := make([]int32, n)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		for i := n - 1; i > 0; i-- {
+			j := r.intn(int64(i + 1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "perm", I32: perm},
+				{Name: "in", F32: r.f32s(n, -1, 1)},
+				{Name: "out", F32: make([]float32, n), Out: true},
+				ScalarArg("n", n),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 192, NumWGs: 12288, LocalBytes: 0, RegsPerThread: 14,
+		BaseWGCost: 2100, Imbalance: 0.2, Skew: 0,
+		MemIntensity: 0.85, SatFrac: 0.28, InstrCount: 10,
+	},
+})
+
+var griddingGPU = register(&Kernel{
+	Benchmark: "mri-gridding",
+	Name:      "gridding_GPU",
+	Source: `
+/* Convolution gridding: each output cell accumulates Kaiser-Bessel-like
+   weighted contributions of nearby samples. */
+kernel void gridding_GPU(global const float* samples, global float* gridded,
+                         int nsamp, int gridsz)
+{
+    int i = (int)get_global_id(0);
+    if (i < gridsz) {
+        float pos = (float)i;
+        float acc = 0.0f;
+        int s;
+        for (s = 0; s < nsamp; ++s) {
+            float d = samples[s * 2] * (float)gridsz - pos;
+            if (fabs(d) < 2.0f) {
+                acc += samples[s * 2 + 1] * exp(-0.5f * d * d);
+            }
+        }
+        gridded[i] = acc;
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const nsamp, gridsz = 192, 1536
+		r := newLCG(61)
+		samples := make([]float32, nsamp*2)
+		for s := 0; s < nsamp; s++ {
+			samples[s*2] = r.f01()
+			samples[s*2+1] = r.f01() - 0.5
+		}
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{gridsz, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "samples", F32: samples},
+				{Name: "gridded", F32: make([]float32, gridsz), Out: true},
+				ScalarArg("nsamp", nsamp),
+				ScalarArg("gridsz", gridsz),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 64, NumWGs: 1400, LocalBytes: 0, RegsPerThread: 40,
+		BaseWGCost: 105000, Imbalance: 0.45, Skew: 0.3,
+		MemIntensity: 0.6, SatFrac: 0.35, InstrCount: 300,
+	},
+})
+
+var griddingSplitSort = register(&Kernel{
+	Benchmark: "mri-gridding",
+	Name:      "splitSort",
+	Source: `
+/* Per-work-group bitonic sort of keys in local memory — the most
+   imbalance-prone kernel of the gridding pipeline. */
+#define SORT_WG 64
+kernel void splitSort(global const int* keys, global int* okeys, int n)
+{
+    local int tile[SORT_WG];
+    int lid = (int)get_local_id(0);
+    int gid = (int)get_global_id(0);
+    tile[lid] = (gid < n) ? keys[gid] : 2147483647;
+    barrier(1);
+    int k;
+    int j;
+    for (k = 2; k <= SORT_WG; k <<= 1) {
+        for (j = k >> 1; j > 0; j >>= 1) {
+            int ixj = lid ^ j;
+            if (ixj > lid) {
+                int a = tile[lid];
+                int b = tile[ixj];
+                int up = (lid & k) == 0;
+                if ((up && a > b) || (!up && a < b)) {
+                    tile[lid] = b;
+                    tile[ixj] = a;
+                }
+            }
+            barrier(1);
+        }
+    }
+    if (gid < n) okeys[gid] = tile[lid];
+}
+`,
+	Setup: func() LaunchSpec {
+		const n = 2048
+		r := newLCG(67)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "keys", I32: r.i32s(n, 1<<30)},
+				{Name: "okeys", I32: make([]int32, n), Out: true},
+				ScalarArg("n", n),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 128, NumWGs: 896, LocalBytes: 4096, RegsPerThread: 24,
+		BaseWGCost: 24000, Imbalance: 0.5, Skew: 0.45,
+		MemIntensity: 0.55, SatFrac: 0.4, InstrCount: 150,
+	},
+})
+
+var griddingSplitRearrange = register(&Kernel{
+	Benchmark: "mri-gridding",
+	Name:      "splitRearrange",
+	Source: `
+/* Radix-split bookkeeping: per-group digit counts via local atomics. */
+kernel void splitRearrange(global const int* keys, global int* out, int n)
+{
+    local int cnt[16];
+    int lid = (int)get_local_id(0);
+    int gid = (int)get_global_id(0);
+    if (lid < 16) cnt[lid] = 0;
+    barrier(1);
+    if (gid < n) atomic_add(&cnt[keys[gid] & 15], 1);
+    barrier(1);
+    if (gid < n) out[gid] = cnt[keys[gid] & 15] * 256 + (keys[gid] & 15);
+}
+`,
+	Setup: func() LaunchSpec {
+		const n = 2048
+		r := newLCG(71)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "keys", I32: r.i32s(n, 1<<30)},
+				{Name: "out", I32: make([]int32, n), Out: true},
+				ScalarArg("n", n),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 128, NumWGs: 896, LocalBytes: 2048, RegsPerThread: 16,
+		BaseWGCost: 8000, Imbalance: 0.3, Skew: 0.2,
+		MemIntensity: 0.8, SatFrac: 0.3, InstrCount: 38,
+	},
+})
+
+var griddingScanL1 = register(&Kernel{
+	Benchmark: "mri-gridding",
+	Name:      "scan_L1",
+	Source: `
+/* First-level inclusive scan (Hillis-Steele) per work-group, emitting
+   per-block sums for the second level. */
+#define SCAN_WG 64
+kernel void scan_L1(global const int* in, global int* out, global int* sums, int n)
+{
+    local int temp[SCAN_WG];
+    int lid = (int)get_local_id(0);
+    int gid = (int)get_global_id(0);
+    temp[lid] = (gid < n) ? in[gid] : 0;
+    barrier(1);
+    int offset;
+    for (offset = 1; offset < SCAN_WG; offset <<= 1) {
+        int v = 0;
+        if (lid >= offset) v = temp[lid - offset];
+        barrier(1);
+        temp[lid] += v;
+        barrier(1);
+    }
+    if (gid < n) out[gid] = temp[lid];
+    if (lid == SCAN_WG - 1) sums[get_group_id(0)] = temp[lid];
+}
+`,
+	Setup: func() LaunchSpec {
+		const n = 2048
+		r := newLCG(73)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "in", I32: r.i32s(n, 100)},
+				{Name: "out", I32: make([]int32, n), Out: true},
+				{Name: "sums", I32: make([]int32, n/64), Out: true},
+				ScalarArg("n", n),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 256, NumWGs: 3584, LocalBytes: 2048, RegsPerThread: 12,
+		BaseWGCost: 6000, Imbalance: 0.05, Skew: 0,
+		MemIntensity: 0.75, SatFrac: 0.35, InstrCount: 35,
+	},
+})
+
+var griddingScanInter1 = register(&Kernel{
+	Benchmark: "mri-gridding",
+	Name:      "scan_inter1",
+	Source: `
+/* Second-level scan over the per-block sums (single work-group). */
+#define IWG 64
+kernel void scan_inter1(global int* sums, int n)
+{
+    local int temp[IWG];
+    int lid = (int)get_local_id(0);
+    temp[lid] = (lid < n) ? sums[lid] : 0;
+    barrier(1);
+    int offset;
+    for (offset = 1; offset < IWG; offset <<= 1) {
+        int v = 0;
+        if (lid >= offset) v = temp[lid - offset];
+        barrier(1);
+        temp[lid] += v;
+        barrier(1);
+    }
+    if (lid < n) sums[lid] = temp[lid];
+}
+`,
+	Setup: func() LaunchSpec {
+		const n = 32
+		r := newLCG(79)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{64, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "sums", I32: r.i32s(n, 1000), Out: true},
+				ScalarArg("n", n),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 256, NumWGs: 32, LocalBytes: 2048, RegsPerThread: 12,
+		BaseWGCost: 60000, Imbalance: 0.05, Skew: 0,
+		MemIntensity: 0.7, SatFrac: 0.5, InstrCount: 35,
+	},
+})
+
+var griddingScanInter2 = register(&Kernel{
+	Benchmark: "mri-gridding",
+	Name:      "scan_inter2",
+	Source: `
+/* Convert the inclusive block-sum scan into exclusive offsets. */
+kernel void scan_inter2(global const int* insums, global int* exc, int n)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) {
+        exc[i] = (i == 0) ? 0 : insums[i - 1];
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const n = 2048
+		r := newLCG(83)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "insums", I32: r.i32s(n, 1<<16)},
+				{Name: "exc", I32: make([]int32, n), Out: true},
+				ScalarArg("n", n),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 256, NumWGs: 10240, LocalBytes: 0, RegsPerThread: 12,
+		BaseWGCost: 2300, Imbalance: 0.05, Skew: 0,
+		MemIntensity: 0.7, SatFrac: 0.5, InstrCount: 8,
+	},
+})
+
+var griddingUniformAdd = register(&Kernel{
+	Benchmark: "mri-gridding",
+	Name:      "uniformAdd",
+	Source: `
+/* Add each block's scanned offset to its elements. */
+kernel void uniformAdd(global int* data, global const int* blockOffsets, int n)
+{
+    int gid = (int)get_global_id(0);
+    if (gid < n) {
+        data[gid] += blockOffsets[get_group_id(0)];
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const n = 2048
+		r := newLCG(89)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "data", I32: r.i32s(n, 100), Out: true},
+				{Name: "blockOffsets", I32: r.i32s(n/64, 1<<16)},
+				ScalarArg("n", n),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 256, NumWGs: 14336, LocalBytes: 0, RegsPerThread: 10,
+		BaseWGCost: 2200, Imbalance: 0.05, Skew: 0,
+		MemIntensity: 0.85, SatFrac: 0.3, InstrCount: 9,
+	},
+})
+
+var mriqPhiMag = register(&Kernel{
+	Benchmark: "mri-q",
+	Name:      "ComputePhiMag_GPU",
+	Source: `
+/* Magnitude of the complex phi coefficients. */
+kernel void ComputePhiMag_GPU(global const float* phiR, global const float* phiI,
+                              global float* phiMag, int n)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) {
+        phiMag[i] = phiR[i] * phiR[i] + phiI[i] * phiI[i];
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const n = 2048
+		r := newLCG(97)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "phiR", F32: r.f32s(n, -1, 1)},
+				{Name: "phiI", F32: r.f32s(n, -1, 1)},
+				{Name: "phiMag", F32: make([]float32, n), Out: true},
+				ScalarArg("n", n),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 256, NumWGs: 10240, LocalBytes: 0, RegsPerThread: 12,
+		BaseWGCost: 2200, Imbalance: 0.05, Skew: 0,
+		MemIntensity: 0.6, SatFrac: 0.6, InstrCount: 10,
+	},
+})
+
+var mriqComputeQ = register(&Kernel{
+	Benchmark: "mri-q",
+	Name:      "ComputeQ_GPU",
+	Source: `
+/* Non-Cartesian MRI Q matrix: per output point, accumulate sinusoids over
+   all k-space samples — heavily compute bound. */
+kernel void ComputeQ_GPU(global const float* x, global const float* kx,
+                         global const float* phiMag,
+                         global float* Qr, global float* Qi, int nk, int nx)
+{
+    int i = (int)get_global_id(0);
+    if (i < nx) {
+        float qr = 0.0f;
+        float qi = 0.0f;
+        int k;
+        for (k = 0; k < nk; ++k) {
+            float phase = 6.2831853f * kx[k] * x[i];
+            qr += phiMag[k] * cos(phase);
+            qi += phiMag[k] * sin(phase);
+        }
+        Qr[i] = qr;
+        Qi[i] = qi;
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const nk, nx = 192, 768
+		r := newLCG(101)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{nx, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "x", F32: r.f32s(nx, -1, 1)},
+				{Name: "kx", F32: r.f32s(nk, -4, 4)},
+				{Name: "phiMag", F32: r.f32s(nk, 0, 1)},
+				{Name: "Qr", F32: make([]float32, nx), Out: true},
+				{Name: "Qi", F32: make([]float32, nx), Out: true},
+				ScalarArg("nk", nk),
+				ScalarArg("nx", nx),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 256, NumWGs: 2048, LocalBytes: 0, RegsPerThread: 30,
+		BaseWGCost: 110000, Imbalance: 0.1, Skew: 0,
+		MemIntensity: 0.25, SatFrac: 0.55, InstrCount: 80,
+	},
+})

@@ -1,0 +1,287 @@
+package parboil
+
+// Kernels of sad, sgemm, spmv, stencil and tpacf.
+
+var sadCalc = register(&Kernel{
+	Benchmark: "sad",
+	Name:      "mb_sad_calc",
+	Source: `
+/* Sum of absolute differences between the current macroblock and a
+   sliding reference window (H.264 motion estimation). */
+kernel void mb_sad_calc(global const int* cur, global const int* ref,
+                        global int* sad, int w, int n)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) {
+        int acc = 0;
+        int j;
+        for (j = 0; j < 16; ++j) {
+            acc += abs(cur[(i + j) % n] - ref[(i + j * w) % n]);
+        }
+        sad[i] = acc;
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const w, n = 64, 2048
+		r := newLCG(103)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "cur", I32: r.i32s(n, 256)},
+				{Name: "ref", I32: r.i32s(n, 256)},
+				{Name: "sad", I32: make([]int32, n), Out: true},
+				ScalarArg("w", w),
+				ScalarArg("n", n),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 64, NumWGs: 1584, LocalBytes: 3072, RegsPerThread: 20,
+		BaseWGCost: 18000, Imbalance: 0.35, Skew: 0.25,
+		MemIntensity: 0.5, SatFrac: 0.45, InstrCount: 200,
+	},
+})
+
+var sadCalc8 = register(&Kernel{
+	Benchmark: "sad",
+	Name:      "larger_sad_calc_8",
+	Source: `
+/* Combine 4x4 SADs into 8x8 block SADs. */
+kernel void larger_sad_calc_8(global const int* sad4, global int* sad8, int n)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) {
+        sad8[i] = sad4[2 * i] + sad4[2 * i + 1];
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const n = 2048
+		r := newLCG(107)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "sad4", I32: r.i32s(2*n, 4096)},
+				{Name: "sad8", I32: make([]int32, n), Out: true},
+				ScalarArg("n", n),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 128, NumWGs: 14336, LocalBytes: 0, RegsPerThread: 14,
+		BaseWGCost: 2300, Imbalance: 0.2, Skew: 0.1,
+		MemIntensity: 0.6, SatFrac: 0.5, InstrCount: 14,
+	},
+})
+
+var sadCalc16 = register(&Kernel{
+	Benchmark: "sad",
+	Name:      "larger_sad_calc_16",
+	Source: `
+/* Combine 8x8 SADs into 16x16 block SADs. */
+kernel void larger_sad_calc_16(global const int* sad8, global int* sad16, int n)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) {
+        sad16[i] = sad8[4 * i] + sad8[4 * i + 1] + sad8[4 * i + 2] + sad8[4 * i + 3];
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const n = 1024
+		r := newLCG(109)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "sad8", I32: r.i32s(4*n, 8192)},
+				{Name: "sad16", I32: make([]int32, n), Out: true},
+				ScalarArg("n", n),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 128, NumWGs: 4096, LocalBytes: 0, RegsPerThread: 14,
+		BaseWGCost: 2300, Imbalance: 0.2, Skew: 0.1,
+		MemIntensity: 0.6, SatFrac: 0.5, InstrCount: 16,
+	},
+})
+
+var sgemmKernel = register(&Kernel{
+	Benchmark: "sgemm",
+	Name:      "mysgemmNT",
+	Source: `
+/* Tiled dense matrix multiply with local-memory tiles (2-D NDRange). */
+#define TILE 8
+kernel void mysgemmNT(global const float* A, global const float* B,
+                      global float* C, int n)
+{
+    local float As[64];
+    local float Bs[64];
+    int tx = (int)get_local_id(0);
+    int ty = (int)get_local_id(1);
+    int col = (int)get_global_id(0);
+    int row = (int)get_global_id(1);
+    float acc = 0.0f;
+    int t;
+    int k;
+    for (t = 0; t < n / TILE; ++t) {
+        As[ty * TILE + tx] = A[row * n + t * TILE + tx];
+        Bs[ty * TILE + tx] = B[(t * TILE + ty) * n + col];
+        barrier(1);
+        for (k = 0; k < TILE; ++k) {
+            acc += As[ty * TILE + k] * Bs[k * TILE + tx];
+        }
+        barrier(1);
+    }
+    C[row * n + col] = acc;
+}
+`,
+	Setup: func() LaunchSpec {
+		const n = 64
+		r := newLCG(113)
+		return LaunchSpec{
+			Dims: 2, Global: [3]int64{n, n, 1}, Local: [3]int64{8, 8, 1},
+			Args: []Arg{
+				{Name: "A", F32: r.f32s(n*n, -1, 1)},
+				{Name: "B", F32: r.f32s(n*n, -1, 1)},
+				{Name: "C", F32: make([]float32, n*n), Out: true},
+				ScalarArg("n", n),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 128, NumWGs: 1024, LocalBytes: 4224, RegsPerThread: 44,
+		BaseWGCost: 115000, Imbalance: 0.08, Skew: 0,
+		MemIntensity: 0.3, SatFrac: 0.6, InstrCount: 90,
+	},
+})
+
+var spmvKernel = register(&Kernel{
+	Benchmark: "spmv",
+	Name:      "spmv_jds",
+	Source: `
+/* Sparse matrix-vector multiply in JDS layout: column-major padded rows,
+   irregular gather from the x vector. */
+kernel void spmv_jds(global const float* vals, global const int* cols,
+                     global const int* rowlen, global const float* x,
+                     global float* y, int n)
+{
+    int row = (int)get_global_id(0);
+    if (row < n) {
+        float acc = 0.0f;
+        int len = rowlen[row];
+        int j;
+        for (j = 0; j < len; ++j) {
+            acc += vals[row + j * n] * x[cols[row + j * n]];
+        }
+        y[row] = acc;
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const n, maxlen = 2048, 12
+		r := newLCG(127)
+		rowlen := make([]int32, n)
+		for i := range rowlen {
+			rowlen[i] = int32(1 + r.intn(maxlen))
+		}
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "vals", F32: r.f32s(n*maxlen, -1, 1)},
+				{Name: "cols", I32: r.i32s(n*maxlen, n)},
+				{Name: "rowlen", I32: rowlen},
+				{Name: "x", F32: r.f32s(n, -1, 1)},
+				{Name: "y", F32: make([]float32, n), Out: true},
+				ScalarArg("n", n),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 192, NumWGs: 1216, LocalBytes: 0, RegsPerThread: 18,
+		BaseWGCost: 14000, Imbalance: 0.45, Skew: 0.2,
+		MemIntensity: 0.9, SatFrac: 0.2, InstrCount: 45,
+	},
+})
+
+var stencilKernel = register(&Kernel{
+	Benchmark: "stencil",
+	Name:      "naive_kernel",
+	Source: `
+/* 7-point 3-D Jacobi stencil over a flattened grid. */
+kernel void naive_kernel(global const float* in, global float* out,
+                         int nx, int ny, int nz)
+{
+    int i = (int)get_global_id(0);
+    int x = i % nx;
+    int y = (i / nx) % ny;
+    int z = i / (nx * ny);
+    if (x > 0 && x < nx - 1 && y > 0 && y < ny - 1 && z > 0 && z < nz - 1) {
+        out[i] = 0.5f * in[i] + 0.0833f * (in[i - 1] + in[i + 1]
+               + in[i - nx] + in[i + nx]
+               + in[i - nx * ny] + in[i + nx * ny]);
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const nx, ny, nz = 16, 16, 16
+		const n = nx * ny * nz
+		r := newLCG(131)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "in", F32: r.f32s(n, 0, 1)},
+				{Name: "out", F32: make([]float32, n), Out: true},
+				ScalarArg("nx", nx),
+				ScalarArg("ny", ny),
+				ScalarArg("nz", nz),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 128, NumWGs: 1664, LocalBytes: 2640, RegsPerThread: 22,
+		BaseWGCost: 17000, Imbalance: 0.1, Skew: 0,
+		MemIntensity: 0.88, SatFrac: 0.2, InstrCount: 60,
+	},
+})
+
+var tpacfKernel = register(&Kernel{
+	Benchmark: "tpacf",
+	Name:      "gen_hists",
+	Source: `
+/* Two-point angular correlation: histogram dot products of all point
+   pairs (triangular loop, strongly front-loaded cost). */
+kernel void gen_hists(global const float* ax, global const float* ay,
+                      global int* hist, int n)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) {
+        int j;
+        for (j = i + 1; j < n; ++j) {
+            float d = ax[i] * ax[j] + ay[i] * ay[j];
+            int bin = clamp((int)((d + 1.0f) * 8.0f), 0, 15);
+            atomic_add(&hist[bin], 1);
+        }
+    }
+}
+`,
+	Setup: func() LaunchSpec {
+		const n = 320
+		r := newLCG(137)
+		return LaunchSpec{
+			Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1},
+			Args: []Arg{
+				{Name: "ax", F32: r.f32s(n, -1, 1)},
+				{Name: "ay", F32: r.f32s(n, -1, 1)},
+				{Name: "hist", I32: make([]int32, 16), Out: true},
+				ScalarArg("n", n),
+			},
+		}
+	},
+	Profile: Profile{
+		WGSize: 256, NumWGs: 201, LocalBytes: 8192, RegsPerThread: 28,
+		BaseWGCost: 35000, Imbalance: 0.3, Skew: 0.35,
+		MemIntensity: 0.45, SatFrac: 0.55, InstrCount: 250,
+	},
+})

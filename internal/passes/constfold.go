@@ -1,0 +1,229 @@
+package passes
+
+import "repro/internal/ir"
+
+// ConstFold folds binary operations, comparisons, casts and selects whose
+// operands are all constants, then rewrites uses. It iterates to a fixed
+// point within each function.
+type ConstFold struct{}
+
+// Name implements Pass.
+func (ConstFold) Name() string { return "constfold" }
+
+// Run implements Pass.
+func (ConstFold) Run(m *ir.Module) error {
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		for foldFunc(f) {
+		}
+	}
+	return nil
+}
+
+func foldFunc(f *ir.Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if c := foldInstr(in); c != nil {
+				replaceAllUses(f, in, c)
+				changed = true
+				continue // drop the folded instruction
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return changed
+}
+
+func foldInstr(in *ir.Instr) ir.Value {
+	switch in.Op {
+	case ir.OpBin:
+		return foldBin(in)
+	case ir.OpCmp:
+		return foldCmp(in)
+	case ir.OpCast:
+		return foldCast(in)
+	case ir.OpSelect:
+		c, ok := ir.ConstIntValue(in.Args[0])
+		if !ok {
+			return nil
+		}
+		if c != 0 {
+			return in.Args[1]
+		}
+		return in.Args[2]
+	}
+	return nil
+}
+
+func foldBin(in *ir.Instr) ir.Value {
+	if in.BinK.IsFloatOp() {
+		x, ok1 := ir.ConstFloatValue(in.Args[0])
+		y, ok2 := ir.ConstFloatValue(in.Args[1])
+		if !ok1 || !ok2 {
+			return nil
+		}
+		var r float64
+		switch in.BinK {
+		case ir.FAdd:
+			r = x + y
+		case ir.FSub:
+			r = x - y
+		case ir.FMul:
+			r = x * y
+		case ir.FDiv:
+			r = x / y
+		default:
+			return nil
+		}
+		if in.Ty.Kind == ir.F32 {
+			r = float64(float32(r))
+		}
+		return &ir.ConstFloat{Ty: in.Ty, V: r}
+	}
+	x, ok1 := ir.ConstIntValue(in.Args[0])
+	y, ok2 := ir.ConstIntValue(in.Args[1])
+	if !ok1 || !ok2 {
+		return nil
+	}
+	var r int64
+	switch in.BinK {
+	case ir.Add:
+		r = x + y
+	case ir.Sub:
+		r = x - y
+	case ir.Mul:
+		r = x * y
+	case ir.SDiv:
+		if y == 0 {
+			return nil // preserve the runtime trap
+		}
+		r = x / y
+	case ir.SRem:
+		if y == 0 {
+			return nil
+		}
+		r = x % y
+	case ir.And:
+		r = x & y
+	case ir.Or:
+		r = x | y
+	case ir.Xor:
+		r = x ^ y
+	case ir.Shl:
+		r = x << uint64(y&63)
+	case ir.AShr:
+		r = x >> uint64(y&63)
+	default:
+		return nil
+	}
+	if in.Ty.Kind == ir.I32 {
+		r = int64(int32(r))
+	}
+	if in.Ty.Kind == ir.Bool {
+		r &= 1
+	}
+	return &ir.ConstInt{Ty: in.Ty, V: r}
+}
+
+func foldCmp(in *ir.Instr) ir.Value {
+	if in.CmpK.IsFloatPred() {
+		x, ok1 := ir.ConstFloatValue(in.Args[0])
+		y, ok2 := ir.ConstFloatValue(in.Args[1])
+		if !ok1 || !ok2 {
+			return nil
+		}
+		var b bool
+		switch in.CmpK {
+		case ir.FEQ:
+			b = x == y
+		case ir.FNE:
+			b = x != y
+		case ir.FLT:
+			b = x < y
+		case ir.FLE:
+			b = x <= y
+		case ir.FGT:
+			b = x > y
+		case ir.FGE:
+			b = x >= y
+		}
+		return ir.CBool(b)
+	}
+	x, ok1 := ir.ConstIntValue(in.Args[0])
+	y, ok2 := ir.ConstIntValue(in.Args[1])
+	if !ok1 || !ok2 {
+		return nil
+	}
+	var b bool
+	switch in.CmpK {
+	case ir.IEQ:
+		b = x == y
+	case ir.INE:
+		b = x != y
+	case ir.ILT:
+		b = x < y
+	case ir.ILE:
+		b = x <= y
+	case ir.IGT:
+		b = x > y
+	case ir.IGE:
+		b = x >= y
+	}
+	return ir.CBool(b)
+}
+
+func foldCast(in *ir.Instr) ir.Value {
+	switch in.CastK {
+	case ir.Trunc, ir.SExt, ir.ZExt:
+		x, ok := ir.ConstIntValue(in.Args[0])
+		if !ok {
+			return nil
+		}
+		r := x
+		if in.Ty.Kind == ir.I32 {
+			r = int64(int32(r))
+		}
+		if in.Ty.Kind == ir.Bool {
+			r &= 1
+		}
+		return &ir.ConstInt{Ty: in.Ty, V: r}
+	case ir.SIToFP:
+		x, ok := ir.ConstIntValue(in.Args[0])
+		if !ok {
+			return nil
+		}
+		r := float64(x)
+		if in.Ty.Kind == ir.F32 {
+			r = float64(float32(r))
+		}
+		return &ir.ConstFloat{Ty: in.Ty, V: r}
+	case ir.FPToSI:
+		x, ok := ir.ConstFloatValue(in.Args[0])
+		if !ok {
+			return nil
+		}
+		r := int64(x)
+		if in.Ty.Kind == ir.I32 {
+			r = int64(int32(r))
+		}
+		return &ir.ConstInt{Ty: in.Ty, V: r}
+	case ir.FPTrunc:
+		x, ok := ir.ConstFloatValue(in.Args[0])
+		if !ok {
+			return nil
+		}
+		return &ir.ConstFloat{Ty: in.Ty, V: float64(float32(x))}
+	case ir.FPExt:
+		x, ok := ir.ConstFloatValue(in.Args[0])
+		if !ok {
+			return nil
+		}
+		return &ir.ConstFloat{Ty: in.Ty, V: x}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package passes
+
+import "repro/internal/ir"
+
+// DCE removes result-producing instructions whose values are never used
+// and which have no side effects, plus unreachable basic blocks. It runs
+// to a fixed point within each function.
+type DCE struct{}
+
+// Name implements Pass.
+func (DCE) Name() string { return "dce" }
+
+// Run implements Pass.
+func (DCE) Run(m *ir.Module) error {
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		removeUnreachable(f)
+		for {
+			changed := dceFunc(f)
+			if removeDeadAllocaStores(f) {
+				changed = true
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// removeDeadAllocaStores deletes private allocas that are only ever
+// written (never loaded, never escaping as a value), together with the
+// stores into them.
+func removeDeadAllocaStores(f *ir.Function) bool {
+	// escape: any use that is not "store ... INTO this alloca".
+	onlyStoredInto := make(map[*ir.Instr]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAlloca && in.AllocaSpace == ir.Private {
+				onlyStoredInto[in] = true
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				al, ok := a.(*ir.Instr)
+				if !ok || !onlyStoredInto[al] {
+					continue
+				}
+				if !(in.Op == ir.OpStore && i == 1) {
+					delete(onlyStoredInto, al)
+				}
+			}
+		}
+	}
+	if len(onlyStoredInto) == 0 {
+		return false
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAlloca && onlyStoredInto[in] {
+				changed = true
+				continue
+			}
+			if in.Op == ir.OpStore {
+				if al, ok := in.Args[1].(*ir.Instr); ok && onlyStoredInto[al] {
+					changed = true
+					continue
+				}
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return changed
+}
+
+// sideEffecting reports whether removing the instruction could change
+// observable behaviour. Calls are conservatively treated as effecting.
+func sideEffecting(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpStore, ir.OpCall, ir.OpAtomic, ir.OpBarrier, ir.OpBr, ir.OpCondBr, ir.OpRet:
+		return true
+	case ir.OpBin:
+		// Division can trap; keep it even if unused.
+		return in.BinK == ir.SDiv || in.BinK == ir.SRem
+	case ir.OpLoad:
+		// Loads can trap on bad pointers; an unused load of a
+		// well-formed alloca is safe, but keep it simple and only drop
+		// loads of allocas.
+		src, ok := in.Args[0].(*ir.Instr)
+		return !(ok && src.Op == ir.OpAlloca)
+	}
+	return false
+}
+
+func dceFunc(f *ir.Function) bool {
+	used := make(map[ir.Value]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				used[a] = true
+			}
+		}
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if in.HasResult() && !used[in] && !sideEffecting(in) {
+				changed = true
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return changed
+}
+
+func removeUnreachable(f *ir.Function) {
+	if len(f.Blocks) == 0 {
+		return
+	}
+	reach := make(map[*ir.Block]bool)
+	var visit func(b *ir.Block)
+	visit = func(b *ir.Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		if t := b.Terminator(); t != nil {
+			if t.Then != nil {
+				visit(t.Then)
+			}
+			if t.Else != nil {
+				visit(t.Else)
+			}
+		}
+	}
+	visit(f.Blocks[0])
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+}

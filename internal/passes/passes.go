@@ -1,0 +1,71 @@
+// Package passes provides the middle-end passes run by the accelOS JIT
+// pipeline: constant folding, dead code elimination, a liveness-based
+// register usage estimator (feeding the occupancy model) and instruction
+// counting (feeding the adaptive scheduling policy).
+package passes
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Pass transforms or analyzes a module.
+type Pass interface {
+	Name() string
+	Run(m *ir.Module) error
+}
+
+// Manager runs a pass pipeline, verifying the module after each pass.
+type Manager struct {
+	Passes []Pass
+	// Verify controls whether the IR verifier runs after every pass.
+	Verify bool
+}
+
+// NewManager returns a manager with verification enabled.
+func NewManager(ps ...Pass) *Manager {
+	return &Manager{Passes: ps, Verify: true}
+}
+
+// Run executes the pipeline.
+func (pm *Manager) Run(m *ir.Module) error {
+	for _, p := range pm.Passes {
+		if err := p.Run(m); err != nil {
+			return fmt.Errorf("pass %s: %w", p.Name(), err)
+		}
+		if pm.Verify {
+			if err := ir.Verify(m); err != nil {
+				return fmt.Errorf("after pass %s: %w", p.Name(), err)
+			}
+		}
+	}
+	return nil
+}
+
+// replaceAllUses rewrites every operand equal to old with new within f.
+func replaceAllUses(f *ir.Function, old, new ir.Value) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if a == old {
+					in.Args[i] = new
+				}
+			}
+		}
+	}
+}
+
+// hasUses reports whether v is used as an operand anywhere in f.
+func hasUses(f *ir.Function, v ir.Value) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if a == v {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,280 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clc"
+	"repro/internal/ir"
+)
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := clc.Compile(src, "t")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+func runPasses(t *testing.T, m *ir.Module, ps ...Pass) {
+	t.Helper()
+	if err := NewManager(ps...).Run(m); err != nil {
+		t.Fatalf("passes: %v", err)
+	}
+}
+
+func TestConstFoldArithmetic(t *testing.T) {
+	m := compile(t, `
+kernel void k(global int* out, global float* fout)
+{
+    out[0] = (3 + 4) * 5 - 100 / 4;    /* 10 */
+    out[1] = (1 << 10) | 15 & 7;       /* 1031 */
+    out[2] = 255 % 16 ^ 2;             /* 13 */
+    fout[0] = 2.0f * 3.5f + 1.0f;      /* 8 */
+    out[3] = (7 > 3) ? 11 : 22;        /* folded select */
+}
+`)
+	runPasses(t, m, ConstFold{}, DCE{})
+	text := m.String()
+	for _, want := range []string{"store i32 10,", "store i32 1031,", "store i32 13,", "store float 8,", "store i32 11,"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fold missing %q in:\n%s", want, text)
+		}
+	}
+	for _, bad := range []string{"mul i32", "sdiv", "shl", "fadd"} {
+		if strings.Contains(text, bad) {
+			t.Errorf("unfolded %s remains:\n%s", bad, text)
+		}
+	}
+}
+
+func TestConstFoldPreservesTraps(t *testing.T) {
+	m := compile(t, `
+kernel void k(global int* out) { out[0] = 1 / (out[1] - out[1]); }
+`)
+	// out[1]-out[1] is not folded (loads), but even with constant zero
+	// divisors the fold must keep the trapping division.
+	m2 := compile(t, `
+#define Z 0
+kernel void k2(global int* out) { out[0] = 1 / Z; }
+`)
+	runPasses(t, m, ConstFold{})
+	runPasses(t, m2, ConstFold{})
+	if !strings.Contains(m2.String(), "sdiv") {
+		t.Error("division by constant zero was folded away; the runtime trap must be preserved")
+	}
+}
+
+func TestConstFoldCasts(t *testing.T) {
+	m := compile(t, `
+kernel void k(global long* out, global int* iout, global float* fout)
+{
+    out[0] = (long)(3 * 7);
+    iout[0] = (int)2.9f;
+    fout[0] = (float)12;
+}
+`)
+	runPasses(t, m, ConstFold{}, DCE{})
+	text := m.String()
+	for _, want := range []string{"store i64 21,", "store i32 2,", "store float 12,"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("cast fold missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDCERemovesDeadCode(t *testing.T) {
+	m := compile(t, `
+kernel void k(global int* out)
+{
+    int dead1 = 10 * 3;
+    float dead2 = 1.5f * 2.0f;
+    out[0] = 7;
+}
+`)
+	before := m.Lookup("k").NumInstrs()
+	runPasses(t, m, ConstFold{}, DCE{})
+	after := m.Lookup("k").NumInstrs()
+	if after >= before {
+		t.Errorf("DCE removed nothing: %d -> %d instrs", before, after)
+	}
+	text := m.String()
+	if strings.Contains(text, "store i32 30") || strings.Contains(text, "store float 3") {
+		t.Errorf("dead stores to dead allocas should survive only if their alloca survives; got:\n%s", text)
+	}
+}
+
+func TestDCEKeepsSideEffects(t *testing.T) {
+	m := compile(t, `
+kernel void k(global int* out)
+{
+    atomic_add(&out[0], 1);  /* result unused but must stay */
+    barrier(1);
+    out[1] = 5;
+}
+`)
+	runPasses(t, m, DCE{})
+	text := m.String()
+	if !strings.Contains(text, "atomicrmw") {
+		t.Error("DCE removed an atomic with unused result")
+	}
+	if !strings.Contains(text, "barrier") {
+		t.Error("DCE removed a barrier")
+	}
+}
+
+func TestDCERemovesUnreachableBlocks(t *testing.T) {
+	m := compile(t, `
+kernel void k(global int* out)
+{
+    out[0] = 1;
+    return;
+}
+`)
+	f := m.Lookup("k")
+	// Append an unreachable block by hand.
+	dead := f.NewBlock("orphan")
+	dead.Append(&ir.Instr{Op: ir.OpRet, Ty: ir.VoidT})
+	n := len(f.Blocks)
+	runPasses(t, m, DCE{})
+	if len(f.Blocks) >= n {
+		t.Errorf("unreachable block not removed: %d -> %d blocks", n, len(f.Blocks))
+	}
+}
+
+func TestRegisterEstimateOrdering(t *testing.T) {
+	small := compile(t, `
+kernel void k(global int* out) { out[0] = 1; }
+`)
+	big := compile(t, `
+kernel void k(global float* a, global float* b, global float* out, int n)
+{
+    int i = (int)get_global_id(0);
+    float x0 = a[i]; float x1 = b[i]; float x2 = x0 * x1;
+    float x3 = x0 + x1; float x4 = x2 - x3; float x5 = x2 * x3;
+    float x6 = x4 / (x5 + 1.0f); float x7 = x6 * x0;
+    out[i] = x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7;
+}
+`)
+	s := RegisterEstimate(small.Lookup("k"))
+	bg := RegisterEstimate(big.Lookup("k"))
+	if s <= 0 || bg <= 0 {
+		t.Fatalf("estimates must be positive: %d %d", s, bg)
+	}
+	if bg <= s {
+		t.Errorf("many-temporaries kernel estimated %d regs, small kernel %d", bg, s)
+	}
+	if RegisterEstimate(&ir.Function{Name: "decl", Ret: ir.VoidT}) != 0 {
+		t.Error("declaration should estimate 0 registers")
+	}
+}
+
+func TestModuleRegisterEstimateFollowsCalls(t *testing.T) {
+	m := compile(t, `
+float heavy(float a, float b)
+{
+    float x0 = a * b; float x1 = a + b; float x2 = x0 - x1;
+    float x3 = x0 / (x1 + 1.0f); float x4 = x2 * x3; float x5 = x4 + x0;
+    return x0 + x1 + x2 + x3 + x4 + x5;
+}
+kernel void k(global float* out) { out[0] = heavy(1.0f, 2.0f); }
+`)
+	whole := ModuleRegisterEstimate(m, "k")
+	callee := RegisterEstimate(m.Lookup("heavy"))
+	if whole < callee {
+		t.Errorf("call-graph estimate %d below callee's own %d", whole, callee)
+	}
+}
+
+func TestAdaptiveChunkTable(t *testing.T) {
+	// The exact table from §6.4.
+	cases := []struct{ instrs, chunk int }{
+		{0, 8}, {9, 8}, {10, 6}, {19, 6}, {20, 4}, {29, 4}, {30, 2}, {39, 2}, {40, 1}, {1000, 1},
+	}
+	for _, c := range cases {
+		if got := AdaptiveChunk(c.instrs); got != c.chunk {
+			t.Errorf("AdaptiveChunk(%d) = %d, want %d", c.instrs, got, c.chunk)
+		}
+	}
+}
+
+func TestAdaptiveChunkMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return AdaptiveChunk(x) >= AdaptiveChunk(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: constant folding must not change program meaning — fold a
+// generated constant expression and compare against Go's own arithmetic.
+func TestConstFoldSoundProperty(t *testing.T) {
+	f := func(a, b int16, pick uint8) bool {
+		x, y := int32(a), int32(b)
+		var op string
+		var want int32
+		switch pick % 5 {
+		case 0:
+			op, want = "+", x+y
+		case 1:
+			op, want = "-", x-y
+		case 2:
+			op, want = "*", x*y
+		case 3:
+			op, want = "&", x&y
+		default:
+			op, want = "^", x^y
+		}
+		src := "kernel void k(global int* out) { out[0] = (" +
+			itoa(int64(x)) + ") " + op + " (" + itoa(int64(y)) + "); }"
+		m, err := clc.Compile(src, "q")
+		if err != nil {
+			return false
+		}
+		if err := NewManager(ConstFold{}, DCE{}).Run(m); err != nil {
+			return false
+		}
+		return strings.Contains(m.String(), "store i32 "+itoa(int64(want))+",")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int64) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}
+
+func TestPassManagerVerifies(t *testing.T) {
+	// A pass that corrupts the module must be caught by the manager.
+	m := compile(t, `kernel void k(global int* out) { out[0] = 1; }`)
+	bad := passFunc{name: "corrupt", fn: func(m *ir.Module) error {
+		f := m.Lookup("k")
+		f.Blocks[0].Instrs = f.Blocks[0].Instrs[:len(f.Blocks[0].Instrs)-1] // drop the terminator
+		return nil
+	}}
+	if err := NewManager(bad).Run(m); err == nil {
+		t.Error("pass manager did not verify after a corrupting pass")
+	}
+}
+
+type passFunc struct {
+	name string
+	fn   func(*ir.Module) error
+}
+
+func (p passFunc) Name() string           { return p.name }
+func (p passFunc) Run(m *ir.Module) error { return p.fn(m) }

@@ -1,0 +1,173 @@
+package passes
+
+import "repro/internal/ir"
+
+// RegisterEstimate computes an approximation of the per-work-item register
+// pressure of a function: the maximum number of simultaneously live SSA
+// values (plus a fixed overhead for the work-item state the hardware keeps
+// per thread). The host runtime feeds this into the occupancy model, the
+// same role -cl-nv-maxrregcount metadata plays on real drivers.
+//
+// The estimate uses standard iterative backward liveness over basic
+// blocks.
+func RegisterEstimate(f *ir.Function) int {
+	if f.IsDecl() {
+		return 0
+	}
+	// use/def per block.
+	type bbinfo struct {
+		use, def map[ir.Value]bool
+		in, out  map[ir.Value]bool
+	}
+	info := make(map[*ir.Block]*bbinfo, len(f.Blocks))
+	interesting := func(v ir.Value) bool {
+		switch v.(type) {
+		case *ir.Instr, *ir.Param:
+			return true
+		}
+		return false
+	}
+	for _, b := range f.Blocks {
+		bi := &bbinfo{use: map[ir.Value]bool{}, def: map[ir.Value]bool{}, in: map[ir.Value]bool{}, out: map[ir.Value]bool{}}
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if interesting(a) && !bi.def[a] {
+					bi.use[a] = true
+				}
+			}
+			if in.HasResult() {
+				bi.def[in] = true
+			}
+		}
+		info[b] = bi
+	}
+	succs := func(b *ir.Block) []*ir.Block {
+		t := b.Terminator()
+		if t == nil {
+			return nil
+		}
+		var s []*ir.Block
+		if t.Then != nil {
+			s = append(s, t.Then)
+		}
+		if t.Else != nil && t.Else != t.Then {
+			s = append(s, t.Else)
+		}
+		return s
+	}
+	// Iterate to fixed point.
+	for changed := true; changed; {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			bi := info[b]
+			for _, s := range succs(b) {
+				for v := range info[s].in {
+					if !bi.out[v] {
+						bi.out[v] = true
+						changed = true
+					}
+				}
+			}
+			for v := range bi.out {
+				if !bi.def[v] && !bi.in[v] {
+					bi.in[v] = true
+					changed = true
+				}
+			}
+			for v := range bi.use {
+				if !bi.in[v] {
+					bi.in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	// Walk each block backwards tracking the live set size.
+	maxLive := 0
+	for _, b := range f.Blocks {
+		live := make(map[ir.Value]bool)
+		for v := range info[b].out {
+			live[v] = true
+		}
+		if len(live) > maxLive {
+			maxLive = len(live)
+		}
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			if in.HasResult() {
+				delete(live, in)
+			}
+			for _, a := range in.Args {
+				if interesting(a) {
+					live[a] = true
+				}
+			}
+			if len(live) > maxLive {
+				maxLive = len(live)
+			}
+		}
+	}
+	// Hardware baseline per thread: program counter / thread IDs /
+	// stack pointer equivalents.
+	const threadOverhead = 4
+	return maxLive + threadOverhead
+}
+
+// ModuleRegisterEstimate returns the register estimate of the given kernel
+// including all user functions it (transitively) calls, approximated by
+// the maximum over the call graph — GPU compilers fully inline, so the
+// caller's pressure subsumes the callee's temporaries at their call sites.
+func ModuleRegisterEstimate(m *ir.Module, kernel string) int {
+	seen := make(map[string]bool)
+	var walk func(name string) int
+	walk = func(name string) int {
+		if seen[name] {
+			return 0
+		}
+		seen[name] = true
+		f := m.Lookup(name)
+		if f == nil || f.IsDecl() {
+			return 0
+		}
+		est := RegisterEstimate(f)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall {
+					if c := walk(in.Callee); c > est {
+						est = c
+					}
+				}
+			}
+		}
+		return est
+	}
+	return walk(kernel)
+}
+
+// InstrCount counts the IR instructions of a function body, the size
+// metric used by the adaptive scheduling table (§6.4): fewer than 10
+// instructions → chunks of 8 virtual groups per dequeue, and so on.
+func InstrCount(f *ir.Function) int {
+	if f == nil {
+		return 0
+	}
+	return f.NumInstrs()
+}
+
+// AdaptiveChunk returns the number of virtual groups a work-group dequeues
+// per scheduling operation, per the paper's table (§6.4).
+func AdaptiveChunk(instrCount int) int {
+	switch {
+	case instrCount < 10:
+		return 8
+	case instrCount < 20:
+		return 6
+	case instrCount < 30:
+		return 4
+	case instrCount < 40:
+		return 2
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,233 @@
+package rtlib
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+func TestModuleCompilesAndIsFresh(t *testing.T) {
+	m1, err := Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 == m2 {
+		t.Fatal("Module returned a shared instance; callers mutate it during linking")
+	}
+	for _, name := range []string{"rt_env_init", "rt_sched_wgroup", "rt_is_master_workitem",
+		"rt_group_id", "rt_global_id", "rt_local_id", "rt_num_groups",
+		"rt_local_size", "rt_global_size", "rt_global_offset", "rt_work_dim"} {
+		f := m1.Lookup(name)
+		if f == nil || f.IsDecl() {
+			t.Errorf("runtime library missing definition of %s", name)
+		}
+	}
+	// Mutating one copy must not affect the next.
+	m1.Remove("rt_sched_wgroup")
+	m3, _ := Module()
+	if m3.Lookup("rt_sched_wgroup") == nil {
+		t.Error("mutation of a returned module leaked into the cache")
+	}
+}
+
+func TestBuildRT(t *testing.T) {
+	rt := BuildRT(2, [3]int64{12, 3, 1}, [3]int64{64, 2, 1}, 4)
+	if len(rt) != RTWords {
+		t.Fatalf("RT has %d words, want %d", len(rt), RTWords)
+	}
+	if rt[RTNext] != 0 {
+		t.Error("queue cursor must start at 0")
+	}
+	if rt[RTTotal] != 36 {
+		t.Errorf("total = %d, want 36", rt[RTTotal])
+	}
+	if rt[RTChunk] != 4 || rt[RTDims] != 2 {
+		t.Errorf("chunk/dims = %d/%d", rt[RTChunk], rt[RTDims])
+	}
+	if rt[RTVG] != 12 || rt[RTVG+1] != 3 || rt[RTVG+2] != 1 {
+		t.Errorf("virtual grid wrong: %v", rt[RTVG:RTVG+3])
+	}
+	if rt[RTLS] != 64 || rt[RTLS+1] != 2 {
+		t.Errorf("local sizes wrong: %v", rt[RTLS:RTLS+3])
+	}
+}
+
+func TestReplacementTableComplete(t *testing.T) {
+	m, err := Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for builtin, repl := range Replacement {
+		f := m.Lookup(repl)
+		if f == nil || f.IsDecl() {
+			t.Errorf("replacement %s for %s not defined in the library", repl, builtin)
+			continue
+		}
+		// Replacements take (rt, sd, hdlr [, dim]).
+		want := 4
+		if builtin == "get_work_dim" {
+			want = 3
+		}
+		if len(f.Params) != want {
+			t.Errorf("%s has %d params, want %d", repl, len(f.Params), want)
+		}
+	}
+}
+
+// execRT runs one rtlib function on the interpreter with a prepared RT
+// image and returns its result.
+func execRT(t *testing.T, fn string, rtWords []int64, hdlr int64, dim int32) int64 {
+	t.Helper()
+	m, err := Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrap in a kernel so the interpreter can launch it.
+	mach := interp.NewMachine(m)
+	rtRegion := mach.NewRegion(RTWords*8, ir.Global)
+	rtRegion.WriteInt64s(0, rtWords)
+	sdRegion := mach.NewRegion(SDWords*8, ir.Local)
+
+	// Build a tiny driver kernel in IR: out[0] = fn(rt, sd, hdlr[, dim]).
+	out := mach.NewRegion(8, ir.Global)
+	outT := ir.PointerTo(ir.I64T, ir.Global)
+	rtT := ir.PointerTo(ir.I64T, ir.Global)
+	sdT := ir.PointerTo(ir.I64T, ir.Local)
+	pOut := &ir.Param{Nam: "out", Ty: outT, Idx: 0}
+	pRT := &ir.Param{Nam: "rt", Ty: rtT, Idx: 1}
+	pSD := &ir.Param{Nam: "sd", Ty: sdT, Idx: 2}
+	drv := m.NewFunction("__driver", ir.VoidT, pOut, pRT, pSD)
+	drv.Kernel = true
+	b := ir.NewBuilder(drv)
+	args := []ir.Value{pRT, pSD, ir.CI64(hdlr)}
+	callee := m.Lookup(fn)
+	if len(callee.Params) == 4 {
+		args = append(args, ir.CI(int64(dim)))
+	}
+	res := b.Call(fn, callee.Ret, args...)
+	v := ir.Value(res)
+	if callee.Ret.Kind == ir.I32 {
+		v = b.Cast(ir.SExt, res, ir.I64T)
+	}
+	b.Store(v, pOut)
+	b.Ret(nil)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	launchArgs := []interp.Value{
+		{K: ir.Pointer, P: interp.Ptr{R: out}},
+		{K: ir.Pointer, P: interp.Ptr{R: rtRegion}},
+		{K: ir.Pointer, P: interp.Ptr{R: sdRegion}},
+	}
+	if err := mach.Launch("__driver", launchArgs, interp.ND1(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	return out.ReadInt64s(0, 1)[0]
+}
+
+// Property: the virtual-group ID decomposition in the runtime library
+// inverts linearization for every dimension.
+func TestGroupIDDecompositionProperty(t *testing.T) {
+	f := func(gx8, gy8, gz8, seed uint8) bool {
+		gx := int64(gx8%7) + 1
+		gy := int64(gy8%5) + 1
+		gz := int64(gz8%3) + 1
+		total := gx * gy * gz
+		hdlr := int64(seed) % total
+		wantX := hdlr % gx
+		wantY := (hdlr / gx) % gy
+		wantZ := hdlr / (gx * gy)
+		rt := BuildRT(3, [3]int64{gx, gy, gz}, [3]int64{32, 2, 2}, 1)
+		return execRT(t, "rt_group_id", rt, hdlr, 0) == wantX &&
+			execRT(t, "rt_group_id", rt, hdlr, 1) == wantY &&
+			execRT(t, "rt_group_id", rt, hdlr, 2) == wantZ
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRuntimeSizesAndOffsets(t *testing.T) {
+	rt := BuildRT(2, [3]int64{10, 4, 1}, [3]int64{64, 2, 1}, 1)
+	if got := execRT(t, "rt_num_groups", rt, 0, 0); got != 10 {
+		t.Errorf("rt_num_groups(0) = %d, want 10", got)
+	}
+	if got := execRT(t, "rt_num_groups", rt, 0, 1); got != 4 {
+		t.Errorf("rt_num_groups(1) = %d, want 4", got)
+	}
+	if got := execRT(t, "rt_local_size", rt, 0, 0); got != 64 {
+		t.Errorf("rt_local_size(0) = %d, want 64", got)
+	}
+	if got := execRT(t, "rt_global_size", rt, 0, 0); got != 640 {
+		t.Errorf("rt_global_size(0) = %d, want 640", got)
+	}
+	if got := execRT(t, "rt_global_offset", rt, 0, 0); got != 0 {
+		t.Errorf("rt_global_offset = %d, want 0", got)
+	}
+	if got := execRT(t, "rt_work_dim", rt, 0, 0); got != 2 {
+		t.Errorf("rt_work_dim = %d, want 2", got)
+	}
+}
+
+// TestSchedWgroupDrainsQueue simulates the dequeue protocol: repeated
+// rt_sched_wgroup calls must hand out [0,total) in chunks and then
+// signal termination.
+func TestSchedWgroupDrainsQueue(t *testing.T) {
+	m, err := Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := interp.NewMachine(m)
+	const total, chunk = 10, 4
+	rtRegion := mach.NewRegion(RTWords*8, ir.Global)
+	rtRegion.WriteInt64s(0, BuildRT(1, [3]int64{total, 1, 1}, [3]int64{32, 1, 1}, chunk))
+	sdRegion := mach.NewRegion(SDWords*8, ir.Local)
+
+	// Driver kernel calls rt_sched_wgroup once per launch.
+	pRT := &ir.Param{Nam: "rt", Ty: ir.PointerTo(ir.I64T, ir.Global), Idx: 0}
+	pSD := &ir.Param{Nam: "sd", Ty: ir.PointerTo(ir.I64T, ir.Local), Idx: 1}
+	drv := m.NewFunction("__drv", ir.VoidT, pRT, pSD)
+	drv.Kernel = true
+	b := ir.NewBuilder(drv)
+	b.Call("rt_sched_wgroup", ir.VoidT, pRT, pSD)
+	b.Ret(nil)
+
+	args := []interp.Value{
+		{K: ir.Pointer, P: interp.Ptr{R: rtRegion}},
+		{K: ir.Pointer, P: interp.Ptr{R: sdRegion}},
+	}
+	var handedOut []int64
+	for i := 0; i < 5; i++ {
+		if err := mach.Launch("__drv", args, interp.ND1(1, 1)); err != nil {
+			t.Fatal(err)
+		}
+		sd := sdRegion.ReadInt64s(0, SDWords)
+		if sd[SDStatus] == StatusTerminate {
+			break
+		}
+		for vg := sd[SDBase]; vg < sd[SDEnd]; vg++ {
+			handedOut = append(handedOut, vg)
+		}
+	}
+	if len(handedOut) != total {
+		t.Fatalf("dequeued %d virtual groups, want %d: %v", len(handedOut), total, handedOut)
+	}
+	for i, vg := range handedOut {
+		if vg != int64(i) {
+			t.Fatalf("virtual groups out of order: %v", handedOut)
+		}
+	}
+	// Next call must terminate.
+	if err := mach.Launch("__drv", args, interp.ND1(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if sdRegion.ReadInt64s(0, SDWords)[SDStatus] != StatusTerminate {
+		t.Error("drained queue did not signal termination")
+	}
+}

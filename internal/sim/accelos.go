@@ -1,0 +1,205 @@
+package sim
+
+import "repro/internal/device"
+
+// Launch is a planned kernel execution under software scheduling: the
+// reduced number of physical work-groups chosen by the resource-sharing
+// algorithm, the dequeue chunk size, and the effective per-work-group
+// footprint.
+type Launch struct {
+	K *KernelExec
+	// PhysWGs is the number of physical work-groups to launch.
+	PhysWGs int64
+	// Chunk is the number of virtual groups handed out per scheduling
+	// operation (1 for the naive variant).
+	Chunk int64
+	// FP is the per-work-group resource footprint used for placement.
+	FP device.Footprint
+	// Ranges, for Elastic Kernels only, statically partitions the
+	// virtual groups: Ranges[w] = [base, end) executed by worker w.
+	Ranges [][2]int64
+}
+
+// PlanFunc plans physical work-group allocations for the currently
+// active kernel execution requests (the §3 resource-sharing algorithm;
+// implemented by package accelos). naive selects chunk size 1.
+type PlanFunc func(dev *device.Platform, active []*KernelExec, naive bool) []*Launch
+
+// RunAccelOS simulates the accelOS regime. Applications launch their
+// kernels Iters times back to back; the kernel scheduler plans each
+// arriving execution against the set of applications still running, so
+// shares adapt as applications finish (the paper's dynamic advantage
+// over static merging). Every physical work-group is a worker that
+// repeatedly performs a scheduling operation (cost SchedOpCost) to
+// dequeue Chunk virtual groups from the launch's Virtual NDRange and
+// executes them (each with a small VGOverhead for runtime ID
+// computation). Workers hold their resources until their queue drains —
+// a kernel execution is bound to its initial allocation (§2.5).
+func RunAccelOS(dev *device.Platform, execs []*KernelExec, naive bool, plan PlanFunc) *Result {
+	e := newEngine(dev, len(execs))
+	res := &Result{Timings: make([]KernelTiming, len(execs))}
+
+	type appState struct {
+		iter     int64
+		running  bool // an iteration is in flight
+		finished bool
+		started  bool
+	}
+	apps := make([]appState, len(execs))
+	roofs := make([]int64, len(execs))
+
+	// launchRun is one planned iteration in flight.
+	type launchRun struct {
+		ai          int
+		l           *Launch
+		cursor      int64
+		outstanding int64
+		placed      int64
+	}
+
+	type worker struct {
+		lr    *launchRun
+		avail int64
+	}
+	var pending []worker
+
+	var tryPlace func()
+	var submitIter func(ai int)
+
+	activeSet := func() []*KernelExec {
+		var act []*KernelExec
+		for i := range apps {
+			if !apps[i].finished {
+				act = append(act, execs[i])
+			}
+		}
+		return act
+	}
+
+	finishIter := func(lr *launchRun) {
+		ai := lr.ai
+		apps[ai].running = false
+		apps[ai].iter++
+		if apps[ai].iter >= execs[ai].NumIters() {
+			apps[ai].finished = true
+			res.Timings[ai].End = e.now
+			if e.now > res.Makespan {
+				res.Makespan = e.now
+			}
+			e.appFinished(execs[ai].ID)
+		} else {
+			submitIter(ai)
+		}
+	}
+
+	var workerStep func(lr *launchRun, cu int)
+	workerStep = func(lr *launchRun, cu int) {
+		k := lr.l.K
+		if lr.cursor >= k.NumWGs {
+			e.cus[cu].release(lr.l.FP, dev.WarpSize)
+			e.removeResident(k.ID)
+			lr.outstanding--
+			if lr.outstanding == 0 {
+				finishIter(lr)
+			}
+			tryPlace()
+			return
+		}
+		base := lr.cursor
+		remaining := k.NumWGs - base
+		end := base + lr.l.Chunk
+		if end > k.NumWGs {
+			end = k.NumWGs
+		}
+		lr.cursor = end
+		schedOp, vgOvh := dev.SchedOpCost, dev.VGOverhead
+		if naive {
+			// The untuned runtime library: no adaptive chunking and
+			// unoptimized scheduling/ID-computation paths (§8.5).
+			schedOp *= 2
+			vgOvh *= 3
+		}
+		cost := schedOp
+		for vg := base; vg < end; vg++ {
+			cost += k.VGCost(vg) + vgOvh
+		}
+		// Effective concurrency for the bandwidth roof: workers past the
+		// remaining queue depth will retire rather than compete.
+		n := e.residentWGs[k.ID]
+		if remaining < n {
+			n = remaining
+		}
+		mult := e.slowMult(k.ID, n)
+		cost = int64(float64(cost) * mult)
+		e.schedule(cost, func() { workerStep(lr, cu) })
+	}
+
+	tryPlace = func() {
+		for len(pending) > 0 {
+			w := pending[0]
+			lr := w.lr
+			if lr.cursor >= lr.l.K.NumWGs && lr.placed > 0 {
+				pending = pending[1:] // queue already drained
+				continue
+			}
+			if w.avail > e.now {
+				a := w.avail
+				e.at(a, func() { tryPlace() })
+				return
+			}
+			cu := e.pickCU(lr.l.FP)
+			if cu < 0 {
+				return // wait for a release
+			}
+			pending = pending[1:]
+			e.cus[cu].take(lr.l.FP, dev.WarpSize)
+			e.addResident(lr.l.K.ID, lr.l.K.MemIntensity)
+			lr.placed++
+			lr.outstanding++
+			if !apps[lr.ai].started {
+				apps[lr.ai].started = true
+				res.Timings[lr.ai].Start = e.now
+			}
+			cuIdx := cu
+			e.schedule(0, func() { workerStep(lr, cuIdx) })
+		}
+	}
+
+	submitIter = func(ai int) {
+		// The Kernel Scheduler plans this request against the
+		// applications still active (§5): shares grow as others leave.
+		act := activeSet()
+		planned := plan(dev, act, naive)
+		var l *Launch
+		for _, p := range planned {
+			if p.K.ID == execs[ai].ID {
+				l = p
+				break
+			}
+		}
+		if l == nil { // should not happen; fall back to a minimal launch
+			l = &Launch{K: execs[ai], PhysWGs: 1, Chunk: 1, FP: execs[ai].TransFootprint()}
+		}
+		apps[ai].running = true
+		lr := &launchRun{ai: ai, l: l}
+		// Launch overhead plus Virtual NDRange setup (the RT descriptor
+		// copy) before the first worker may start.
+		avail := e.now + dev.LaunchOverhead + dev.LaunchOverhead/8
+		for w := int64(0); w < l.PhysWGs; w++ {
+			pending = append(pending, worker{lr: lr, avail: avail})
+		}
+		e.at(avail, func() { tryPlace() })
+	}
+
+	for i, k := range execs {
+		roofs[i] = k.SatRoof(dev)
+		e.setRoof(k.ID, roofs[i])
+		submit := int64(i) * dev.LaunchOverhead
+		res.Timings[i] = KernelTiming{ID: k.ID, Name: k.Name, Submit: submit, Start: -1}
+		ai := i
+		e.at(submit, func() { submitIter(ai) })
+	}
+	e.run()
+	res.TimeAll, res.TimeAny = e.timeAll, e.timeAny
+	return res
+}

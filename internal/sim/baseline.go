@@ -1,0 +1,119 @@
+package sim
+
+import "repro/internal/device"
+
+// RunBaseline simulates the standard OpenCL stack. Each application
+// launches its kernel Iters times back to back; every launch submits its
+// full NDRange and the hardware scheduler statically partitions the grid
+// across compute units (contiguous wave-granularity blocks per CU,
+// drained greedily under the CU's occupancy limit). Per-CU queues are
+// FIFO across launches — the kernel that arrives first effectively
+// excludes the rest (§2.3 of the paper); tail overlap emerges when one
+// CU drains its block before its peers. On platforms whose driver never
+// co-schedules kernels (ExclusiveKernels), a later kernel's work-groups
+// additionally wait until the device holds no foreign work.
+func RunBaseline(dev *device.Platform, execs []*KernelExec) *Result {
+	e := newEngine(dev, len(execs))
+	res := &Result{Timings: make([]KernelTiming, len(execs))}
+
+	type wgref struct {
+		ki    int
+		vg    int64
+		avail int64
+	}
+	queues := make([][]wgref, dev.NumCUs)
+	type kstate struct {
+		iter     int64 // current iteration index
+		doneWGs  int64 // completed WGs of the current iteration
+		started  bool
+		finished bool
+	}
+	states := make([]kstate, len(execs))
+	roofs := make([]int64, len(execs))
+
+	var tryAll func()
+
+	submitIter := func(ki int) {
+		k := execs[ki]
+		avail := e.now + dev.LaunchOverhead
+		per := (k.NumWGs + int64(dev.NumCUs) - 1) / int64(dev.NumCUs)
+		for vg := int64(0); vg < k.NumWGs; vg++ {
+			cu := int(vg / per)
+			if cu >= dev.NumCUs {
+				cu = dev.NumCUs - 1
+			}
+			queues[cu] = append(queues[cu], wgref{ki: ki, vg: vg, avail: avail})
+		}
+	}
+
+	var tryDispatch func(cu int)
+	tryDispatch = func(cu int) {
+		for len(queues[cu]) > 0 {
+			head := queues[cu][0]
+			k := execs[head.ki]
+			if head.avail > e.now {
+				a := head.avail
+				e.at(a, func() { tryDispatch(cu) })
+				return
+			}
+			fp := k.Footprint()
+			if !e.cus[cu].fits(fp, dev.WarpSize) {
+				return // head-of-line blocking until a resident WG retires
+			}
+			if dev.ExclusiveKernels && e.foreignResident(k.ID) {
+				return // driver serializes distinct kernels
+			}
+			queues[cu] = queues[cu][1:]
+			e.cus[cu].take(fp, dev.WarpSize)
+			e.addResident(k.ID, k.MemIntensity)
+			if !states[head.ki].started {
+				states[head.ki].started = true
+				res.Timings[head.ki].Start = e.now
+			}
+			mult := e.slowMult(k.ID, e.residentWGs[k.ID])
+			cost := int64(float64(k.VGCost(head.vg)) * mult)
+			ki := head.ki
+			e.schedule(cost, func() {
+				e.cus[cu].release(fp, dev.WarpSize)
+				e.removeResident(k.ID)
+				st := &states[ki]
+				st.doneWGs++
+				if st.doneWGs == k.NumWGs {
+					st.doneWGs = 0
+					st.iter++
+					if st.iter >= k.NumIters() {
+						st.finished = true
+						res.Timings[ki].End = e.now
+						if e.now > res.Makespan {
+							res.Makespan = e.now
+						}
+						e.appFinished(k.ID)
+					} else {
+						submitIter(ki)
+					}
+				}
+				tryAll()
+			})
+		}
+	}
+	tryAll = func() {
+		for cu := 0; cu < dev.NumCUs; cu++ {
+			tryDispatch(cu)
+		}
+	}
+
+	for i, k := range execs {
+		roofs[i] = k.SatRoof(dev)
+		e.setRoof(k.ID, roofs[i])
+		submit := int64(i) * dev.LaunchOverhead
+		res.Timings[i] = KernelTiming{ID: k.ID, Name: k.Name, Submit: submit, Start: -1}
+		ki := i
+		e.at(submit, func() {
+			submitIter(ki)
+			tryAll()
+		})
+	}
+	e.run()
+	res.TimeAll, res.TimeAny = e.timeAll, e.timeAny
+	return res
+}

@@ -1,0 +1,155 @@
+package sim
+
+import "repro/internal/device"
+
+// EKPlanFunc statically plans a merged co-schedule for a set of kernels
+// (implemented by package elastic): per-kernel physical work-groups with
+// fixed virtual-group ranges, plus the merged kernel's footprint.
+type EKPlanFunc func(dev *device.Platform, execs []*KernelExec) ([]*Launch, device.Footprint)
+
+// RunElastic simulates the Elastic Kernels regime. Static merging works
+// in rounds: each round merges the next pending iteration of every still-
+// running application into one launch; the merged kernel completes only
+// when all its constituent ranges do, so every application waits for the
+// slowest member before its next iteration starts — the global barrier
+// inherent to static merging. Each physical work-group executes a fixed
+// contiguous range of one kernel's virtual groups with no rebalancing,
+// and pays the merged footprint (max work-group size, max registers, max
+// local memory of the round), which erodes occupancy as the number of
+// merged kernels grows.
+func RunElastic(dev *device.Platform, execs []*KernelExec, plan EKPlanFunc) *Result {
+	e := newEngine(dev, len(execs))
+	res := &Result{Timings: make([]KernelTiming, len(execs))}
+
+	type appState struct {
+		iter     int64
+		finished bool
+		started  bool
+	}
+	apps := make([]appState, len(execs))
+	roofs := make([]int64, len(execs))
+	for i, k := range execs {
+		roofs[i] = k.SatRoof(dev)
+		e.setRoof(k.ID, roofs[i])
+		res.Timings[i] = KernelTiming{ID: k.ID, Name: k.Name, Submit: 0, Start: -1}
+	}
+
+	idx := make(map[int]int, len(execs)) // kernel ID -> app index
+	for i, k := range execs {
+		idx[k.ID] = i
+	}
+
+	var startRound func()
+
+	type worker struct {
+		li    int // index into the round's launches
+		r     [2]int64
+		avail int64
+	}
+
+	startRound = func() {
+		var members []*KernelExec
+		for i, k := range execs {
+			if !apps[i].finished {
+				members = append(members, k)
+			}
+		}
+		if len(members) == 0 {
+			return
+		}
+		launches, merged := plan(dev, members)
+		// One merged submission per round: a single driver launch plus
+		// the static merge step.
+		avail := e.now + dev.LaunchOverhead + dev.LaunchOverhead/2
+
+		remaining := 0
+		for _, l := range launches {
+			remaining += len(l.Ranges)
+		}
+		outstanding := make([]int, len(launches))
+		for li, l := range launches {
+			outstanding[li] = len(l.Ranges)
+		}
+		roundLeft := remaining
+
+		var pending []worker
+		maxW := 0
+		for _, l := range launches {
+			if len(l.Ranges) > maxW {
+				maxW = len(l.Ranges)
+			}
+		}
+		for w := 0; w < maxW; w++ {
+			for li, l := range launches {
+				if w < len(l.Ranges) {
+					pending = append(pending, worker{li: li, r: l.Ranges[w], avail: avail})
+				}
+			}
+		}
+
+		var tryPlace func()
+		tryPlace = func() {
+			for len(pending) > 0 {
+				w := pending[0]
+				l := launches[w.li]
+				ai := idx[l.K.ID]
+				if w.avail > e.now {
+					a := w.avail
+					e.at(a, func() { tryPlace() })
+					return
+				}
+				cu := e.pickCU(merged)
+				if cu < 0 {
+					return
+				}
+				pending = pending[1:]
+				e.cus[cu].take(merged, dev.WarpSize)
+				e.addResident(l.K.ID, l.K.MemIntensity)
+				if !apps[ai].started {
+					apps[ai].started = true
+					res.Timings[ai].Start = e.now
+				}
+				var cost int64
+				for vg := w.r[0]; vg < w.r[1]; vg++ {
+					cost += l.K.VGCost(vg)
+				}
+				mult := e.slowMult(l.K.ID, e.residentWGs[l.K.ID])
+				cost = int64(float64(cost) * mult)
+				li := w.li
+				cuIdx := cu
+				e.schedule(cost, func() {
+					e.cus[cuIdx].release(merged, dev.WarpSize)
+					e.removeResident(l.K.ID)
+					outstanding[li]--
+					if outstanding[li] == 0 {
+						// This kernel's share of the round is complete.
+						a := idx[launches[li].K.ID]
+						apps[a].iter++
+						if apps[a].iter >= launches[li].K.NumIters() {
+							apps[a].finished = true
+							res.Timings[a].End = e.now
+							if e.now > res.Makespan {
+								res.Makespan = e.now
+							}
+							e.appFinished(launches[li].K.ID)
+						}
+					}
+					roundLeft--
+					if roundLeft == 0 {
+						// Global barrier: the next merged launch starts
+						// only after the whole round retires.
+						startRound()
+						return
+					}
+					tryPlace()
+				})
+			}
+		}
+		e.at(avail, func() { tryPlace() })
+	}
+
+	e.at(0, startRound)
+	e.run()
+	res.TimeAll, res.TimeAny = e.timeAll, e.timeAny
+	return res
+}

@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"container/heap"
+
+	"repro/internal/device"
+)
+
+// event is a scheduled callback.
+type event struct {
+	t   int64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// cuState tracks the free resources of one compute unit.
+type cuState struct {
+	freeThreads int64
+	freeLocal   int64
+	freeRegs    int64
+}
+
+func (c *cuState) fits(fp device.Footprint, warp int64) bool {
+	threads := roundUp(fp.Threads, warp)
+	return c.freeThreads >= threads && c.freeLocal >= fp.LocalBytes && c.freeRegs >= fp.Regs
+}
+
+func (c *cuState) take(fp device.Footprint, warp int64) {
+	c.freeThreads -= roundUp(fp.Threads, warp)
+	c.freeLocal -= fp.LocalBytes
+	c.freeRegs -= fp.Regs
+}
+
+func (c *cuState) release(fp device.Footprint, warp int64) {
+	c.freeThreads += roundUp(fp.Threads, warp)
+	c.freeLocal += fp.LocalBytes
+	c.freeRegs += fp.Regs
+}
+
+func roundUp(v, unit int64) int64 {
+	if unit <= 0 {
+		return v
+	}
+	return (v + unit - 1) / unit * unit
+}
+
+// engine is the discrete-event core shared by all scheme runners.
+type engine struct {
+	dev *device.Platform
+	now int64
+	seq int64
+	evq eventHeap
+	cus []cuState
+
+	// resident counts distinct kernels currently occupying each CU,
+	// device-wide, for the contention model: residentWGs[kernelID] is
+	// the number of resident work-groups of that kernel.
+	residentWGs map[int]int64
+	memIntens   map[int]float64
+	roofs       map[int]int64
+
+	// Co-execution accounting for the paper's overlap metric
+	// O = T(c)/T(t): timeAll integrates periods when every application
+	// has work resident; timeAny when at least one does.
+	apps     int
+	active   int
+	lastMark int64
+	timeAll  int64
+	timeAny  int64
+	finished map[int]bool // apps that completed all their launches
+}
+
+func newEngine(dev *device.Platform, apps int) *engine {
+	e := &engine{
+		dev:         dev,
+		apps:        apps,
+		cus:         make([]cuState, dev.NumCUs),
+		residentWGs: make(map[int]int64),
+		memIntens:   make(map[int]float64),
+		roofs:       make(map[int]int64),
+		finished:    make(map[int]bool),
+	}
+	for i := range e.cus {
+		e.cus[i] = cuState{
+			freeThreads: dev.ThreadsPerCU,
+			freeLocal:   dev.LocalMemPerCU,
+			freeRegs:    dev.RegsPerCU,
+		}
+	}
+	return e
+}
+
+// mark integrates the co-execution clocks up to the current time. It must
+// be called before any transition of the resident set.
+func (e *engine) mark() {
+	dt := e.now - e.lastMark
+	if dt > 0 && e.active > 0 {
+		e.timeAny += dt
+		// T(c): all K kernels of the workload co-executing (§7.4).
+		if e.active >= e.apps {
+			e.timeAll += dt
+		}
+	}
+	e.lastMark = e.now
+}
+
+// appFinished records that an application has completed all its work.
+func (e *engine) appFinished(id int) {
+	e.mark()
+	e.finished[id] = true
+}
+
+func (e *engine) schedule(dt int64, fn func()) {
+	if dt < 0 {
+		dt = 0
+	}
+	e.seq++
+	heap.Push(&e.evq, event{t: e.now + dt, seq: e.seq, fn: fn})
+}
+
+func (e *engine) at(t int64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.evq, event{t: t, seq: e.seq, fn: fn})
+}
+
+// run drains the event queue.
+func (e *engine) run() {
+	for e.evq.Len() > 0 {
+		ev := heap.Pop(&e.evq).(event)
+		e.now = ev.t
+		ev.fn()
+	}
+}
+
+// setRoof registers a kernel's scalability roof for the bandwidth model.
+func (e *engine) setRoof(id int, roof int64) {
+	e.roofs[id] = roof
+}
+
+// bandwidthDemand sums the resident kernels' pressure on the memory
+// system. A kernel saturates its achievable memory traffic (MemIntensity
+// of the device's bandwidth) at its roof; beyond the roof extra resident
+// work-groups only queue, so demand clamps at the kernel's intensity.
+func (e *engine) bandwidthDemand() float64 {
+	var d float64
+	for id, n := range e.residentWGs {
+		if n <= 0 {
+			continue
+		}
+		u := 1.0
+		if r := e.roofs[id]; r > 0 {
+			u = float64(n) / float64(r)
+			if u > 1 {
+				u = 1
+			}
+		}
+		d += e.memIntens[id] * u
+	}
+	return d
+}
+
+// slowMult returns the execution-time multiplier for a work-group of
+// kernel id running with nEff effective peers of its own kernel. Two
+// factors compose: the kernel's own scalability roof (nEff/roof when
+// oversubscribed — progress capped at the roof), and memory-system
+// oversubscription (total demand D > 1 slows every memory-bound
+// work-group by D). Kernels starved below their roof still pay the
+// bandwidth factor but not the roof factor — the regime static
+// misallocation (Elastic Kernels) puts victims in.
+func (e *engine) slowMult(id int, nEff int64) float64 {
+	roof := e.roofs[id]
+	if roof <= 0 || nEff <= 0 {
+		return 1
+	}
+	own := float64(nEff) / float64(roof)
+	if own < 1 {
+		own = 1
+	}
+	d := e.bandwidthDemand()
+	if d < 1 {
+		d = 1
+	}
+	return own * d
+}
+
+// foreignResident reports whether any other kernel currently occupies
+// the device.
+func (e *engine) foreignResident(id int) bool {
+	for k, n := range e.residentWGs {
+		if k != id && n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *engine) addResident(id int, mi float64) {
+	if e.residentWGs[id] == 0 {
+		e.mark()
+		e.active++
+	}
+	e.residentWGs[id]++
+	e.memIntens[id] = mi
+}
+
+func (e *engine) removeResident(id int) {
+	e.residentWGs[id]--
+	if e.residentWGs[id] == 0 {
+		e.mark()
+		e.active--
+	}
+}
+
+// pickCU returns the index of the compute unit with the most free
+// threads among those that fit fp, or -1.
+func (e *engine) pickCU(fp device.Footprint) int {
+	best := -1
+	var bestFree int64 = -1
+	for i := range e.cus {
+		if e.cus[i].fits(fp, e.dev.WarpSize) && e.cus[i].freeThreads > bestFree {
+			best = i
+			bestFree = e.cus[i].freeThreads
+		}
+	}
+	return best
+}

@@ -1,0 +1,256 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/accelos"
+	"repro/internal/device"
+	"repro/internal/elastic"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// synth builds a synthetic kernel execution request.
+func synth(id int, wgs, numWGs, cost int64, imb, mem float64) *sim.KernelExec {
+	return &sim.KernelExec{
+		ID: id, Name: "synth",
+		WGSize: wgs, NumWGs: numWGs,
+		LocalBytes: 2048, RegsPerThread: 24,
+		BaseWGCost: cost, Imbalance: imb, MemIntensity: mem,
+		SatFrac: 0.55,
+		Iters:   4,
+		Chunk:   2,
+	}
+}
+
+func isolated(dev *device.Platform, k *sim.KernelExec) int64 {
+	kc := *k
+	r := sim.RunBaseline(dev, []*sim.KernelExec{&kc})
+	return r.Timings[0].Duration()
+}
+
+func slowdowns(dev *device.Platform, r *sim.Result, execs []*sim.KernelExec) []float64 {
+	out := make([]float64, len(execs))
+	for i, k := range execs {
+		out[i] = metrics.IndividualSlowdown(r.ByID(k.ID).Duration(), isolated(dev, k))
+	}
+	return out
+}
+
+func cloneExecs(execs []*sim.KernelExec) []*sim.KernelExec {
+	out := make([]*sim.KernelExec, len(execs))
+	for i, k := range execs {
+		c := *k
+		out[i] = &c
+	}
+	return out
+}
+
+// parboilMix is a Parboil-like 4-request workload: mostly memory-bound
+// kernels whose throughput saturates below full occupancy, plus one small
+// grid, with iteration counts that give the applications comparable
+// isolated durations.
+func parboilMix() []*sim.KernelExec {
+	execs := []*sim.KernelExec{
+		synth(0, 128, 600, 20000, 0.2, 0.6),
+		synth(1, 256, 400, 30000, 0.3, 0.7),
+		synth(2, 64, 150, 15000, 0.2, 0.3),
+		synth(3, 128, 500, 25000, 0.25, 0.6),
+	}
+	execs[0].SatFrac = 0.30
+	execs[1].SatFrac = 0.35
+	execs[2].SatFrac = 0 // small grid: a single wave regardless
+	execs[3].SatFrac = 0.25
+	return execs
+}
+
+func TestBaselineSerializesAccelOSShares(t *testing.T) {
+	for _, dev := range device.Platforms() {
+		execs := parboilMix()
+		sim.EqualizeIters(dev, execs, 4)
+		base := sim.RunBaseline(dev, cloneExecs(execs))
+		acc := sim.RunAccelOS(dev, cloneExecs(execs), false, accelos.PlanShares)
+
+		if bo, ao := base.Overlap(), acc.Overlap(); ao <= bo+0.2 {
+			t.Errorf("%s: accelOS overlap %.2f should far exceed baseline %.2f", dev.Vendor, ao, bo)
+		}
+
+		baseIS := slowdowns(dev, base, execs)
+		accIS := slowdowns(dev, acc, execs)
+		bu := metrics.Unfairness(baseIS)
+		au := metrics.Unfairness(accIS)
+		if au >= bu {
+			t.Errorf("%s: accelOS unfairness %.2f not below baseline %.2f", dev.Vendor, au, bu)
+		}
+		if au > 3.5 {
+			t.Errorf("%s: accelOS unfairness %.2f too high for similar kernels", dev.Vendor, au)
+		}
+		sp := metrics.ThroughputSpeedup(base.Makespan, acc.Makespan)
+		if sp < 1.0 {
+			t.Errorf("%s: accelOS throughput speedup %.2f < 1 for balanced workload", dev.Vendor, sp)
+		}
+		t.Logf("%s: baseU=%.2f accU=%.2f speedup=%.2f overlap base=%.2f acc=%.2f",
+			dev.Vendor, bu, au, sp, base.Overlap(), acc.Overlap())
+	}
+}
+
+func TestElasticStaticAllocation(t *testing.T) {
+	dev := device.NVIDIAK20m()
+	// Strongly heterogeneous durations: EK's work-proportional static
+	// split plus the round barrier leaves unfairness near the baseline's.
+	execs := []*sim.KernelExec{
+		synth(0, 128, 200, 8000, 0.2, 0.4),
+		synth(1, 128, 800, 60000, 0.2, 0.4),
+	}
+	base := sim.RunBaseline(dev, cloneExecs(execs))
+	ek := sim.RunElastic(dev, cloneExecs(execs), elastic.Plan)
+	acc := sim.RunAccelOS(dev, cloneExecs(execs), false, accelos.PlanShares)
+
+	baseU := metrics.Unfairness(slowdowns(dev, base, execs))
+	ekU := metrics.Unfairness(slowdowns(dev, ek, execs))
+	accU := metrics.Unfairness(slowdowns(dev, acc, execs))
+	if accU >= ekU {
+		t.Errorf("accelOS unfairness %.2f should beat EK %.2f", accU, ekU)
+	}
+	if metrics.FairnessImprovement(baseU, ekU) > metrics.FairnessImprovement(baseU, accU) {
+		t.Errorf("EK fairness improvement exceeds accelOS (base=%.2f ek=%.2f acc=%.2f)", baseU, ekU, accU)
+	}
+	t.Logf("baseU=%.2f ekU=%.2f accU=%.2f", baseU, ekU, accU)
+}
+
+func TestElasticDegradesWithManyKernels(t *testing.T) {
+	dev := device.NVIDIAK20m()
+	var execs []*sim.KernelExec
+	for i := 0; i < 8; i++ {
+		k := synth(i, 64+int64(i%3)*96, 400+int64(i)*50, 15000+int64(i)*4000, 0.2, 0.4)
+		k.RegsPerThread = 16 + int64(i)*4 // spread register demand: max hurts merged code
+		k.SatFrac = 0.3
+		execs = append(execs, k)
+	}
+	base := sim.RunBaseline(dev, cloneExecs(execs))
+	ek := sim.RunElastic(dev, cloneExecs(execs), elastic.Plan)
+	acc := sim.RunAccelOS(dev, cloneExecs(execs), false, accelos.PlanShares)
+
+	ekSp := metrics.ThroughputSpeedup(base.Makespan, ek.Makespan)
+	accSp := metrics.ThroughputSpeedup(base.Makespan, acc.Makespan)
+	if accSp <= ekSp {
+		t.Errorf("accelOS speedup %.2f should exceed EK %.2f at 8 requests", accSp, ekSp)
+	}
+	t.Logf("8 requests: EK speedup=%.2f accelOS speedup=%.2f", ekSp, accSp)
+}
+
+func TestSingleKernelOverhead(t *testing.T) {
+	dev := device.NVIDIAK20m()
+	// A small, skew-heavy kernel: the adaptive policy picks a large
+	// chunk to amortize the dequeue cost, and dynamic balancing absorbs
+	// the gradient that static dispatch turns into tail idle time
+	// (§8.5, Fig. 15).
+	k := synth(0, 128, 6000, 4500, 0.25, 0.4)
+	k.Skew = 0.6
+	k.SatFrac = 0 // compute-bound: full occupancy helps
+	k.Iters = 2
+	k.Chunk = 6
+	alone := isolated(dev, k)
+
+	opt := sim.RunAccelOS(dev, cloneExecs([]*sim.KernelExec{k}), false, accelos.PlanShares)
+	naive := sim.RunAccelOS(dev, cloneExecs([]*sim.KernelExec{k}), true, accelos.PlanShares)
+
+	optSpeed := float64(alone) / float64(opt.Timings[0].Duration())
+	naiveSpeed := float64(alone) / float64(naive.Timings[0].Duration())
+	if optSpeed < naiveSpeed {
+		t.Errorf("optimized %.3f should be at least naive %.3f", optSpeed, naiveSpeed)
+	}
+	if optSpeed < 0.95 || optSpeed > 1.3 {
+		t.Errorf("optimized single-kernel speedup %.3f outside plausible band", optSpeed)
+	}
+	if naiveSpeed < 0.85 {
+		t.Errorf("naive single-kernel speedup %.3f implausibly low", naiveSpeed)
+	}
+	t.Logf("single-kernel: naive=%.3f optimized=%.3f", naiveSpeed, optSpeed)
+}
+
+func TestAdaptiveSharesWhenAppsFinish(t *testing.T) {
+	// One app runs many iterations; the other finishes quickly. After
+	// the second app leaves, the first should be re-planned with a
+	// larger share, so its slowdown stays well under a static half.
+	dev := device.NVIDIAK20m()
+	long := synth(0, 128, 400, 20000, 0.2, 0.4)
+	long.SatFrac = 0
+	long.Iters = 12
+	short := synth(1, 128, 400, 20000, 0.2, 0.4)
+	short.SatFrac = 0
+	short.Iters = 1
+
+	r := sim.RunAccelOS(dev, cloneExecs([]*sim.KernelExec{long, short}), false, accelos.PlanShares)
+	is := metrics.IndividualSlowdown(r.ByID(0).Duration(), isolated(dev, long))
+	if is > 1.6 {
+		t.Errorf("long app slowdown %.2f suggests shares are not re-planned after peer exit", is)
+	}
+	t.Logf("long-app slowdown with early peer exit: %.2f", is)
+}
+
+func TestResourceSharingAlgorithm(t *testing.T) {
+	dev := device.NVIDIAK20m()
+	execs := []*sim.KernelExec{
+		synth(0, 256, 1000, 10000, 0.1, 0.3),
+		synth(1, 64, 1000, 10000, 0.1, 0.3),
+		synth(2, 128, 1000, 10000, 0.1, 0.3),
+		synth(3, 128, 1000, 10000, 0.1, 0.3),
+	}
+	launches := accelos.PlanShares(dev, execs, false)
+	var threads, local, regs int64
+	for _, l := range launches {
+		if l.PhysWGs < 1 {
+			t.Fatalf("kernel %d received no work-groups", l.K.ID)
+		}
+		if l.PhysWGs > l.K.NumWGs {
+			t.Errorf("kernel %d: %d physical WGs exceeds its %d virtual groups", l.K.ID, l.PhysWGs, l.K.NumWGs)
+		}
+		threads += l.PhysWGs * dev.RoundWarp(l.FP.Threads)
+		local += l.PhysWGs * l.FP.LocalBytes
+		regs += l.PhysWGs * l.FP.Regs
+	}
+	if threads > dev.TotalThreads() {
+		t.Errorf("thread allocation %d exceeds device capacity %d", threads, dev.TotalThreads())
+	}
+	if local > dev.TotalLocalMem() {
+		t.Errorf("local memory allocation %d exceeds device capacity %d", local, dev.TotalLocalMem())
+	}
+	if regs > dev.TotalRegs() {
+		t.Errorf("register allocation %d exceeds device capacity %d", regs, dev.TotalRegs())
+	}
+	// Equal-share objective: thread allocations should be close.
+	var mn, mx int64 = 1 << 62, 0
+	for _, l := range launches {
+		th := l.PhysWGs * dev.RoundWarp(l.FP.Threads)
+		if th < mn {
+			mn = th
+		}
+		if th > mx {
+			mx = th
+		}
+	}
+	if float64(mx-mn) > 0.25*float64(mx) {
+		t.Errorf("thread shares spread too wide: min %d max %d", mn, mx)
+	}
+}
+
+func TestPlanSharesNaiveChunk(t *testing.T) {
+	dev := device.AMDR9295X2()
+	// A large grid keeps the adaptive chunk un-capped.
+	k := synth(0, 128, 200000, 5000, 0.1, 0.2)
+	k.Chunk = 8
+	if l := accelos.PlanSingle(dev, k, true); l.Chunk != 1 {
+		t.Errorf("naive chunk = %d, want 1", l.Chunk)
+	}
+	if l := accelos.PlanSingle(dev, k, false); l.Chunk != 8 {
+		t.Errorf("optimized chunk = %d, want 8", l.Chunk)
+	}
+	// A small grid caps the chunk so every worker still dequeues
+	// repeatedly (tail granularity).
+	small := synth(1, 128, 100, 5000, 0.1, 0.2)
+	small.Chunk = 8
+	if l := accelos.PlanSingle(dev, small, false); l.Chunk != 1 {
+		t.Errorf("capped chunk = %d, want 1 for a 100-group grid", l.Chunk)
+	}
+}

@@ -1,0 +1,94 @@
+// Package workload generates the paper's multi-kernel workloads (§7.2):
+// all 25×25 pairwise combinations of the Parboil kernels, and seeded
+// random samples of the 25⁴ 4-kernel and 25⁸ 8-kernel combination
+// spaces. Iteration counts equalize isolated application durations, the
+// way the benchmark applications co-run for comparable wall-clock time.
+package workload
+
+import (
+	"repro/internal/device"
+	"repro/internal/parboil"
+	"repro/internal/sim"
+)
+
+// NumKernels is the Parboil kernel count (25).
+func NumKernels() int { return len(parboil.Kernels()) }
+
+// Pairs enumerates all ordered pairwise combinations (25×25 = 625),
+// matching the paper's pair population.
+func Pairs() [][]int {
+	n := NumKernels()
+	out := make([][]int, 0, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out = append(out, []int{i, j})
+		}
+	}
+	return out
+}
+
+// rng is the deterministic generator used for sampling combination
+// spaces (splitmix64).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Random samples count random k-kernel combinations (ordered, with
+// repetition — the paper's 25^k spaces) using the given seed.
+func Random(seed uint64, k, count int) [][]int {
+	r := &rng{s: seed}
+	n := uint64(NumKernels())
+	out := make([][]int, count)
+	for w := 0; w < count; w++ {
+		combo := make([]int, k)
+		for i := range combo {
+			combo[i] = int(r.next() % n)
+		}
+		out[w] = combo
+	}
+	return out
+}
+
+// BuildSingle converts kernel indices into one-shot concurrent execution
+// requests (the paper's fairness and throughput workloads: K kernel
+// execution requests arriving together, §7.2).
+func BuildSingle(dev *device.Platform, idxs []int) []*sim.KernelExec {
+	ks := parboil.Kernels()
+	execs := make([]*sim.KernelExec, len(idxs))
+	for i, idx := range idxs {
+		execs[i] = ks[idx].Exec(i)
+		execs[i].Iters = 1
+	}
+	return execs
+}
+
+// Build converts kernel indices into simulator execution requests with
+// equalized application durations (the steady-state co-execution mode
+// used for the overlap study, Fig. 12). baseIters is the iteration count
+// of the longest-running member.
+func Build(dev *device.Platform, idxs []int, baseIters int64) []*sim.KernelExec {
+	ks := parboil.Kernels()
+	execs := make([]*sim.KernelExec, len(idxs))
+	for i, idx := range idxs {
+		execs[i] = ks[idx].Exec(i)
+	}
+	sim.EqualizeIters(dev, execs, baseIters)
+	return execs
+}
+
+// Clone deep-copies a workload so independent simulations cannot share
+// mutable state.
+func Clone(execs []*sim.KernelExec) []*sim.KernelExec {
+	out := make([]*sim.KernelExec, len(execs))
+	for i, k := range execs {
+		c := *k
+		out[i] = &c
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestPairsCoverGrid(t *testing.T) {
+	pairs := Pairs()
+	if len(pairs) != 625 {
+		t.Fatalf("pairwise population = %d, want 625 (25x25, the paper's count)", len(pairs))
+	}
+	seen := make(map[[2]int]bool)
+	for _, p := range pairs {
+		if len(p) != 2 {
+			t.Fatal("pair with wrong arity")
+		}
+		seen[[2]int{p[0], p[1]}] = true
+	}
+	if len(seen) != 625 {
+		t.Errorf("pairs contain duplicates: %d unique", len(seen))
+	}
+}
+
+func TestRandomDeterministicAndInRange(t *testing.T) {
+	a := Random(42, 4, 100)
+	b := Random(42, 4, 100)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed produced different combinations")
+			}
+			if a[i][j] < 0 || a[i][j] >= NumKernels() {
+				t.Fatalf("kernel index %d out of range", a[i][j])
+			}
+		}
+	}
+	c := Random(43, 4, 100)
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != c[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical populations")
+	}
+}
+
+func TestBuildSingle(t *testing.T) {
+	dev := device.NVIDIAK20m()
+	execs := BuildSingle(dev, []int{0, 3, 7})
+	if len(execs) != 3 {
+		t.Fatal("wrong workload size")
+	}
+	for i, k := range execs {
+		if k.ID != i {
+			t.Errorf("request %d has ID %d", i, k.ID)
+		}
+		if k.NumIters() != 1 {
+			t.Errorf("single-shot request has %d iterations", k.NumIters())
+		}
+	}
+}
+
+func TestBuildEqualizesDurations(t *testing.T) {
+	dev := device.NVIDIAK20m()
+	// Pick a long and a short kernel; after Build their isolated app
+	// durations should be within ~2x.
+	execs := Build(dev, []int{0, 6}, 3) // bfs and lbm
+	d0 := execs[0].EstimateIsolatedCycles(dev) * execs[0].NumIters()
+	d1 := execs[1].EstimateIsolatedCycles(dev) * execs[1].NumIters()
+	ratio := float64(d0) / float64(d1)
+	if ratio < 1 {
+		ratio = 1 / ratio
+	}
+	if ratio > 2 {
+		t.Errorf("equalized app durations still differ %.1fx", ratio)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	dev := device.NVIDIAK20m()
+	execs := BuildSingle(dev, []int{1, 2})
+	c := Clone(execs)
+	c[0].NumWGs = 1
+	if execs[0].NumWGs == 1 {
+		t.Error("Clone shares memory with the original")
+	}
+}
