@@ -12,6 +12,7 @@ import (
 	"repro/internal/accelos"
 	"repro/internal/accelpass"
 	"repro/internal/clc"
+	"repro/internal/cluster"
 	"repro/internal/device"
 	"repro/internal/elastic"
 	"repro/internal/experiments"
@@ -245,6 +246,68 @@ func BenchmarkPlanShares(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		accelos.PlanShares(dev, execs, false)
+	}
+}
+
+// BenchmarkPlanTenantShares measures the tenant-weighted §3 variant the
+// cluster layer plans every admission and completion with.
+func BenchmarkPlanTenantShares(b *testing.B) {
+	dev := device.NVIDIAK20m()
+	execs := workload.BuildSingle(dev, workload.Random(11, 8, 1)[0])
+	tenants := make([]string, len(execs))
+	for i := range tenants {
+		tenants[i] = fmt.Sprintf("tenant%d", i%3)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		accelos.PlanTenantShares(dev, execs, tenants, nil, false)
+	}
+}
+
+// BenchmarkClusterPlacement measures one placement decision per policy
+// over an 8-device heterogeneous pool — the scheduler-latency hot path
+// of the admission controller.
+func BenchmarkClusterPlacement(b *testing.B) {
+	devs := device.PoolOf(8)
+	loads := make([]sim.DeviceLoad, len(devs))
+	for i, d := range devs {
+		loads[i] = sim.DeviceLoad{Dev: d, Index: i, PendingWork: int64(i) * 1e6}
+	}
+	e := &sim.ClusterExec{
+		K:      &sim.KernelExec{ID: 1, WGSize: 128, NumWGs: 4096, BaseWGCost: 1000, RegsPerThread: 16},
+		Tenant: "tenant1",
+	}
+	for _, name := range cluster.PolicyNames() {
+		pol, err := cluster.PolicyByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pol.Pick(e, loads)
+			}
+		})
+	}
+}
+
+// BenchmarkRunCluster measures a full multi-tenant cluster simulation
+// (placement + admission + tenant-weighted planning + rebalancing) per
+// policy, and reports the resulting makespan and migration count.
+func BenchmarkRunCluster(b *testing.B) {
+	devs := device.PoolOf(4)
+	for _, name := range cluster.PolicyNames() {
+		b.Run(name, func(b *testing.B) {
+			var r *sim.ClusterResult
+			for i := 0; i < b.N; i++ {
+				pol, _ := cluster.PolicyByName(name)
+				sched := cluster.NewScheduler(pol, accelos.PlanWeighted)
+				execs := workload.Tenants(devs, 3, 4, 0xC10)
+				r = sim.RunCluster(devs, execs, sched, sim.ClusterOptions{Rebalance: true})
+			}
+			b.ReportMetric(float64(r.Makespan), "makespan-cycles")
+			b.ReportMetric(float64(r.Migrations), "migrations")
+		})
 	}
 }
 

@@ -8,7 +8,11 @@
 //	accelsim -exp fig13 -full         # paper-scale populations (625/16384/32768)
 //
 // Experiments: fig2, fig9, fig10, fig11, fig12, fig13, fig14, fig15,
-// table1, table2, all.
+// table1, table2, all. Beyond the paper, `-exp cluster` simulates a
+// multi-device pool behind the cluster scheduler:
+//
+//	accelsim -exp cluster -devices 4 -policy least-loaded
+//	accelsim -exp cluster -devices 4 -policy all -tenants 4
 package main
 
 import (
@@ -19,20 +23,33 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig2, fig9..fig15, table1, table2, all)")
+	exp := flag.String("exp", "all", "experiment id (fig2, fig9..fig15, table1, table2, cluster, all)")
 	platform := flag.String("platform", "both", "platform: nvidia, amd or both")
 	full := flag.Bool("full", false, "paper-scale populations (625 pairs, 16384 4-sets, 32768 8-sets); slow")
 	pairs := flag.Int("pairs", 0, "override pair population size")
 	fours := flag.Int("fours", 0, "override 4-set population size")
 	eights := flag.Int("eights", 0, "override 8-set population size")
 	par := flag.Int("parallel", runtime.NumCPU(), "workload-level parallelism")
+	devices := flag.Int("devices", 3, "cluster experiment: pool size (heterogeneous, alternating platforms)")
+	policy := flag.String("policy", "all", "cluster experiment: placement policy, or 'all' to sweep")
+	tenants := flag.Int("tenants", 3, "cluster experiment: concurrent applications")
+	perTenant := flag.Int("per-tenant", 4, "cluster experiment: kernel requests per application")
 	flag.Parse()
+
+	if *exp == "cluster" {
+		if err := runCluster(*devices, *policy, *tenants, *perTenant); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	var devs []*device.Platform
 	switch *platform {
@@ -108,6 +125,38 @@ func main() {
 }
 
 var schemes = []experiments.Scheme{experiments.Baseline, experiments.EK, experiments.AccelOS}
+
+// runCluster sweeps the cluster scheduler: one row per placement
+// policy, with and without rebalancing.
+func runCluster(devices int, policy string, tenants, perTenant int) error {
+	pols := []string{policy}
+	if policy == "all" {
+		pols = cluster.PolicyNames()
+	}
+	fmt.Printf("--- cluster: %d devices, %d tenants x %d requests ---\n", devices, tenants, perTenant)
+	fmt.Printf("%-16s %-10s %12s %8s %8s %11s %s\n",
+		"policy", "rebalance", "makespan", "speedup", "spread", "migrations", "tenant shares")
+	for _, pol := range pols {
+		for _, reb := range []bool{false, true} {
+			rep, err := experiments.RunClusterExperiment(experiments.ClusterConfig{
+				Devices: devices, Policy: pol,
+				Tenants: tenants, PerTenant: perTenant,
+				Seed: 0xC10, Rebalance: reb,
+			})
+			if err != nil {
+				return err
+			}
+			var shares strings.Builder
+			for _, t := range experiments.SortedTenants(rep.TenantShares) {
+				fmt.Fprintf(&shares, "%s=%.2f ", t, rep.TenantShares[t])
+			}
+			fmt.Printf("%-16s %-10v %12d %7.2fx %8.3f %11d %s\n",
+				pol, reb, rep.Result.Makespan, rep.Speedup, rep.ShareSpread,
+				rep.Result.Migrations, shares.String())
+		}
+	}
+	return nil
+}
 
 func fig2(e *experiments.Engine) {
 	fmt.Println("\n--- Fig. 2: parallel execution of bfs, cutcp, stencil, tpacf ---")

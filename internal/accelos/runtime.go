@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/accelpass"
 	"repro/internal/clc"
+	"repro/internal/cluster"
+	"repro/internal/device"
 	"repro/internal/ir"
 	"repro/internal/opencl"
 	"repro/internal/rtlib"
@@ -20,6 +22,13 @@ type Runtime struct {
 	Plat  *opencl.Platform
 	Ctx   *opencl.Context
 	Queue *opencl.CommandQueue
+
+	// plats and pool are set when the runtime is constructed over a
+	// device pool (NewClusterRuntime): kernel executions are then placed
+	// per-device by the cluster policy and shares are planned against
+	// the chosen device's resident set only.
+	plats []*opencl.Platform
+	pool  *cluster.Pool
 
 	mon *Monitor
 	mem *MemoryManager
@@ -44,6 +53,9 @@ type Stats struct {
 	ProgramsJITed   int
 	KernelsLaunched int
 	Passthroughs    int
+	// DeviceLaunches counts launches per pool member (cluster runtimes
+	// only; nil for single-device runtimes).
+	DeviceLaunches []int
 }
 
 // Request is one intercepted OpenCL call.
@@ -80,6 +92,32 @@ func NewRuntime(plat *opencl.Platform) *Runtime {
 	return rt
 }
 
+// NewClusterRuntime starts the accelOS daemon over a pool of platforms.
+// Kernel execution requests are placed on a pool member by the cluster
+// placement policy (nil means least-loaded); the §3 share plan then
+// divides only that device among its resident kernels, with each
+// application acting as one tenant. Memory management and JIT
+// compilation stay on the primary platform (plats[0]); this in-process
+// reproduction shares one functional store, as buffers are plain host
+// memory.
+func NewClusterRuntime(plats []*opencl.Platform, pol cluster.Policy) *Runtime {
+	if len(plats) == 0 {
+		panic("accelos: cluster runtime needs at least one platform")
+	}
+	rt := NewRuntime(plats[0])
+	devs := make([]*device.Platform, len(plats))
+	for i, p := range plats {
+		devs[i] = p.Dev
+	}
+	rt.plats = plats
+	rt.pool = cluster.NewPool(devs, pol, 0)
+	rt.stats.DeviceLaunches = make([]int, len(plats))
+	return rt
+}
+
+// Pool exposes the device pool of a cluster runtime (nil otherwise).
+func (rt *Runtime) Pool() *cluster.Pool { return rt.pool }
+
 // Shutdown stops the daemon after draining pending requests.
 func (rt *Runtime) Shutdown() {
 	close(rt.quit)
@@ -90,7 +128,11 @@ func (rt *Runtime) Shutdown() {
 func (rt *Runtime) Stats() Stats {
 	rt.statsMu.Lock()
 	defer rt.statsMu.Unlock()
-	return rt.stats
+	s := rt.stats
+	if rt.stats.DeviceLaunches != nil {
+		s.DeviceLaunches = append([]int(nil), rt.stats.DeviceLaunches...)
+	}
+	return s
 }
 
 // Memory exposes the memory manager (for tests and monitoring).
@@ -189,23 +231,56 @@ func (rt *Runtime) scheduleKernel(req *Request) error {
 	rt.nextExec++
 	exec.ID = id
 	rt.active[id] = exec
-	activeSet := make([]*sim.KernelExec, 0, len(rt.active))
-	for _, e := range rt.active {
-		activeSet = append(activeSet, e)
-	}
 	rt.activeMu.Unlock()
 
-	launches := PlanShares(rt.Plat.Dev, activeSet, false)
 	var phys, chunk int64 = 1, 1
-	for _, l := range launches {
-		if l.K.ID == id {
-			phys, chunk = l.PhysWGs, l.Chunk
+	var ce *sim.ClusterExec
+	devIdx := -1
+	if rt.pool != nil {
+		// Cluster path: the placement policy routes the request to a
+		// pool member; the §3 plan divides that device among its
+		// residents, one tenant per application. The runtime's pool is
+		// UNBOUNDED (NewClusterRuntime passes maxResident 0, so Submit
+		// always admits): launches must not sit in a run queue here
+		// because the caller blocks on completion — per-device share
+		// shrinking under load is the §3 backpressure instead. Bounded
+		// admission is exercised by the simulated driver (sim.RunCluster).
+		ce = &sim.ClusterExec{K: exec, Tenant: req.App.Name}
+		devIdx, _ = rt.pool.Submit(ce)
+		resident := rt.pool.ResidentOn(devIdx)
+		kes := make([]*sim.KernelExec, len(resident))
+		tenants := make([]string, len(resident))
+		for i, r := range resident {
+			kes[i] = r.K
+			tenants[i] = r.Tenant
+		}
+		launches := PlanTenantShares(rt.plats[devIdx].Dev, kes, tenants, nil, false)
+		for _, l := range launches {
+			if l.K.ID == id {
+				phys, chunk = l.PhysWGs, l.Chunk
+			}
+		}
+	} else {
+		rt.activeMu.Lock()
+		activeSet := make([]*sim.KernelExec, 0, len(rt.active))
+		for _, e := range rt.active {
+			activeSet = append(activeSet, e)
+		}
+		rt.activeMu.Unlock()
+		launches := PlanShares(rt.Plat.Dev, activeSet, false)
+		for _, l := range launches {
+			if l.K.ID == id {
+				phys, chunk = l.PhysWGs, l.Chunk
+			}
 		}
 	}
 	rtWords := rtlib.BuildRT(nd.Dims, nd.NumGroups(), nd.Local, int(chunk))
 
 	rt.statsMu.Lock()
 	rt.stats.KernelsLaunched++
+	if devIdx >= 0 {
+		rt.stats.DeviceLaunches[devIdx]++
+	}
 	rt.statsMu.Unlock()
 
 	go func() {
@@ -213,6 +288,9 @@ func (rt *Runtime) scheduleKernel(req *Request) error {
 		rt.activeMu.Lock()
 		delete(rt.active, id)
 		rt.activeMu.Unlock()
+		if rt.pool != nil {
+			rt.pool.Complete(devIdx, ce)
+		}
 		req.reply <- err
 	}()
 	return nil

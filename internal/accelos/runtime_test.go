@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/opencl"
 )
 
@@ -236,5 +237,89 @@ func TestMemoryManagerOversubscription(t *testing.T) {
 	wg.Wait()
 	if m.Used() != 0 {
 		t.Errorf("Used = %d after all frees", m.Used())
+	}
+}
+
+// TestClusterRuntimeSpreadsLaunches drives the pooled runtime: the
+// round-robin policy must route launches across both platforms, and the
+// cluster scheduling path must preserve functional results.
+func TestClusterRuntimeSpreadsLaunches(t *testing.T) {
+	rt := NewClusterRuntime(opencl.GetPlatforms(), cluster.RoundRobin())
+	defer rt.Shutdown()
+
+	const apps, n, iters = 2, 512, 3
+	var wg sync.WaitGroup
+	errs := make(chan error, apps)
+	for ai := 0; ai < apps; ai++ {
+		wg.Add(1)
+		go func(ai int) {
+			defer wg.Done()
+			app := rt.Connect(fmt.Sprintf("cluster-app%d", ai))
+			defer app.Close()
+			prog, err := app.CreateProgram(vaddSrc)
+			if err != nil {
+				errs <- err
+				return
+			}
+			a, _ := app.CreateBuffer(n * 4)
+			b, _ := app.CreateBuffer(n * 4)
+			c, _ := app.CreateBuffer(n * 4)
+			buf := make([]byte, n*4)
+			for i := 0; i < n; i++ {
+				binary.LittleEndian.PutUint32(buf[i*4:], float32ToBits(float32(i)))
+			}
+			_ = a.Write(0, buf)
+			_ = b.Write(0, buf)
+			k, err := prog.CreateKernel("vadd")
+			if err != nil {
+				errs <- err
+				return
+			}
+			_ = k.SetArgBuffer(0, a)
+			_ = k.SetArgBuffer(1, b)
+			_ = k.SetArgBuffer(2, c)
+			_ = k.SetArgInt32(3, n)
+			nd := opencl.NDRange{Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1}}
+			for it := 0; it < iters; it++ {
+				if err := app.EnqueueKernel(k, nd); err != nil {
+					errs <- err
+					return
+				}
+			}
+			out := make([]byte, n*4)
+			_ = c.Read(0, out)
+			for i := 0; i < n; i++ {
+				if got := bitsToFloat32(binary.LittleEndian.Uint32(out[i*4:])); got != float32(2*i) {
+					errs <- fmt.Errorf("app %d: c[%d] = %v, want %v", ai, i, got, float32(2*i))
+					return
+				}
+			}
+		}(ai)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := rt.Stats()
+	if st.KernelsLaunched != apps*iters {
+		t.Errorf("KernelsLaunched = %d, want %d", st.KernelsLaunched, apps*iters)
+	}
+	if len(st.DeviceLaunches) != 2 {
+		t.Fatalf("DeviceLaunches %v, want per-device counters for 2 platforms", st.DeviceLaunches)
+	}
+	total := 0
+	for i, cnt := range st.DeviceLaunches {
+		if cnt == 0 {
+			t.Errorf("pool member %d received no launches under round-robin", i)
+		}
+		total += cnt
+	}
+	if total != apps*iters {
+		t.Errorf("per-device launches sum to %d, want %d", total, apps*iters)
+	}
+	if rt.Pool() == nil {
+		t.Error("cluster runtime should expose its pool")
 	}
 }

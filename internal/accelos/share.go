@@ -30,6 +30,9 @@ const inf = int64(1) << 62
 func PlanShares(dev *device.Platform, execs []*sim.KernelExec, naive bool) []*sim.Launch {
 	k := int64(len(execs))
 	if k == 0 {
+		// No requests: nothing to plan. Returning before any device
+		// access keeps PlanShares(nil, nil, naive) safe — callers probe
+		// an empty schedule without holding a device.
 		return nil
 	}
 	launches := make([]*sim.Launch, len(execs))
@@ -145,6 +148,9 @@ func PlanWeighted(dev *device.Platform, execs []*sim.KernelExec, weights []float
 	if len(weights) != len(execs) {
 		panic("accelos: PlanWeighted needs one weight per kernel")
 	}
+	if len(execs) == 0 {
+		return nil // nil-device safe, like PlanShares
+	}
 	var sum float64
 	for _, w := range weights {
 		if w <= 0 {
@@ -230,4 +236,36 @@ func PlanWeighted(dev *device.Platform, execs []*sim.KernelExec, weights []float
 		}
 	}
 	return launches
+}
+
+// PlanTenantShares extends PlanShares with per-tenant weights on one
+// device: kernels are grouped by tenant, the device is divided between
+// tenants in proportion to weights (absent tenants weigh 1), and each
+// tenant's slice is split equally among its kernels. tenants[i] names
+// kernel i's tenant. This is the per-device building block of the
+// cluster layer's aggregate fair sharing (internal/cluster equalizes
+// the same quantity across a pool).
+func PlanTenantShares(dev *device.Platform, execs []*sim.KernelExec, tenants []string, weights map[string]float64, naive bool) []*sim.Launch {
+	if len(tenants) != len(execs) {
+		panic("accelos: PlanTenantShares needs one tenant per kernel")
+	}
+	if len(execs) == 0 {
+		return nil
+	}
+	counts := make(map[string]int, len(tenants))
+	for _, t := range tenants {
+		counts[t]++
+	}
+	per := make([]float64, len(execs))
+	for i, t := range tenants {
+		w := 1.0
+		if v, ok := weights[t]; ok {
+			if v <= 0 {
+				panic("accelos: tenant weights must be positive")
+			}
+			w = v
+		}
+		per[i] = w / float64(counts[t])
+	}
+	return PlanWeighted(dev, execs, per, naive)
 }

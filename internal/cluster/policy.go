@@ -1,0 +1,152 @@
+// Package cluster is the multi-device scheduling layer: a pool of
+// simulated accelerators behind one admission controller, pluggable
+// placement policies, and per-tenant fair-share accounting that
+// equalizes an application's aggregate share across devices rather
+// than its share of any single device. It sits below internal/accelos
+// (which supplies the §3 share planner) and drives sim.RunCluster.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Policy decides which pool member an arriving request runs on.
+type Policy interface {
+	Name() string
+	Pick(e *sim.ClusterExec, loads []sim.DeviceLoad) int
+}
+
+// RoundRobin cycles through the pool in submission order.
+func RoundRobin() Policy { return &roundRobin{} }
+
+type roundRobin struct{ next int }
+
+func (p *roundRobin) Name() string { return "round-robin" }
+
+func (p *roundRobin) Pick(e *sim.ClusterExec, loads []sim.DeviceLoad) int {
+	if len(loads) == 0 {
+		return 0
+	}
+	i := p.next % len(loads)
+	p.next++
+	return i
+}
+
+// LeastLoaded picks the device with the least pending work per thread
+// slot, so a heterogeneous pool drains evenly: a device twice as wide
+// absorbs twice the backlog before it stops being the least loaded.
+func LeastLoaded() Policy { return leastLoaded{} }
+
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string { return "least-loaded" }
+
+func (leastLoaded) Pick(e *sim.ClusterExec, loads []sim.DeviceLoad) int {
+	return argMinLoad(loads)
+}
+
+func argMinLoad(loads []sim.DeviceLoad) int {
+	best, bestLoad := 0, -1.0
+	for i, l := range loads {
+		cap := float64(l.Dev.TotalThreads())
+		if cap <= 0 {
+			cap = 1
+		}
+		load := float64(l.PendingWork) / cap
+		if bestLoad < 0 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// BestFit matches the kernel's footprint to device capacity: it picks
+// the device whose occupancy limit for the transformed footprint is
+// closest to the kernel's grid, so small grids keep big devices free
+// and big grids get the width they can actually use. Load breaks ties.
+func BestFit() Policy { return bestFit{} }
+
+type bestFit struct{}
+
+func (bestFit) Name() string { return "best-fit" }
+
+func (bestFit) Pick(e *sim.ClusterExec, loads []sim.DeviceLoad) int {
+	fp := e.K.TransFootprint()
+	best := -1
+	var bestGap int64
+	for i, l := range loads {
+		occ := l.Dev.MaxConcurrentWGs(fp)
+		if occ <= 0 {
+			continue // footprint does not fit this device at all
+		}
+		gap := occ - e.K.NumWGs
+		if gap < 0 {
+			gap = -gap
+		}
+		if best < 0 || gap < bestGap ||
+			(gap == bestGap && l.PendingWork < loads[best].PendingWork) {
+			best, bestGap = i, gap
+		}
+	}
+	if best < 0 {
+		return argMinLoad(loads)
+	}
+	return best
+}
+
+// TenantAffinity hashes each tenant to a home device (warm JIT caches
+// and resident buffers in a real deployment) and spills to the least
+// loaded device only when the home backlog exceeds twice the pool
+// average.
+func TenantAffinity() Policy { return tenantAffinity{} }
+
+type tenantAffinity struct{}
+
+func (tenantAffinity) Name() string { return "tenant-affinity" }
+
+func (tenantAffinity) Pick(e *sim.ClusterExec, loads []sim.DeviceLoad) int {
+	if len(loads) == 0 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(e.Tenant))
+	home := int(h.Sum32() % uint32(len(loads)))
+	var total int64
+	for _, l := range loads {
+		total += l.PendingWork
+	}
+	avg := total / int64(len(loads))
+	if loads[home].PendingWork > 2*avg && avg > 0 {
+		return argMinLoad(loads)
+	}
+	return home
+}
+
+var policyFactories = map[string]func() Policy{
+	"round-robin":     RoundRobin,
+	"least-loaded":    LeastLoaded,
+	"best-fit":        BestFit,
+	"tenant-affinity": TenantAffinity,
+}
+
+// PolicyNames lists the registered placement policies, sorted.
+func PolicyNames() []string {
+	names := make([]string, 0, len(policyFactories))
+	for n := range policyFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PolicyByName resolves a placement policy.
+func PolicyByName(name string) (Policy, error) {
+	if f, ok := policyFactories[name]; ok {
+		return f(), nil
+	}
+	return nil, fmt.Errorf("cluster: unknown placement policy %q (have %v)", name, PolicyNames())
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// Pool is the live device pool: per-device run queues behind one
+// admission controller. The simulation driver (sim.RunCluster) keeps
+// its own fluid bookkeeping; Pool is the concurrent-safe variant the
+// accelOS runtime uses to route real (interpreter-backed) kernel
+// launches across platforms and to plan shares against the right
+// device's resident set.
+type Pool struct {
+	mu   sync.Mutex
+	devs []*device.Platform
+	pol  Policy
+	// maxResident bounds each device's concurrently executing requests;
+	// 0 means unbounded (the live runtime blocks callers instead of
+	// queueing, so admission happens at placement time).
+	maxResident int
+
+	resident [][]*sim.ClusterExec
+	queued   [][]*sim.ClusterExec
+	// work estimates pending cost units per device for load snapshots.
+	work []int64
+}
+
+// NewPool builds a pool over the devices with the placement policy.
+func NewPool(devs []*device.Platform, pol Policy, maxResident int) *Pool {
+	if pol == nil {
+		pol = LeastLoaded()
+	}
+	return &Pool{
+		devs:        devs,
+		pol:         pol,
+		maxResident: maxResident,
+		resident:    make([][]*sim.ClusterExec, len(devs)),
+		queued:      make([][]*sim.ClusterExec, len(devs)),
+		work:        make([]int64, len(devs)),
+	}
+}
+
+// Devices returns the pool members.
+func (p *Pool) Devices() []*device.Platform { return p.devs }
+
+// Loads snapshots the pool for placement decisions.
+func (p *Pool) Loads() []sim.DeviceLoad {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.loadsLocked()
+}
+
+func (p *Pool) loadsLocked() []sim.DeviceLoad {
+	out := make([]sim.DeviceLoad, len(p.devs))
+	for i, d := range p.devs {
+		out[i] = sim.DeviceLoad{
+			Dev:         d,
+			Index:       i,
+			Resident:    len(p.resident[i]),
+			Queued:      len(p.queued[i]),
+			PendingWork: p.work[i],
+		}
+	}
+	return out
+}
+
+// Submit places a request on a device. It returns the device index and
+// whether the request was admitted immediately; when false, the request
+// waits in that device's run queue until Complete frees a slot (or
+// Rebalance migrates it).
+func (p *Pool) Submit(e *sim.ClusterExec) (devIdx int, admitted bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	di := p.pol.Pick(e, p.loadsLocked())
+	if di < 0 || di >= len(p.devs) {
+		di = 0
+	}
+	p.work[di] += e.K.TotalWork() * e.K.NumIters()
+	if p.maxResident <= 0 || len(p.resident[di]) < p.maxResident {
+		p.resident[di] = append(p.resident[di], e)
+		return di, true
+	}
+	p.queued[di] = append(p.queued[di], e)
+	return di, false
+}
+
+// Complete retires a request from a device and admits the head of its
+// run queue, if any. The newly admitted request (nil if none) is
+// returned so the caller can launch it.
+func (p *Pool) Complete(devIdx int, e *sim.ClusterExec) *sim.ClusterExec {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rs := p.resident[devIdx]
+	for i, r := range rs {
+		if r == e {
+			p.resident[devIdx] = append(rs[:i], rs[i+1:]...)
+			break
+		}
+	}
+	if w := e.K.TotalWork() * e.K.NumIters(); p.work[devIdx] >= w {
+		p.work[devIdx] -= w
+	} else {
+		p.work[devIdx] = 0
+	}
+	if len(p.queued[devIdx]) > 0 && (p.maxResident <= 0 || len(p.resident[devIdx]) < p.maxResident) {
+		next := p.queued[devIdx][0]
+		p.queued[devIdx] = p.queued[devIdx][1:]
+		p.resident[devIdx] = append(p.resident[devIdx], next)
+		return next
+	}
+	return nil
+}
+
+// ResidentOn returns the requests currently resident on a device (the
+// set the §3 planner divides the device among).
+func (p *Pool) ResidentOn(devIdx int) []*sim.ClusterExec {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*sim.ClusterExec, len(p.resident[devIdx]))
+	copy(out, p.resident[devIdx])
+	return out
+}
+
+// Rebalance migrates queued requests to drained devices (idle, empty
+// queue) and admits them there. It returns the migrations performed as
+// (request, new device) pairs so the caller can launch them.
+func (p *Pool) Rebalance() map[*sim.ClusterExec]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	moves := make(map[*sim.ClusterExec]int)
+	for di := range p.devs {
+		if len(p.resident[di]) > 0 || len(p.queued[di]) > 0 {
+			continue
+		}
+		// Steal from the most backlogged queue.
+		donor := -1
+		for j := range p.devs {
+			if j == di || len(p.queued[j]) == 0 {
+				continue
+			}
+			if donor < 0 || len(p.queued[j]) > len(p.queued[donor]) {
+				donor = j
+			}
+		}
+		if donor < 0 {
+			continue
+		}
+		e := p.queued[donor][0]
+		p.queued[donor] = p.queued[donor][1:]
+		w := e.K.TotalWork() * e.K.NumIters()
+		if p.work[donor] >= w {
+			p.work[donor] -= w
+		}
+		p.work[di] += w
+		p.resident[di] = append(p.resident[di], e)
+		moves[e] = di
+	}
+	return moves
+}

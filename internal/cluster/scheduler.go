@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// Scheduler implements sim.ClusterScheduler: placement via a pluggable
+// Policy, and per-device share planning that equalizes per-tenant
+// AGGREGATE shares across the pool. A tenant running four kernels
+// spread over two devices gets the same total capacity as a tenant
+// running one kernel on one device — each of its kernels is planned
+// with weight w_t/n_t, where n_t counts the tenant's kernels resident
+// anywhere in the cluster.
+type Scheduler struct {
+	// Policy places arriving requests (defaults to LeastLoaded).
+	Policy Policy
+	// TenantWeights are relative shares per tenant; absent tenants
+	// weigh 1. This is the cluster-level generalization of the paper's
+	// §2.2 non-equal sharing ratios.
+	TenantWeights map[string]float64
+	// PlanWeighted is the single-device weighted §3 planner
+	// (accelos.PlanWeighted; injected to keep this package below
+	// accelos in the dependency order).
+	PlanWeighted sim.WeightedPlanFunc
+	// Naive selects the untuned runtime-library variant.
+	Naive bool
+}
+
+// NewScheduler builds a cluster scheduler over the given placement
+// policy and weighted planner.
+func NewScheduler(pol Policy, planWeighted sim.WeightedPlanFunc) *Scheduler {
+	return &Scheduler{Policy: pol, PlanWeighted: planWeighted}
+}
+
+func (s *Scheduler) tenantWeight(t string) float64 {
+	if w, ok := s.TenantWeights[t]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// Place routes one arriving request through the placement policy.
+func (s *Scheduler) Place(e *sim.ClusterExec, loads []sim.DeviceLoad) int {
+	pol := s.Policy
+	if pol == nil {
+		pol = LeastLoaded()
+		s.Policy = pol
+	}
+	return pol.Pick(e, loads)
+}
+
+// Plan allocates one device's physical work-groups so that tenants'
+// aggregate shares track their weights cluster-wide.
+func (s *Scheduler) Plan(dev *device.Platform, active []*sim.ClusterExec, global []*sim.ClusterExec) []*sim.Launch {
+	if len(active) == 0 {
+		return nil
+	}
+	// Cluster-wide resident kernel count per tenant.
+	counts := make(map[string]int, len(global))
+	for _, ce := range global {
+		counts[ce.Tenant]++
+	}
+	kes := make([]*sim.KernelExec, len(active))
+	weights := make([]float64, len(active))
+	for i, ce := range active {
+		kes[i] = ce.K
+		n := counts[ce.Tenant]
+		if n < 1 {
+			n = 1
+		}
+		weights[i] = s.tenantWeight(ce.Tenant) / float64(n)
+	}
+	return s.PlanWeighted(dev, kes, weights, s.Naive)
+}

@@ -100,6 +100,24 @@ func ByName(name string) (*Platform, error) {
 	return nil, fmt.Errorf("device: unknown platform %q", name)
 }
 
+// PoolOf returns n simulated devices for cluster experiments,
+// alternating the two evaluation platforms so pools of two or more are
+// heterogeneous. Members get distinct names for per-device reporting.
+func PoolOf(n int) []*Platform {
+	pool := make([]*Platform, n)
+	for i := range pool {
+		var p *Platform
+		if i%2 == 0 {
+			p = NVIDIAK20m()
+		} else {
+			p = AMDR9295X2()
+		}
+		p.Name = fmt.Sprintf("%s #%d", p.Name, i)
+		pool[i] = p
+	}
+	return pool
+}
+
 // TotalThreads returns the maximum concurrently resident work-items on
 // the device (the T of §3).
 func (p *Platform) TotalThreads() int64 {

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/accelos"
+	"repro/internal/cluster"
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ClusterConfig parameterizes one cluster scheduling experiment.
+type ClusterConfig struct {
+	Devices   int    // pool size (heterogeneous: alternating platforms)
+	Policy    string // placement policy name (cluster.PolicyNames)
+	Tenants   int    // concurrent applications
+	PerTenant int    // kernel execution requests per application
+	Seed      uint64 // workload sampling seed
+	Rebalance bool   // migrate work to drained devices
+}
+
+// ClusterReport is the outcome of one cluster experiment.
+type ClusterReport struct {
+	Config ClusterConfig
+	Result *sim.ClusterResult
+	// SerialCycles estimates the same workload run back to back on the
+	// pool's first device — the single-device serial yardstick.
+	SerialCycles int64
+	// Speedup is SerialCycles / cluster makespan.
+	Speedup float64
+	// TenantShares are aggregate allocated-capacity fractions, and
+	// ShareSpread is (max-min)/mean over tenants — 0 is perfectly fair.
+	TenantShares map[string]float64
+	ShareSpread  float64
+}
+
+// RunClusterExperiment simulates a multi-tenant workload over a device
+// pool under the named placement policy.
+func RunClusterExperiment(cfg ClusterConfig) (*ClusterReport, error) {
+	if cfg.Devices < 1 {
+		return nil, fmt.Errorf("experiments: cluster needs at least one device")
+	}
+	pol, err := cluster.PolicyByName(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	devs := device.PoolOf(cfg.Devices)
+	execs := workload.Tenants(devs, cfg.Tenants, cfg.PerTenant, cfg.Seed)
+	sched := cluster.NewScheduler(pol, accelos.PlanWeighted)
+	res := sim.RunCluster(devs, execs, sched, sim.ClusterOptions{Rebalance: cfg.Rebalance})
+
+	var serial int64
+	for _, e := range execs {
+		serial += e.K.EstimateIsolatedCycles(devs[0]) * e.K.NumIters()
+	}
+	rep := &ClusterReport{
+		Config:       cfg,
+		Result:       res,
+		SerialCycles: serial,
+		TenantShares: res.TenantShares(),
+	}
+	if res.Makespan > 0 {
+		rep.Speedup = float64(serial) / float64(res.Makespan)
+	}
+	rep.ShareSpread = ShareSpread(rep.TenantShares)
+	return rep, nil
+}
+
+// ShareSpread returns (max-min)/mean over the share map (0 when fair or
+// fewer than two tenants).
+func ShareSpread(shares map[string]float64) float64 {
+	if len(shares) < 2 {
+		return 0
+	}
+	var min, max, sum float64
+	first := true
+	for _, s := range shares {
+		if first {
+			min, max = s, s
+			first = false
+		}
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+		sum += s
+	}
+	mean := sum / float64(len(shares))
+	if mean <= 0 {
+		return 0
+	}
+	return (max - min) / mean
+}
+
+// SortedTenants returns the share map's keys in stable order for
+// reporting.
+func SortedTenants(shares map[string]float64) []string {
+	out := make([]string, 0, len(shares))
+	for t := range shares {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+func TestRunClusterExperimentAllPolicies(t *testing.T) {
+	for _, pol := range []string{"round-robin", "least-loaded", "best-fit", "tenant-affinity"} {
+		rep, err := RunClusterExperiment(ClusterConfig{
+			Devices: 3, Policy: pol, Tenants: 3, PerTenant: 3, Seed: 7, Rebalance: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if rep.Result.Makespan <= 0 {
+			t.Errorf("%s: zero makespan", pol)
+		}
+		// A 3-device pool must beat running the same workload serially
+		// on one device.
+		if rep.Speedup <= 1 {
+			t.Errorf("%s: cluster speedup %.2f over single-device serial, want > 1", pol, rep.Speedup)
+		}
+		for i, tm := range rep.Result.Timings {
+			if tm.End <= 0 {
+				t.Errorf("%s: request %d never completed", pol, i)
+			}
+		}
+	}
+}
+
+func TestRunClusterExperimentValidation(t *testing.T) {
+	if _, err := RunClusterExperiment(ClusterConfig{Devices: 0, Policy: "round-robin"}); err == nil {
+		t.Error("zero devices should fail")
+	}
+	if _, err := RunClusterExperiment(ClusterConfig{Devices: 2, Policy: "nope"}); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func TestShareSpread(t *testing.T) {
+	if s := ShareSpread(map[string]float64{"a": 0.5, "b": 0.5}); s != 0 {
+		t.Errorf("equal shares spread %f, want 0", s)
+	}
+	if s := ShareSpread(map[string]float64{"a": 0.75, "b": 0.25}); s != 1 {
+		t.Errorf("0.75/0.25 spread %f, want 1", s)
+	}
+	if s := ShareSpread(map[string]float64{"a": 1}); s != 0 {
+		t.Errorf("single-tenant spread %f, want 0", s)
+	}
+}

@@ -1,0 +1,537 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/device"
+)
+
+// This file is the cluster-level simulation driver: N simulated devices
+// behind one scheduler. Where the single-device engines (accelos.go,
+// elastic.go, baseline.go) model individual work-group placement in
+// device cycles, the cluster driver models each device as a fluid
+// processor whose per-kernel progress rate is set by the §3 share plan —
+// the right granularity for placement, admission and migration studies,
+// and cheap enough to sweep policies over large pools.
+
+// ClusterExec is one tenant-tagged kernel execution request submitted to
+// the cluster scheduler.
+type ClusterExec struct {
+	K *KernelExec
+	// Tenant identifies the application (or customer) for aggregate
+	// fair-share accounting across devices.
+	Tenant string
+	// Arrival is the submission time in cycles.
+	Arrival int64
+}
+
+// DeviceLoad is a placement-time snapshot of one pool member, handed to
+// placement policies.
+type DeviceLoad struct {
+	Dev   *device.Platform
+	Index int
+	// Resident counts admitted (currently executing) requests.
+	Resident int
+	// Queued counts requests waiting in the device's run queue.
+	Queued int
+	// PendingWork is the remaining work (cost units) of resident plus
+	// queued requests.
+	PendingWork int64
+}
+
+// WeightedPlanFunc plans per-kernel physical allocations under explicit
+// sharing weights — the signature of accelos.PlanWeighted, declared here
+// so the cluster layer below accelos can consume it without a cycle.
+type WeightedPlanFunc func(dev *device.Platform, execs []*KernelExec, weights []float64, naive bool) []*Launch
+
+// ClusterScheduler makes the two policy decisions RunCluster needs:
+// where an arriving request goes, and how a device's resident requests
+// share it. Implemented by package cluster.
+type ClusterScheduler interface {
+	// Place returns the pool index of the device to enqueue the request
+	// on. Out-of-range returns are clamped to device 0.
+	Place(e *ClusterExec, loads []DeviceLoad) int
+	// Plan allocates physical work-groups for one device's resident
+	// requests (index-aligned with active). global is the cluster-wide
+	// resident set, so per-tenant aggregate shares — not per-device
+	// shares — can be equalized.
+	Plan(dev *device.Platform, active []*ClusterExec, global []*ClusterExec) []*Launch
+}
+
+// ClusterOptions tunes admission and rebalancing.
+type ClusterOptions struct {
+	// MaxResident is the per-device admission limit: at most this many
+	// requests execute concurrently on one device, the rest wait in its
+	// run queue (0 means the default of 4). Bounding the resident set
+	// keeps per-kernel shares — and the §3 fairness guarantee — from
+	// eroding under deep queues.
+	MaxResident int
+	// Rebalance enables work migration to drained devices: first whole
+	// queued requests, then split virtual-group ranges of running ones
+	// (the paper's elastic range splitting, Launch.Ranges).
+	Rebalance bool
+	// MinSplitVGs is the smallest remaining virtual-group range worth
+	// splitting across devices (0 means the default of 64); a migrated
+	// half-range must amortize its own launch overhead.
+	MinSplitVGs int64
+}
+
+func (o ClusterOptions) withDefaults() ClusterOptions {
+	if o.MaxResident <= 0 {
+		o.MaxResident = 4
+	}
+	if o.MinSplitVGs <= 0 {
+		o.MinSplitVGs = 64
+	}
+	return o
+}
+
+// SplitEvent records one virtual-group range migration.
+type SplitEvent struct {
+	KernelID int
+	From, To int      // pool indices
+	Range    [2]int64 // migrated virtual groups [lo, hi)
+	At       int64    // cycles
+}
+
+// DeviceStats aggregates one pool member's activity.
+type DeviceStats struct {
+	Name string
+	// Executions counts completed requests and migrated shards.
+	Executions int
+	// BusyCycles integrates time with at least one resident request.
+	BusyCycles int64
+	// StealsIn counts whole queued requests migrated to this device.
+	StealsIn int
+	// SplitsIn counts virtual-group ranges migrated to this device.
+	SplitsIn int
+}
+
+// ClusterResult is the outcome of one cluster simulation.
+type ClusterResult struct {
+	// Timings is index-aligned with the submitted requests. End is when
+	// the last shard of the request (after any range migration)
+	// completed.
+	Timings  []KernelTiming
+	Makespan int64
+	Devices  []DeviceStats
+	// TenantWork integrates each tenant's allocated thread-cycles across
+	// all devices during CONTENDED cycles — periods when at least two
+	// tenants hold resident work anywhere in the cluster. Uncontended
+	// time is excluded: a sole tenant trivially holds everything, so
+	// counting it would let completion-time differences mask allocation
+	// unfairness (integrated allocation to completion just equals work
+	// done). Empty when the workload never contends.
+	TenantWork map[string]float64
+	Splits     []SplitEvent
+	// Migrations counts queue steals plus range splits.
+	Migrations int
+}
+
+// TenantShares normalizes TenantWork to fractions summing to 1.
+func (r *ClusterResult) TenantShares() map[string]float64 {
+	var total float64
+	for _, w := range r.TenantWork {
+		total += w
+	}
+	out := make(map[string]float64, len(r.TenantWork))
+	if total <= 0 {
+		return out
+	}
+	for t, w := range r.TenantWork {
+		out[t] = w / total
+	}
+	return out
+}
+
+// shard is a contiguous virtual-group range of one request resident on
+// (or queued for) one device. A request starts as a single full-range
+// shard; rebalancing may split off the tail half of its remaining range.
+type shard struct {
+	ceIdx  int
+	ce     *ClusterExec
+	vg     [2]int64 // remaining virtual groups [lo, hi)
+	work   float64  // remaining cost units (incl. admission overhead)
+	rate   float64  // cost units per cycle under the current plan
+	thread float64  // allocated thread slots under the current plan
+}
+
+func (s *shard) vgLeft() int64 { return s.vg[1] - s.vg[0] }
+
+type clusterDev struct {
+	dev      *device.Platform
+	resident []*shard
+	queue    []*shard
+	stats    DeviceStats
+}
+
+func (d *clusterDev) pendingWork() int64 {
+	var w float64
+	for _, s := range d.resident {
+		w += s.work
+	}
+	for _, s := range d.queue {
+		w += s.work
+	}
+	return int64(w)
+}
+
+// RunCluster simulates K tenant-tagged kernel execution requests over a
+// heterogeneous pool of devices. The scheduler places each arriving
+// request on a device run queue; an admission controller bounds each
+// device's resident set; resident requests progress at the rate their
+// planned physical work-group share sustains (capped by the kernel's
+// scalability roof and slowed by co-resident memory pressure, the same
+// model the single-device engines use). When a device drains and
+// rebalancing is on, queued requests — and, failing that, split
+// virtual-group ranges of running ones — migrate to it.
+func RunCluster(devs []*device.Platform, execs []*ClusterExec, sched ClusterScheduler, opt ClusterOptions) *ClusterResult {
+	opt = opt.withDefaults()
+	res := &ClusterResult{
+		Timings:    make([]KernelTiming, len(execs)),
+		Devices:    make([]DeviceStats, len(devs)),
+		TenantWork: make(map[string]float64),
+	}
+	if len(devs) == 0 || len(execs) == 0 {
+		return res
+	}
+
+	pool := make([]*clusterDev, len(devs))
+	for i, d := range devs {
+		pool[i] = &clusterDev{dev: d}
+		pool[i].stats.Name = d.Name
+	}
+
+	// Per-request bookkeeping: total work, average per-VG cost for range
+	// splitting, and the number of live shards.
+	avgVG := make([]float64, len(execs))
+	outstanding := make([]int, len(execs))
+	for i, ce := range execs {
+		k := ce.K
+		res.Timings[i] = KernelTiming{ID: k.ID, Name: k.Name, Submit: ce.Arrival, Start: -1}
+		avgVG[i] = float64(k.TotalWork()) / float64(k.NumWGs)
+	}
+
+	// Arrivals in time order, stable by submission index.
+	order := make([]int, len(execs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return execs[order[a]].Arrival < execs[order[b]].Arrival
+	})
+	nextArrival := 0
+
+	now := 0.0
+	const eps = 1e-9
+
+	loads := func() []DeviceLoad {
+		out := make([]DeviceLoad, len(pool))
+		for i, d := range pool {
+			out[i] = DeviceLoad{
+				Dev:         d.dev,
+				Index:       i,
+				Resident:    len(d.resident),
+				Queued:      len(d.queue),
+				PendingWork: d.pendingWork(),
+			}
+		}
+		return out
+	}
+
+	globalActive := func() []*ClusterExec {
+		var out []*ClusterExec
+		for _, d := range pool {
+			for _, s := range d.resident {
+				out = append(out, s.ce)
+			}
+		}
+		return out
+	}
+
+	// replan recomputes rates and thread allocations for one device from
+	// the scheduler's share plan.
+	replan := func(di int) {
+		d := pool[di]
+		if len(d.resident) == 0 {
+			return
+		}
+		active := make([]*ClusterExec, len(d.resident))
+		kes := make([]*KernelExec, len(d.resident))
+		for i, s := range d.resident {
+			active[i] = s.ce
+			kes[i] = s.ce.K
+		}
+		launches := sched.Plan(d.dev, active, globalActive())
+		// Memory pressure: co-resident demand past the device's bandwidth
+		// slows every kernel proportionally (the engine.bandwidthDemand
+		// model at shard granularity).
+		var demand float64
+		for i, s := range d.resident {
+			n := int64(1)
+			if i < len(launches) && launches[i] != nil {
+				n = launches[i].PhysWGs
+			}
+			u := 1.0
+			if roof := s.ce.K.SatRoof(d.dev); roof > 0 && n < roof {
+				u = float64(n) / float64(roof)
+			}
+			demand += s.ce.K.MemIntensity * u
+		}
+		if demand < 1 {
+			demand = 1
+		}
+		for i, s := range d.resident {
+			k := s.ce.K
+			var l *Launch
+			if i < len(launches) {
+				l = launches[i]
+			}
+			if l == nil {
+				l = &Launch{K: k, PhysWGs: 1, Chunk: 1, FP: k.TransFootprint()}
+			}
+			// Record the fixed range this shard covers — the elastic-
+			// kernel representation migrated ranges reuse.
+			l.Ranges = [][2]int64{s.vg}
+			n := l.PhysWGs
+			eff := float64(n)
+			if roof := k.SatRoof(d.dev); roof > 0 && eff > float64(roof) {
+				eff = float64(roof)
+			}
+			if left := s.vgLeft(); eff > float64(left) {
+				eff = float64(left)
+			}
+			// Scheduling-operation and ID-computation overhead shaves the
+			// per-VG rate exactly as in the discrete engine.
+			chunk := l.Chunk
+			if chunk < 1 {
+				chunk = 1
+			}
+			ovh := float64(d.dev.VGOverhead) + float64(d.dev.SchedOpCost)/float64(chunk)
+			effFactor := avgVG[s.ceIdx] / (avgVG[s.ceIdx] + ovh)
+			s.rate = eff * effFactor / demand
+			if s.rate < eps {
+				s.rate = eps
+			}
+			s.thread = float64(n * d.dev.RoundWarp(l.FP.Threads))
+		}
+	}
+
+	admit := func(di int, s *shard) {
+		d := pool[di]
+		d.resident = append(d.resident, s)
+		// The driver launch cost is paid as extra work at admission.
+		s.work += float64(d.dev.LaunchOverhead)
+		if res.Timings[s.ceIdx].Start < 0 {
+			res.Timings[s.ceIdx].Start = int64(math.Round(now))
+		}
+	}
+
+	// fill admits queued shards while the device has free slots.
+	fill := func(di int) bool {
+		d := pool[di]
+		changed := false
+		for len(d.queue) > 0 && len(d.resident) < opt.MaxResident {
+			s := d.queue[0]
+			d.queue = d.queue[1:]
+			admit(di, s)
+			changed = true
+		}
+		return changed
+	}
+
+	// rebalance feeds drained devices: steal the head of the longest run
+	// queue, else split the largest remaining resident range in the
+	// cluster.
+	rebalance := func(di int) bool {
+		d := pool[di]
+		if len(d.resident) > 0 || len(d.queue) > 0 {
+			return false
+		}
+		// Whole-request migration from the most backlogged queue.
+		donor := -1
+		for j, o := range pool {
+			if j == di || len(o.queue) == 0 {
+				continue
+			}
+			if donor < 0 || len(o.queue) > len(pool[donor].queue) {
+				donor = j
+			}
+		}
+		if donor >= 0 {
+			s := pool[donor].queue[0]
+			pool[donor].queue = pool[donor].queue[1:]
+			admit(di, s)
+			d.stats.StealsIn++
+			res.Migrations++
+			return true
+		}
+		// Range split: take the tail half of the largest remaining
+		// resident range anywhere in the pool.
+		var victim *shard
+		vDev := -1
+		for j, o := range pool {
+			if j == di {
+				continue
+			}
+			for _, s := range o.resident {
+				if s.vgLeft() < 2*opt.MinSplitVGs {
+					continue
+				}
+				if victim == nil || s.vgLeft() > victim.vgLeft() {
+					victim, vDev = s, j
+				}
+			}
+		}
+		if victim == nil {
+			return false
+		}
+		half := victim.vgLeft() / 2
+		lo := victim.vg[1] - half
+		moved := &shard{
+			ceIdx: victim.ceIdx,
+			ce:    victim.ce,
+			vg:    [2]int64{lo, victim.vg[1]},
+			work:  victim.work * float64(half) / float64(victim.vgLeft()),
+		}
+		victim.work -= moved.work
+		victim.vg[1] = lo
+		outstanding[victim.ceIdx]++
+		admit(di, moved)
+		d.stats.SplitsIn++
+		res.Migrations++
+		res.Splits = append(res.Splits, SplitEvent{
+			KernelID: victim.ce.K.ID, From: vDev, To: di,
+			Range: moved.vg, At: int64(math.Round(now)),
+		})
+		return true
+	}
+
+	// place routes one arriving request; reports the chosen device and
+	// whether it was admitted immediately (shares must then replan).
+	place := func(idx int) (int, bool) {
+		ce := execs[idx]
+		k := ce.K
+		s := &shard{
+			ceIdx: idx,
+			ce:    ce,
+			vg:    [2]int64{0, k.NumWGs},
+			work:  float64(k.TotalWork()) * float64(k.NumIters()),
+		}
+		outstanding[idx] = 1
+		di := sched.Place(ce, loads())
+		if di < 0 || di >= len(pool) {
+			di = 0
+		}
+		pool[di].queue = append(pool[di].queue, s)
+		return di, fill(di)
+	}
+
+	for {
+		// Next event: the earliest arrival or shard completion.
+		next := math.Inf(1)
+		if nextArrival < len(order) {
+			next = float64(execs[order[nextArrival]].Arrival)
+		}
+		for _, d := range pool {
+			for _, s := range d.resident {
+				if done := now + s.work/s.rate; done < next {
+					next = done
+				}
+			}
+		}
+		if math.IsInf(next, 1) {
+			break
+		}
+		if next < now {
+			next = now
+		}
+
+		// Advance the fluid state and the accounting ledgers.
+		dt := next - now
+		if dt > 0 {
+			tenants := make(map[string]bool)
+			for _, d := range pool {
+				for _, s := range d.resident {
+					tenants[s.ce.Tenant] = true
+				}
+			}
+			contended := len(tenants) >= 2
+			for _, d := range pool {
+				if len(d.resident) == 0 {
+					continue
+				}
+				d.stats.BusyCycles += int64(math.Round(dt))
+				for _, s := range d.resident {
+					s.work -= s.rate * dt
+					if contended {
+						res.TenantWork[s.ce.Tenant] += s.thread * dt
+					}
+				}
+			}
+		}
+		now = next
+
+		changed := false
+		// Arrivals due now.
+		for nextArrival < len(order) && float64(execs[order[nextArrival]].Arrival) <= now+eps {
+			if _, admitted := place(order[nextArrival]); admitted {
+				changed = true
+			}
+			nextArrival++
+		}
+		// Completions. A shard also completes when its residual work can
+		// no longer advance the clock (work/rate below the float ulp of
+		// now) — without this, accumulated cancellation error in `work`
+		// stalls the simulation on a shard that never quite reaches zero.
+		slack := now*1e-12 + eps
+		for _, d := range pool {
+			kept := d.resident[:0]
+			for _, s := range d.resident {
+				if s.work > s.rate*slack && s.work > eps {
+					kept = append(kept, s)
+					continue
+				}
+				changed = true
+				d.stats.Executions++
+				outstanding[s.ceIdx]--
+				if outstanding[s.ceIdx] == 0 {
+					end := int64(math.Round(now))
+					res.Timings[s.ceIdx].End = end
+					if end > res.Makespan {
+						res.Makespan = end
+					}
+				}
+			}
+			d.resident = kept
+		}
+		// Refill freed slots, then feed drained devices.
+		for di := range pool {
+			if fill(di) {
+				changed = true
+			}
+		}
+		if opt.Rebalance {
+			for di := range pool {
+				if rebalance(di) {
+					changed = true
+				}
+			}
+		}
+		// Share plans shift whenever any resident set changed: freed (or
+		// newly taken) capacity redistributes cluster-wide because the
+		// per-tenant resident counts changed, so replan every occupied
+		// device, not just the ones touched.
+		if changed {
+			for di := range pool {
+				replan(di)
+			}
+		}
+	}
+
+	for i := range pool {
+		res.Devices[i] = pool[i].stats
+	}
+	return res
+}

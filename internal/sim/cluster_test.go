@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+// rrSched is a minimal scheduler for engine-level tests: round-robin
+// placement, fixed equal allocations.
+type rrSched struct{ n int }
+
+func (s *rrSched) Place(e *ClusterExec, loads []DeviceLoad) int {
+	s.n++
+	return (s.n - 1) % len(loads)
+}
+
+func (s *rrSched) Plan(dev *device.Platform, active []*ClusterExec, global []*ClusterExec) []*Launch {
+	out := make([]*Launch, len(active))
+	for i, ce := range active {
+		out[i] = &Launch{K: ce.K, PhysWGs: 4, Chunk: 2, FP: ce.K.TransFootprint()}
+	}
+	return out
+}
+
+func clusterExecs(n int, numWGs int64) []*ClusterExec {
+	var out []*ClusterExec
+	for i := 0; i < n; i++ {
+		out = append(out, &ClusterExec{
+			K: &KernelExec{
+				ID: i, Name: "k", WGSize: 64, NumWGs: numWGs,
+				BaseWGCost: 5000, RegsPerThread: 16, LocalBytes: 512,
+			},
+			Tenant:  "t",
+			Arrival: int64(i) * 1000,
+		})
+	}
+	return out
+}
+
+func TestRunClusterCompletesAll(t *testing.T) {
+	devs := device.PoolOf(2)
+	execs := clusterExecs(6, 1000)
+	r := RunCluster(devs, execs, &rrSched{}, ClusterOptions{Rebalance: true})
+	if r.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+	for i, tm := range r.Timings {
+		if tm.End <= 0 {
+			t.Errorf("exec %d never completed", i)
+		}
+		if tm.Start < tm.Submit {
+			t.Errorf("exec %d started at %d before submission %d", i, tm.Start, tm.Submit)
+		}
+		if tm.End < tm.Start {
+			t.Errorf("exec %d ended at %d before start %d", i, tm.End, tm.Start)
+		}
+	}
+	var execsSeen int
+	for _, d := range r.Devices {
+		execsSeen += d.Executions
+	}
+	if execsSeen < len(execs) {
+		t.Errorf("device stats count %d executions, want >= %d", execsSeen, len(execs))
+	}
+}
+
+func TestRunClusterDeterministic(t *testing.T) {
+	devs := device.PoolOf(3)
+	a := RunCluster(devs, clusterExecs(8, 2000), &rrSched{}, ClusterOptions{Rebalance: true})
+	b := RunCluster(devs, clusterExecs(8, 2000), &rrSched{}, ClusterOptions{Rebalance: true})
+	if a.Makespan != b.Makespan || a.Migrations != b.Migrations {
+		t.Errorf("non-deterministic: makespan %d vs %d, migrations %d vs %d",
+			a.Makespan, b.Makespan, a.Migrations, b.Migrations)
+	}
+	for i := range a.Timings {
+		if a.Timings[i] != b.Timings[i] {
+			t.Errorf("exec %d timing differs between identical runs", i)
+		}
+	}
+}
+
+func TestRunClusterAdmissionQueues(t *testing.T) {
+	// One device, admission limit 1: requests serialize, so each later
+	// request ends strictly after the previous one.
+	devs := device.PoolOf(1)
+	execs := clusterExecs(3, 500)
+	for _, e := range execs {
+		e.Arrival = 0
+	}
+	r := RunCluster(devs, execs, &rrSched{}, ClusterOptions{MaxResident: 1})
+	for i := 1; i < len(r.Timings); i++ {
+		if r.Timings[i].End <= r.Timings[i-1].End {
+			t.Errorf("admission limit 1 should serialize: end[%d]=%d <= end[%d]=%d",
+				i, r.Timings[i].End, i-1, r.Timings[i-1].End)
+		}
+	}
+}
+
+func TestRunClusterStealsQueuedWork(t *testing.T) {
+	// All requests placed on device 0 with a tight admission limit;
+	// device 1 starts idle. Rebalancing must migrate queued requests.
+	devs := device.PoolOf(2)
+	execs := clusterExecs(6, 1000)
+	for _, e := range execs {
+		e.Arrival = 0
+	}
+	r := RunCluster(devs, execs, stickySched{}, ClusterOptions{MaxResident: 2, Rebalance: true})
+	if r.Devices[1].StealsIn == 0 {
+		t.Error("idle device stole no queued work")
+	}
+	if r.Migrations == 0 {
+		t.Error("no migrations recorded")
+	}
+}
+
+// stickySched pins every request to device 0.
+type stickySched struct{}
+
+func (stickySched) Place(e *ClusterExec, loads []DeviceLoad) int { return 0 }
+
+func (stickySched) Plan(dev *device.Platform, active []*ClusterExec, global []*ClusterExec) []*Launch {
+	out := make([]*Launch, len(active))
+	for i, ce := range active {
+		out[i] = &Launch{K: ce.K, PhysWGs: 2, Chunk: 1, FP: ce.K.TransFootprint()}
+	}
+	return out
+}
+
+func TestRunClusterSplitsRanges(t *testing.T) {
+	// One long-running kernel on device 0, nothing queued anywhere:
+	// the only way to feed device 1 is to split the remaining
+	// virtual-group range.
+	devs := device.PoolOf(2)
+	execs := clusterExecs(1, 20000)
+	r := RunCluster(devs, execs, stickySched{}, ClusterOptions{Rebalance: true})
+	if r.Devices[1].SplitsIn == 0 {
+		t.Fatal("idle device received no range split")
+	}
+	if len(r.Splits) == 0 {
+		t.Fatal("no split events recorded")
+	}
+	for _, s := range r.Splits {
+		if s.Range[0] >= s.Range[1] || s.Range[1] > 20000 {
+			t.Errorf("split range %v out of bounds", s.Range)
+		}
+	}
+	// Splitting must help: the same run without rebalancing is slower.
+	serial := RunCluster(devs, clusterExecs(1, 20000), stickySched{}, ClusterOptions{})
+	if r.Makespan >= serial.Makespan {
+		t.Errorf("range migration did not improve makespan: %d >= %d", r.Makespan, serial.Makespan)
+	}
+}
+
+func TestRunClusterTenantLedger(t *testing.T) {
+	devs := device.PoolOf(2)
+	execs := clusterExecs(4, 1000)
+	execs[0].Tenant, execs[1].Tenant = "a", "a"
+	execs[2].Tenant, execs[3].Tenant = "b", "b"
+	r := RunCluster(devs, execs, &rrSched{}, ClusterOptions{})
+	shares := r.TenantShares()
+	if len(shares) != 2 {
+		t.Fatalf("tenant shares %v, want 2 tenants", shares)
+	}
+	sum := shares["a"] + shares["b"]
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("shares sum to %f, want 1", sum)
+	}
+}
+
+func TestRunClusterEmpty(t *testing.T) {
+	r := RunCluster(nil, nil, &rrSched{}, ClusterOptions{})
+	if r.Makespan != 0 || len(r.Timings) != 0 {
+		t.Error("empty cluster run should be empty")
+	}
+	r = RunCluster(device.PoolOf(1), nil, &rrSched{}, ClusterOptions{})
+	if r.Makespan != 0 {
+		t.Error("no-request run should have zero makespan")
+	}
+}

@@ -6,6 +6,8 @@
 package workload
 
 import (
+	"fmt"
+
 	"repro/internal/device"
 	"repro/internal/parboil"
 	"repro/internal/sim"
@@ -80,6 +82,33 @@ func Build(dev *device.Platform, idxs []int, baseIters int64) []*sim.KernelExec 
 	}
 	sim.EqualizeIters(dev, execs, baseIters)
 	return execs
+}
+
+// Tenants builds a multi-tenant cluster workload: `tenants`
+// applications each submitting `perTenant` kernels sampled
+// deterministically from the Parboil set, tagged for aggregate
+// fair-share accounting. Arrivals stagger by one launch overhead of the
+// pool's first device, the pattern of independent clients hitting a
+// service together.
+func Tenants(devs []*device.Platform, tenants, perTenant int, seed uint64) []*sim.ClusterExec {
+	ks := parboil.Kernels()
+	r := &rng{s: seed}
+	var out []*sim.ClusterExec
+	id := 0
+	for t := 0; t < tenants; t++ {
+		name := fmt.Sprintf("tenant%d", t)
+		for j := 0; j < perTenant; j++ {
+			k := ks[int(r.next()%uint64(len(ks)))].Exec(id)
+			k.Iters = 1
+			out = append(out, &sim.ClusterExec{
+				K:       k,
+				Tenant:  name,
+				Arrival: int64(id) * devs[0].LaunchOverhead,
+			})
+			id++
+		}
+	}
+	return out
 }
 
 // Clone deep-copies a workload so independent simulations cannot share
