@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/ir"
 	"repro/internal/metrics"
+	"repro/internal/opencl"
 	"repro/internal/parboil"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -375,5 +376,78 @@ func BenchmarkAblationExclusiveDriver(b *testing.B) {
 		rc := sim.RunBaseline(co, workload.Build(co, combo, 2))
 		b.ReportMetric(re.Overlap(), "overlap-exclusive")
 		b.ReportMetric(rc.Overlap(), "overlap-coscheduled")
+	}
+}
+
+// BenchmarkLaunchLargeBuffer measures a minimal launch over a 16 MB
+// buffer. With zero-copy binding the per-launch cost is independent of
+// buffer size — the old path copied every byte in and out per launch,
+// so this benchmark regressing to O(bytes) means the binding broke.
+func BenchmarkLaunchLargeBuffer(b *testing.B) {
+	ctx := opencl.GetPlatforms()[0].CreateContext()
+	q := ctx.CreateCommandQueue()
+	p := ctx.CreateProgramWithSource(`
+kernel void touch(global int* d) { d[get_global_id(0)] = (int)get_global_id(0); }
+`)
+	if err := p.Build(); err != nil {
+		b.Fatal(err)
+	}
+	k, err := p.CreateKernel("touch")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const size = 16 << 20
+	buf, err := ctx.CreateBuffer(size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = k.SetArgBuffer(0, buf)
+	nd := opencl.NDRange{Dims: 1, Global: [3]int64{64, 1, 1}, Local: [3]int64{64, 1, 1}}
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := q.EnqueueNDRangeKernel(k, nd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSlicedLaunch measures the sliced engine end to end through
+// the accelOS runtime (JIT-transformed kernel, RT descriptor slices,
+// pooled machines) — the live hot path the dynamic re-planner drives.
+func BenchmarkSlicedLaunch(b *testing.B) {
+	rt := accelos.NewRuntime(opencl.GetPlatforms()[0])
+	defer rt.Shutdown()
+	app := rt.Connect("bench")
+	defer app.Close()
+	prog, err := app.CreateProgram(`
+kernel void vadd(global const float* x, global const float* y, global float* z, int n)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) z[i] = x[i] + y[i];
+}
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 4096
+	x, _ := app.CreateBuffer(n * 4)
+	y, _ := app.CreateBuffer(n * 4)
+	z, _ := app.CreateBuffer(n * 4)
+	k, err := prog.CreateKernel("vadd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = k.SetArgBuffer(0, x)
+	_ = k.SetArgBuffer(1, y)
+	_ = k.SetArgBuffer(2, z)
+	_ = k.SetArgInt32(3, n)
+	nd := opencl.NDRange{Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := app.EnqueueKernel(k, nd); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

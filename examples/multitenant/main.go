@@ -116,4 +116,21 @@ func main() {
 		st.ProgramsJITed, st.KernelsLaunched, st.Passthroughs)
 	fmt.Printf("memory manager: %d tenant pauses while the device was oversubscribed\n",
 		rt.Memory().TotalPauses())
+
+	// The sliced engine re-plans every launch on each arrival and
+	// completion; the plan log shows shares shrinking as tenants pile
+	// on and regrowing as they leave.
+	fmt.Printf("scheduler: %d dynamic re-plans (%d scheduler re-entries)\n",
+		st.Replans, rt.Monitor().Reschedules())
+	hist := rt.PlanHistory()
+	perApp := make(map[string][]int64)
+	for _, s := range hist {
+		perApp[s.App] = append(perApp[s.App], s.PhysWGs)
+	}
+	for id := 0; id < tenants; id++ {
+		name := fmt.Sprintf("tenant-%d", id)
+		if plans := perApp[name]; len(plans) > 0 {
+			fmt.Printf("  %s physical work-group trajectory: %v\n", name, plans)
+		}
+	}
 }

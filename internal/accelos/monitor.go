@@ -5,6 +5,8 @@ package accelos
 // program creation enters the JIT compiler, kernel execution enters the
 // Kernel Scheduler, anything else passes straight through.
 
+import "sync"
+
 // ReqKind classifies an intercepted OpenCL request.
 type ReqKind int
 
@@ -51,8 +53,12 @@ func (s MonState) String() string {
 }
 
 // Monitor is the FSM driver. Hooks are invoked in the corresponding
-// state; transitions are recorded for observability and tests.
+// state; transitions are recorded for observability and tests. The FSM
+// is re-entered not only for application requests but also for the
+// scheduler's own re-plan events (kernel completions), which arrive from
+// launch-driving goroutines — hence the mutex.
 type Monitor struct {
+	mu    sync.Mutex
 	state MonState
 
 	// OnJIT handles a program creation (returns transformed codes).
@@ -64,15 +70,52 @@ type Monitor struct {
 	OnPass func(req *Request) error
 
 	transitions int
+	reschedules int
 }
 
 // State returns the current FSM state.
-func (m *Monitor) State() MonState { return m.state }
+func (m *Monitor) State() MonState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state
+}
 
 // Transitions returns how many state changes the monitor performed.
-func (m *Monitor) Transitions() int { return m.transitions }
+func (m *Monitor) Transitions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.transitions
+}
+
+// Reschedules returns how many times the Kernel Scheduler state was
+// re-entered for a dynamic re-plan (kernel arrival or completion)
+// rather than for a fresh application request.
+func (m *Monitor) Reschedules() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reschedules
+}
+
+// Reschedule records a scheduler re-entry: the event-driven re-plan
+// passes through the Kernel Scheduler state and returns to monitoring.
+// Re-plans arrive from launch goroutines while the FSM may be serving
+// an application request, so the state words are only driven when the
+// FSM is idle — a busy FSM just counts the re-entry, keeping the
+// request-handling state trace meaningful.
+func (m *Monitor) Reschedule() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reschedules++
+	if m.state == StateMonitor {
+		m.state = StateScheduler
+		m.state = StateMonitor
+		m.transitions += 2
+	}
+}
 
 func (m *Monitor) to(s MonState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.state != s {
 		m.state = s
 		m.transitions++

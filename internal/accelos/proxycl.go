@@ -183,25 +183,28 @@ func (k *KernelHandle) SetArgFloat32(i int, v float32) error {
 // toCL materializes an opencl.Kernel with the bound arguments. The
 // argument list is sized by the ORIGINAL kernel signature; the Kernel
 // Scheduler appends the RT descriptor for the transformed wrapper.
-func (k *KernelHandle) toCL() *opencl.Kernel {
+func (k *KernelHandle) toCL() (*opencl.Kernel, error) {
 	p := &opencl.Program{Module: k.prog.orig}
 	cl, err := p.CreateKernel(k.name)
 	if err != nil {
-		return nil
+		return nil, fmt.Errorf("accelos: kernel %q: %w", k.name, err)
 	}
 	for i, a := range k.args {
 		switch {
 		case a.buf != nil:
-			_ = cl.SetArgBuffer(i, a.buf.clBuffer())
+			err = cl.SetArgBuffer(i, a.buf.clBuffer())
 		case a.i32 != nil:
-			_ = cl.SetArgInt32(i, *a.i32)
+			err = cl.SetArgInt32(i, *a.i32)
 		case a.i64 != nil:
-			_ = cl.SetArgInt64(i, *a.i64)
+			err = cl.SetArgInt64(i, *a.i64)
 		case a.f32 != nil:
-			_ = cl.SetArgFloat32(i, *a.f32)
+			err = cl.SetArgFloat32(i, *a.f32)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("accelos: kernel %q: %w", k.name, err)
 		}
 	}
-	return cl
+	return cl, nil
 }
 
 func (h *BufferHandle) clBuffer() *opencl.Buffer { return h.buf }

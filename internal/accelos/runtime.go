@@ -44,8 +44,50 @@ type Runtime struct {
 	active   map[int]*sim.KernelExec // in-flight kernel executions, for share planning
 	nextExec int
 
+	// launchMu guards the sliced-execution bookkeeping: in-flight launch
+	// handles, requests parked until pool admission, and the plan log.
+	launchMu sync.Mutex
+	launches map[int]*launchRec
+	pending  map[*sim.ClusterExec]*launchRec
+	planLog  []PlanSample
+
+	// replanMu serializes plan computation + push so a stale plan can
+	// never overwrite a newer one on the launch handles.
+	replanMu sync.Mutex
+
+	sliceRounds int64
+
 	statsMu sync.Mutex
 	stats   Stats
+}
+
+// launchRec tracks one kernel execution from interception to
+// completion: parked while awaiting pool admission, then bound to a
+// LaunchHandle and driven slice by slice.
+type launchRec struct {
+	id      int
+	app     string
+	kern    string
+	exec    *sim.KernelExec
+	ce      *sim.ClusterExec // cluster path only
+	devIdx  int
+	mod     *ir.Module
+	cl      *opencl.Kernel
+	nd      opencl.NDRange
+	rtWords []int64
+	h       *opencl.LaunchHandle
+	reply   chan error
+}
+
+// PlanSample is one allocation pushed to an in-flight execution by the
+// dynamic re-planner — the observable trace of the §5 adaptation (tests
+// assert a surviving kernel's PhysWGs grows after a peer completes).
+type PlanSample struct {
+	App     string
+	Kernel  string
+	ExecID  int
+	PhysWGs int64
+	Chunk   int64
 }
 
 // Stats counts runtime activity for observability and tests.
@@ -53,6 +95,13 @@ type Stats struct {
 	ProgramsJITed   int
 	KernelsLaunched int
 	Passthroughs    int
+	// Replans counts dynamic re-plan events (every kernel arrival and
+	// completion re-runs the §3 algorithm over the resident set).
+	Replans int
+	// QueuedAdmissions counts executions that waited in a device run
+	// queue before the completion event that admitted them (bounded
+	// cluster runtimes only).
+	QueuedAdmissions int
 	// DeviceLaunches counts launches per pool member (cluster runtimes
 	// only; nil for single-device runtimes).
 	DeviceLaunches []int
@@ -74,11 +123,13 @@ type Request struct {
 // NewRuntime starts the accelOS daemon on a platform.
 func NewRuntime(plat *opencl.Platform) *Runtime {
 	rt := &Runtime{
-		Plat:   plat,
-		Ctx:    plat.CreateContext(),
-		reqCh:  make(chan *Request, 64),
-		quit:   make(chan struct{}),
-		active: make(map[int]*sim.KernelExec),
+		Plat:     plat,
+		Ctx:      plat.CreateContext(),
+		reqCh:    make(chan *Request, 64),
+		quit:     make(chan struct{}),
+		active:   make(map[int]*sim.KernelExec),
+		launches: make(map[int]*launchRec),
+		pending:  make(map[*sim.ClusterExec]*launchRec),
 	}
 	rt.Queue = rt.Ctx.CreateCommandQueue()
 	rt.mem = NewMemoryManager(rt.Ctx.GlobalMemBytes())
@@ -101,6 +152,15 @@ func NewRuntime(plat *opencl.Platform) *Runtime {
 // reproduction shares one functional store, as buffers are plain host
 // memory.
 func NewClusterRuntime(plats []*opencl.Platform, pol cluster.Policy) *Runtime {
+	return NewBoundedClusterRuntime(plats, pol, 0)
+}
+
+// NewBoundedClusterRuntime is NewClusterRuntime with an admission bound:
+// each pool member runs at most maxResident kernels concurrently (0 =
+// unbounded). Excess submissions wait in the device's run queue; the
+// completion event that frees a slot admits and launches them — the
+// pool's membership events drive the whole live scheduling loop.
+func NewBoundedClusterRuntime(plats []*opencl.Platform, pol cluster.Policy, maxResident int) *Runtime {
 	if len(plats) == 0 {
 		panic("accelos: cluster runtime needs at least one platform")
 	}
@@ -110,7 +170,8 @@ func NewClusterRuntime(plats []*opencl.Platform, pol cluster.Policy) *Runtime {
 		devs[i] = p.Dev
 	}
 	rt.plats = plats
-	rt.pool = cluster.NewPool(devs, pol, 0)
+	rt.pool = cluster.NewPool(devs, pol, maxResident)
+	rt.pool.SetObserver(rt.onPoolEvent)
 	rt.stats.DeviceLaunches = make([]int, len(plats))
 	return rt
 }
@@ -198,10 +259,12 @@ func (rt *Runtime) jitProgram(req *Request) error {
 }
 
 // scheduleKernel is scenario (b): the Kernel Scheduler builds the
-// Virtual NDRange, chooses the physical work-group allocation against
-// the currently active executions (§3), alters the global size and
-// launches the transformed kernel. The launch itself runs asynchronously
-// so concurrent applications genuinely share the device.
+// Virtual NDRange and hands the execution to the sliced engine. The
+// kernel runs as a sequence of work-group-range slices on a pooled
+// interpreter machine with buffers bound zero-copy; on every arrival
+// and completion the scheduler re-runs the §3 plan over the resident
+// set and pushes the resized PhysWGs/Chunk to the in-flight handles at
+// their next slice boundary — the paper's §5 dynamic adaptation, live.
 func (rt *Runtime) scheduleKernel(req *Request) error {
 	k := req.Kern
 	info := k.prog.infos[k.name]
@@ -212,6 +275,11 @@ func (rt *Runtime) scheduleKernel(req *Request) error {
 	}
 	nd := req.ND
 	if err := nd.Validate(); err != nil {
+		req.reply <- err
+		return err
+	}
+	cl, err := k.toCL()
+	if err != nil {
 		req.reply <- err
 		return err
 	}
@@ -233,20 +301,136 @@ func (rt *Runtime) scheduleKernel(req *Request) error {
 	rt.active[id] = exec
 	rt.activeMu.Unlock()
 
-	var phys, chunk int64 = 1, 1
-	var ce *sim.ClusterExec
-	devIdx := -1
+	rec := &launchRec{
+		id:      id,
+		app:     req.App.Name,
+		kern:    k.name,
+		exec:    exec,
+		devIdx:  -1,
+		mod:     k.prog.trans,
+		cl:      cl,
+		nd:      nd,
+		rtWords: rtlib.BuildRT(nd.Dims, nd.NumGroups(), nd.Local, info.Chunk),
+		reply:   req.reply,
+	}
+
 	if rt.pool != nil {
 		// Cluster path: the placement policy routes the request to a
-		// pool member; the §3 plan divides that device among its
-		// residents, one tenant per application. The runtime's pool is
-		// UNBOUNDED (NewClusterRuntime passes maxResident 0, so Submit
-		// always admits): launches must not sit in a run queue here
-		// because the caller blocks on completion — per-device share
-		// shrinking under load is the §3 backpressure instead. Bounded
-		// admission is exercised by the simulated driver (sim.RunCluster).
-		ce = &sim.ClusterExec{K: exec, Tenant: req.App.Name}
-		devIdx, _ = rt.pool.Submit(ce)
+		// pool member. The record is parked BEFORE Submit so that every
+		// admission — immediate, promoted from the run queue by a
+		// completion, or migrated by a rebalance — reaches the launch
+		// path the same way: as a pool membership event handled by
+		// onPoolEvent. Parking first closes the window where a
+		// concurrent completion could admit the request before the
+		// scheduler has registered it.
+		rec.ce = &sim.ClusterExec{K: exec, Tenant: req.App.Name}
+		rt.launchMu.Lock()
+		rt.pending[rec.ce] = rec
+		rt.launchMu.Unlock()
+		if _, admitted := rt.pool.Submit(rec.ce); !admitted {
+			rt.statsMu.Lock()
+			rt.stats.QueuedAdmissions++
+			rt.statsMu.Unlock()
+		}
+		return nil
+	}
+	rt.startLaunch(rec)
+	return nil
+}
+
+// onPoolEvent is the cluster runtime's scheduling loop: installed as the
+// pool observer, it turns membership events into launches and re-plans.
+func (rt *Runtime) onPoolEvent(ev cluster.PoolEvent) {
+	switch ev.Kind {
+	case cluster.EvAdmitted, cluster.EvMigrated:
+		rt.launchMu.Lock()
+		rec := rt.pending[ev.Exec]
+		delete(rt.pending, ev.Exec)
+		rt.launchMu.Unlock()
+		if rec != nil {
+			rec.devIdx = ev.Dev
+			rt.startLaunch(rec)
+		}
+	case cluster.EvCompleted:
+		// §5 dynamic adaptation on completion: regrow the survivors'
+		// shares, then let an idle device steal queued work from its
+		// peers (the resulting EvMigrated events re-enter this loop).
+		// Unbounded pools never queue, so they skip the donor scan.
+		rt.replan(ev.Dev)
+		if rt.pool.Bounded() {
+			rt.pool.Rebalance()
+		}
+	case cluster.EvQueued:
+		// Nothing to do: the request waits for the admission event.
+	}
+}
+
+// startLaunch binds the execution to a pooled interpreter machine on
+// its device, re-plans the device (the arrival shrinks resident peers'
+// shares at their next slice boundary), and drives the slices in the
+// execution's own goroutine.
+func (rt *Runtime) startLaunch(rec *launchRec) {
+	plat := rt.Plat
+	if rt.pool != nil && rec.devIdx >= 0 {
+		plat = rt.plats[rec.devIdx]
+	}
+	h, err := opencl.NewLaunchHandle(plat, rec.mod, rec.cl, rec.nd, rec.rtWords, 1, rec.rtWords[rtlib.RTChunk])
+	if err != nil {
+		rt.retire(rec)
+		rec.reply <- err
+		return
+	}
+	rt.mu.Lock()
+	if rt.sliceRounds > 0 {
+		h.SetSliceRounds(rt.sliceRounds)
+	}
+	rt.mu.Unlock()
+	rec.h = h
+	rt.launchMu.Lock()
+	rt.launches[rec.id] = rec
+	rt.launchMu.Unlock()
+
+	rt.statsMu.Lock()
+	rt.stats.KernelsLaunched++
+	if rec.devIdx >= 0 {
+		rt.stats.DeviceLaunches[rec.devIdx]++
+	}
+	rt.statsMu.Unlock()
+
+	rt.replan(rec.devIdx)
+	go func() {
+		err := h.Run()
+		rt.retire(rec)
+		rec.reply <- err
+	}()
+}
+
+// retire removes a finished (or failed) execution from every registry
+// and triggers the completion re-plan for its device's survivors.
+func (rt *Runtime) retire(rec *launchRec) {
+	rt.activeMu.Lock()
+	delete(rt.active, rec.id)
+	rt.activeMu.Unlock()
+	rt.launchMu.Lock()
+	delete(rt.launches, rec.id)
+	rt.launchMu.Unlock()
+	if rt.pool != nil && rec.ce != nil {
+		// Complete emits EvCompleted; onPoolEvent re-plans from there.
+		rt.pool.Complete(rec.devIdx, rec.ce)
+		return
+	}
+	rt.replan(-1)
+}
+
+// replan re-runs the §3 resource-sharing algorithm over the current
+// resident set (one device of the pool, or the whole platform) and
+// pushes the result to every in-flight launch handle, which applies it
+// at its next slice boundary.
+func (rt *Runtime) replan(devIdx int) {
+	rt.replanMu.Lock()
+	defer rt.replanMu.Unlock()
+	var launches []*sim.Launch
+	if rt.pool != nil && devIdx >= 0 {
 		resident := rt.pool.ResidentOn(devIdx)
 		kes := make([]*sim.KernelExec, len(resident))
 		tenants := make([]string, len(resident))
@@ -254,46 +438,54 @@ func (rt *Runtime) scheduleKernel(req *Request) error {
 			kes[i] = r.K
 			tenants[i] = r.Tenant
 		}
-		launches := PlanTenantShares(rt.plats[devIdx].Dev, kes, tenants, nil, false)
-		for _, l := range launches {
-			if l.K.ID == id {
-				phys, chunk = l.PhysWGs, l.Chunk
-			}
-		}
+		launches = PlanTenantShares(rt.plats[devIdx].Dev, kes, tenants, nil, false)
 	} else {
 		rt.activeMu.Lock()
-		activeSet := make([]*sim.KernelExec, 0, len(rt.active))
+		kes := make([]*sim.KernelExec, 0, len(rt.active))
 		for _, e := range rt.active {
-			activeSet = append(activeSet, e)
+			kes = append(kes, e)
 		}
 		rt.activeMu.Unlock()
-		launches := PlanShares(rt.Plat.Dev, activeSet, false)
-		for _, l := range launches {
-			if l.K.ID == id {
-				phys, chunk = l.PhysWGs, l.Chunk
-			}
-		}
+		launches = PlanShares(rt.Plat.Dev, kes, false)
 	}
-	rtWords := rtlib.BuildRT(nd.Dims, nd.NumGroups(), nd.Local, int(chunk))
-
+	if len(launches) == 0 {
+		return
+	}
+	rt.mon.Reschedule()
+	rt.launchMu.Lock()
+	for _, l := range launches {
+		rec := rt.launches[l.K.ID]
+		if rec == nil || rec.h == nil {
+			continue
+		}
+		rec.h.UpdatePlan(l.PhysWGs, l.Chunk)
+		rt.planLog = append(rt.planLog, PlanSample{
+			App: rec.app, Kernel: rec.kern, ExecID: rec.id,
+			PhysWGs: l.PhysWGs, Chunk: l.Chunk,
+		})
+	}
+	rt.launchMu.Unlock()
 	rt.statsMu.Lock()
-	rt.stats.KernelsLaunched++
-	if devIdx >= 0 {
-		rt.stats.DeviceLaunches[devIdx]++
-	}
+	rt.stats.Replans++
 	rt.statsMu.Unlock()
+}
 
-	go func() {
-		err := opencl.LaunchTransformed(k.prog.trans, k.toCL(), nd, rtWords, phys)
-		rt.activeMu.Lock()
-		delete(rt.active, id)
-		rt.activeMu.Unlock()
-		if rt.pool != nil {
-			rt.pool.Complete(devIdx, ce)
-		}
-		req.reply <- err
-	}()
-	return nil
+// PlanHistory returns every allocation the dynamic re-planner pushed to
+// an in-flight execution, in push order.
+func (rt *Runtime) PlanHistory() []PlanSample {
+	rt.launchMu.Lock()
+	defer rt.launchMu.Unlock()
+	return append([]PlanSample(nil), rt.planLog...)
+}
+
+// SetSliceRounds tunes the slice granularity of subsequently scheduled
+// kernels: how many dequeue rounds per physical work-group one slice
+// covers. Smaller values return control to the scheduler more often, so
+// re-plans land faster; 0 keeps opencl.DefaultSliceRounds.
+func (rt *Runtime) SetSliceRounds(n int64) {
+	rt.mu.Lock()
+	rt.sliceRounds = n
+	rt.mu.Unlock()
 }
 
 // passthrough is scenario (c): accelOS does not intervene.

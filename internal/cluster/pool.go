@@ -26,6 +26,57 @@ type Pool struct {
 	queued   [][]*sim.ClusterExec
 	// work estimates pending cost units per device for load snapshots.
 	work []int64
+
+	observer func(PoolEvent)
+}
+
+// PoolEventKind classifies a pool membership change.
+type PoolEventKind int
+
+// Pool membership events.
+const (
+	// EvAdmitted: the request became resident on Dev (straight from
+	// Submit, or promoted from Dev's run queue by Complete).
+	EvAdmitted PoolEventKind = iota
+	// EvQueued: the request is waiting in Dev's run queue.
+	EvQueued
+	// EvCompleted: the request retired from Dev.
+	EvCompleted
+	// EvMigrated: Rebalance moved the queued request to drained Dev and
+	// admitted it there.
+	EvMigrated
+)
+
+// PoolEvent is one membership change: the event source for
+// completion-driven re-planning on the live path (the runtime re-runs
+// the §3 share plan for Dev's surviving residents whenever one retires,
+// mirroring the simulated driver's per-event re-planning).
+type PoolEvent struct {
+	Kind PoolEventKind
+	Dev  int
+	Exec *sim.ClusterExec
+}
+
+// SetObserver installs a callback invoked (outside the pool lock, in the
+// mutating goroutine) for every membership change. At most one observer;
+// nil removes it.
+func (p *Pool) SetObserver(fn func(PoolEvent)) {
+	p.mu.Lock()
+	p.observer = fn
+	p.mu.Unlock()
+}
+
+// notify fires the observer for each event after the lock is released.
+func (p *Pool) notify(evs []PoolEvent) {
+	p.mu.Lock()
+	fn := p.observer
+	p.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	for _, ev := range evs {
+		fn(ev)
+	}
 }
 
 // NewPool builds a pool over the devices with the placement policy.
@@ -45,6 +96,10 @@ func NewPool(devs []*device.Platform, pol Policy, maxResident int) *Pool {
 
 // Devices returns the pool members.
 func (p *Pool) Devices() []*device.Platform { return p.devs }
+
+// Bounded reports whether the pool enforces a per-device residency
+// limit (and can therefore ever hold queued requests).
+func (p *Pool) Bounded() bool { return p.maxResident > 0 }
 
 // Loads snapshots the pool for placement decisions.
 func (p *Pool) Loads() []sim.DeviceLoad {
@@ -73,18 +128,21 @@ func (p *Pool) loadsLocked() []sim.DeviceLoad {
 // Rebalance migrates it).
 func (p *Pool) Submit(e *sim.ClusterExec) (devIdx int, admitted bool) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	di := p.pol.Pick(e, p.loadsLocked())
 	if di < 0 || di >= len(p.devs) {
 		di = 0
 	}
 	p.work[di] += e.K.TotalWork() * e.K.NumIters()
+	kind := EvQueued
 	if p.maxResident <= 0 || len(p.resident[di]) < p.maxResident {
 		p.resident[di] = append(p.resident[di], e)
-		return di, true
+		kind = EvAdmitted
+	} else {
+		p.queued[di] = append(p.queued[di], e)
 	}
-	p.queued[di] = append(p.queued[di], e)
-	return di, false
+	p.mu.Unlock()
+	p.notify([]PoolEvent{{Kind: kind, Dev: di, Exec: e}})
+	return di, kind == EvAdmitted
 }
 
 // Complete retires a request from a device and admits the head of its
@@ -92,7 +150,6 @@ func (p *Pool) Submit(e *sim.ClusterExec) (devIdx int, admitted bool) {
 // returned so the caller can launch it.
 func (p *Pool) Complete(devIdx int, e *sim.ClusterExec) *sim.ClusterExec {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	rs := p.resident[devIdx]
 	for i, r := range rs {
 		if r == e {
@@ -105,13 +162,17 @@ func (p *Pool) Complete(devIdx int, e *sim.ClusterExec) *sim.ClusterExec {
 	} else {
 		p.work[devIdx] = 0
 	}
+	evs := []PoolEvent{{Kind: EvCompleted, Dev: devIdx, Exec: e}}
+	var next *sim.ClusterExec
 	if len(p.queued[devIdx]) > 0 && (p.maxResident <= 0 || len(p.resident[devIdx]) < p.maxResident) {
-		next := p.queued[devIdx][0]
+		next = p.queued[devIdx][0]
 		p.queued[devIdx] = p.queued[devIdx][1:]
 		p.resident[devIdx] = append(p.resident[devIdx], next)
-		return next
+		evs = append(evs, PoolEvent{Kind: EvAdmitted, Dev: devIdx, Exec: next})
 	}
-	return nil
+	p.mu.Unlock()
+	p.notify(evs)
+	return next
 }
 
 // ResidentOn returns the requests currently resident on a device (the
@@ -129,7 +190,6 @@ func (p *Pool) ResidentOn(devIdx int) []*sim.ClusterExec {
 // (request, new device) pairs so the caller can launch them.
 func (p *Pool) Rebalance() map[*sim.ClusterExec]int {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	moves := make(map[*sim.ClusterExec]int)
 	for di := range p.devs {
 		if len(p.resident[di]) > 0 || len(p.queued[di]) > 0 {
@@ -158,5 +218,11 @@ func (p *Pool) Rebalance() map[*sim.ClusterExec]int {
 		p.resident[di] = append(p.resident[di], e)
 		moves[e] = di
 	}
+	p.mu.Unlock()
+	evs := make([]PoolEvent, 0, len(moves))
+	for e, di := range moves {
+		evs = append(evs, PoolEvent{Kind: EvMigrated, Dev: di, Exec: e})
+	}
+	p.notify(evs)
 	return moves
 }

@@ -291,34 +291,41 @@ func (fr *frame) exec(in *ir.Instr, depth int) {
 		p := fr.eval(in.Args[0]).P
 		v := fr.eval(in.Args[1])
 		t := in.Args[1].Type()
-		m.atomicMu.Lock()
-		old := m.load(t, p)
-		var next Value
-		switch in.AtomK {
-		case ir.AtomAdd:
-			next = Value{K: old.K, I: old.I + v.I}
-		case ir.AtomSub:
-			next = Value{K: old.K, I: old.I - v.I}
-		case ir.AtomMin:
-			next = old
-			if v.I < old.I {
+		// Deferred unlock so a trapping access (out of bounds, null)
+		// cannot leave the stripe locked: machines are pooled and the
+		// stripes are shared, so a poisoned lock would outlive the
+		// faulting launch.
+		fr.env[in] = func() Value {
+			mu := atomicLock(p)
+			mu.Lock()
+			defer mu.Unlock()
+			old := m.load(t, p)
+			var next Value
+			switch in.AtomK {
+			case ir.AtomAdd:
+				next = Value{K: old.K, I: old.I + v.I}
+			case ir.AtomSub:
+				next = Value{K: old.K, I: old.I - v.I}
+			case ir.AtomMin:
+				next = old
+				if v.I < old.I {
+					next = v
+				}
+			case ir.AtomMax:
+				next = old
+				if v.I > old.I {
+					next = v
+				}
+			case ir.AtomAnd:
+				next = Value{K: old.K, I: old.I & v.I}
+			case ir.AtomOr:
+				next = Value{K: old.K, I: old.I | v.I}
+			case ir.AtomXchg:
 				next = v
 			}
-		case ir.AtomMax:
-			next = old
-			if v.I > old.I {
-				next = v
-			}
-		case ir.AtomAnd:
-			next = Value{K: old.K, I: old.I & v.I}
-		case ir.AtomOr:
-			next = Value{K: old.K, I: old.I | v.I}
-		case ir.AtomXchg:
-			next = v
-		}
-		m.store(t, next, p)
-		m.atomicMu.Unlock()
-		fr.env[in] = old
+			m.store(t, next, p)
+			return old
+		}()
 	case ir.OpBarrier:
 		fr.wi.wg.bar.await()
 	case ir.OpCall:

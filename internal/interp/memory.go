@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"unsafe"
 
 	"repro/internal/ir"
 )
@@ -82,11 +83,29 @@ type Machine struct {
 	mu      sync.Mutex
 	regions []*Region
 
-	atomicMu sync.Mutex
-
 	// MaxWorkItems bounds a single launch as a safety net against
 	// runaway NDRanges in tests. Zero means no limit.
 	MaxWorkItems int64
+}
+
+// Atomic read-modify-writes must serialize across machines, not per
+// machine: with zero-copy buffer binding, concurrent launches on
+// separate machines can target the same bound bytes through distinct
+// Region objects, so per-machine (or per-region) locking would silently
+// break their atomicity. A single global mutex would instead serialize
+// every tenant's scheduling dequeues; the lock is therefore striped by
+// the backing array, so only launches genuinely sharing memory contend.
+const atomicStripes = 64
+
+var atomicMus [atomicStripes]sync.Mutex
+
+// atomicLock returns the stripe lock for the pointer's backing array.
+func atomicLock(p Ptr) *sync.Mutex {
+	var addr uintptr
+	if p.R != nil {
+		addr = uintptr(unsafe.Pointer(unsafe.SliceData(p.R.Bytes)))
+	}
+	return &atomicMus[(addr>>6)%atomicStripes]
 }
 
 // NewMachine returns a machine for the module.
@@ -100,12 +119,31 @@ func NewMachine(mod *ir.Module) *Machine {
 
 // NewRegion allocates a zeroed region of the given size.
 func (m *Machine) NewRegion(size int64, space ir.AddrSpace) *Region {
-	r := &Region{Bytes: make([]byte, size), Space: space}
+	return m.BindRegion(make([]byte, size), space)
+}
+
+// BindRegion registers a region backed by caller-owned bytes: loads and
+// stores go straight through to the slice, with no copy in either
+// direction. This is how the host runtime maps device buffers into the
+// machine — the interpreter's equivalent of the GPU reading accelerator
+// memory in place.
+func (m *Machine) BindRegion(bytes []byte, space ir.AddrSpace) *Region {
+	r := &Region{Bytes: bytes, Space: space}
 	m.mu.Lock()
 	r.ID = len(m.regions)
 	m.regions = append(m.regions, r)
 	m.mu.Unlock()
 	return r
+}
+
+// Reset drops every region from the registry so a pooled machine can be
+// reused without accumulating dead regions (and without keeping bound
+// buffer bytes alive). Pointers stored into surviving memory before the
+// reset become dangling, exactly as across separate machines.
+func (m *Machine) Reset() {
+	m.mu.Lock()
+	m.regions = m.regions[:1]
+	m.mu.Unlock()
 }
 
 // regionByID resolves an encoded region ID.

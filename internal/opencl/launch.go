@@ -1,0 +1,303 @@
+package opencl
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/rtlib"
+)
+
+// MachinePool keeps interpreter machines alive across launches so the
+// hot path stops paying per-launch machine construction, keyed by module
+// (a machine executes exactly one module). Released machines are reset
+// (their region registry dropped) before reuse so bound buffer bytes are
+// not kept alive between launches.
+type MachinePool struct {
+	mu   sync.Mutex
+	free map[*ir.Module][]*interp.Machine
+}
+
+// maxPooledMachines bounds the idle machines retained per module; bursts
+// beyond it allocate and discard. maxPooledModules bounds how many
+// distinct modules keep idle machines at all: a long-lived daemon JITs a
+// fresh module per application program, and without the cap every
+// retired program would pin its module (and up to maxPooledMachines
+// machines) in the pool forever.
+const (
+	maxPooledMachines = 8
+	maxPooledModules  = 32
+)
+
+// NewMachinePool returns an empty pool.
+func NewMachinePool() *MachinePool {
+	return &MachinePool{free: make(map[*ir.Module][]*interp.Machine)}
+}
+
+// Acquire returns a machine for the module, reusing an idle one when
+// available.
+func (p *MachinePool) Acquire(mod *ir.Module) *interp.Machine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ms := p.free[mod]
+	if n := len(ms); n > 0 {
+		m := ms[n-1]
+		if n == 1 {
+			// Drop emptied keys so dead modules do not accumulate.
+			delete(p.free, mod)
+		} else {
+			p.free[mod] = ms[:n-1]
+		}
+		return m
+	}
+	return interp.NewMachine(mod)
+}
+
+// Release resets the machine and returns it to the pool. Machines for
+// modules beyond the retention caps are discarded instead of parked.
+func (p *MachinePool) Release(m *interp.Machine) {
+	m.Reset()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ms, known := p.free[m.Mod]
+	if !known && len(p.free) >= maxPooledModules {
+		return
+	}
+	if len(ms) < maxPooledMachines {
+		p.free[m.Mod] = append(ms, m)
+	}
+}
+
+// Idle reports how many machines are parked in the pool (tests and
+// monitoring).
+func (p *MachinePool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, ms := range p.free {
+		n += len(ms)
+	}
+	return n
+}
+
+// fallbackPool serves launches that are not tied to a platform (the
+// LaunchTransformed convenience entry point).
+var fallbackPool = NewMachinePool()
+
+// DefaultSliceRounds is how many dequeue rounds each physical work-group
+// gets per slice: the slice budget is PhysWGs·Chunk·rounds virtual
+// groups. Small enough that the host regains control frequently (so a
+// re-plan lands quickly), large enough to amortize slice turnaround.
+const DefaultSliceRounds = 8
+
+// LaunchHandle is one in-flight transformed kernel execution, run as a
+// sequence of virtual-group-range slices. Each slice rewrites the RT
+// descriptor's dequeue cursor and horizon (rtlib.RTNext/RTTotal) and the
+// chunk size, then executes the scheduling kernel with the currently
+// planned number of physical work-groups; between slices the host (the
+// accelOS Kernel Scheduler) may push a new plan with UpdatePlan — the
+// paper's §5 dynamic adaptation, live. Buffers are bound zero-copy: the
+// interpreter reads and writes opencl.Buffer.Bytes in place, so large
+// buffers cost nothing per launch and concurrent launches sharing a
+// buffer cannot lose each other's updates to whole-buffer copy-back.
+type LaunchHandle struct {
+	pool *MachinePool
+	mach *interp.Machine
+	name string
+	args []interp.Value
+	nd   NDRange // virtual (original) geometry
+	rt   []byte  // RT descriptor image, bound as a machine region
+
+	mu       sync.Mutex
+	phys     int64
+	chunk    int64
+	rounds   int64
+	total    int64
+	consumed int64
+	done     bool
+	err      error
+}
+
+// NewLaunchHandle binds the kernel's arguments and the RT descriptor
+// into a pooled machine for the platform (nil platform uses a shared
+// pool) and returns a handle ready to Step. phys and chunk seed the
+// plan; UpdatePlan changes both between slices.
+func NewLaunchHandle(plat *Platform, mod *ir.Module, k *Kernel, nd NDRange, rtWords []int64, phys, chunk int64) (*LaunchHandle, error) {
+	if err := nd.Validate(); err != nil {
+		return nil, err
+	}
+	pool := fallbackPool
+	if plat != nil {
+		pool = plat.Machines()
+	}
+	mach := pool.Acquire(mod)
+	args := make([]interp.Value, 0, len(k.args)+1)
+	for i, a := range k.args {
+		if !a.set {
+			pool.Release(mach)
+			return nil, fmt.Errorf("opencl: kernel %q argument %d not set", k.Name, i)
+		}
+		if a.buf != nil {
+			r := mach.BindRegion(a.buf.Bytes, ir.Global)
+			args = append(args, interp.Value{K: ir.Pointer, P: interp.Ptr{R: r}})
+			continue
+		}
+		args = append(args, a.val)
+	}
+	img := rtlib.EncodeRT(rtWords)
+	r := mach.BindRegion(img, ir.Global)
+	args = append(args, interp.Value{K: ir.Pointer, P: interp.Ptr{R: r}})
+
+	h := &LaunchHandle{
+		pool:   pool,
+		mach:   mach,
+		name:   k.Name,
+		args:   args,
+		nd:     nd,
+		rt:     img,
+		rounds: DefaultSliceRounds,
+		total:  rtWords[rtlib.RTTotal],
+	}
+	h.setPlan(phys, chunk)
+	return h, nil
+}
+
+func (h *LaunchHandle) setPlan(phys, chunk int64) {
+	if phys < 1 {
+		phys = 1
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	h.phys, h.chunk = phys, chunk
+}
+
+// UpdatePlan installs a new physical work-group allocation and chunk
+// size; it takes effect at the next slice boundary. Calls after the
+// execution completed are no-ops.
+func (h *LaunchHandle) UpdatePlan(phys, chunk int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done {
+		return
+	}
+	h.setPlan(phys, chunk)
+}
+
+// SetSliceRounds tunes how many dequeue rounds per worker one slice
+// covers (DefaultSliceRounds if never called; values < 1 clamp to 1).
+func (h *LaunchHandle) SetSliceRounds(n int64) {
+	if n < 1 {
+		n = 1
+	}
+	h.mu.Lock()
+	h.rounds = n
+	h.mu.Unlock()
+}
+
+// Plan returns the currently installed physical allocation.
+func (h *LaunchHandle) Plan() (phys, chunk int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.phys, h.chunk
+}
+
+// Progress reports how many virtual groups have been executed out of the
+// total.
+func (h *LaunchHandle) Progress() (consumed, total int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.consumed, h.total
+}
+
+// Done reports whether the execution finished (successfully or not).
+func (h *LaunchHandle) Done() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.done
+}
+
+// Err returns the execution fault, if any.
+func (h *LaunchHandle) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.err
+}
+
+// Step executes one slice: it advances the RT descriptor's dequeue
+// cursor to the consumed prefix, sets the slice horizon and chunk, and
+// runs the scheduling kernel with the planned physical work-groups. The
+// kernel's work-groups atomically dequeue chunks until the horizon is
+// reached, then terminate, returning control to the host. Step reports
+// whether the execution is complete.
+func (h *LaunchHandle) Step() (done bool, err error) {
+	h.mu.Lock()
+	if h.done {
+		defer h.mu.Unlock()
+		return true, h.err
+	}
+	phys, chunk, consumed := h.phys, h.chunk, h.consumed
+	budget := phys * chunk * h.rounds
+	if budget < 1 {
+		budget = 1
+	}
+	if remaining := h.total - consumed; budget > remaining {
+		budget = remaining
+	}
+	eff := consumed + budget
+	// Extra workers past the slice budget would dequeue nothing; do not
+	// spawn them.
+	if budget < phys {
+		phys = budget
+	}
+	if phys < 1 {
+		phys = 1
+	}
+	h.mu.Unlock()
+
+	rtlib.PutWord(h.rt, rtlib.RTNext, consumed)
+	rtlib.PutWord(h.rt, rtlib.RTChunk, chunk)
+	rtlib.PutWord(h.rt, rtlib.RTTotal, eff)
+	physND := NDRange{
+		Dims:   h.nd.Dims,
+		Global: [3]int64{phys * h.nd.Local[0], h.nd.Local[1], h.nd.Local[2]},
+		Local:  h.nd.Local,
+	}
+	lerr := h.mach.Launch(h.name, h.args, physND)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if lerr != nil {
+		h.err = lerr
+		h.finishLocked()
+		return true, lerr
+	}
+	h.consumed = eff
+	if h.consumed >= h.total {
+		h.finishLocked()
+		return true, nil
+	}
+	return false, nil
+}
+
+// finishLocked retires the handle and returns its machine to the pool.
+func (h *LaunchHandle) finishLocked() {
+	if h.done {
+		return
+	}
+	h.done = true
+	h.pool.Release(h.mach)
+	h.mach = nil
+	h.args = nil
+}
+
+// Run drives the handle to completion slice by slice.
+func (h *LaunchHandle) Run() error {
+	for {
+		done, err := h.Step()
+		if done {
+			return err
+		}
+	}
+}

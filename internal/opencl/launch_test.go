@@ -1,0 +1,247 @@
+package opencl
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"repro/internal/accelpass"
+	"repro/internal/clc"
+	"repro/internal/ir"
+	"repro/internal/rtlib"
+)
+
+const markSrc = `
+kernel void mark(global int* out, int n)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) out[i] = out[i] + i + 1;
+}
+`
+
+// buildTransformed compiles and JIT-transforms markSrc, returning the
+// original-signature kernel (with bound args) and the transformed
+// module, the way the accelOS scheduler hands them to the launch path.
+func buildTransformed(t testing.TB, buf *Buffer, n int64) (*Kernel, *ir.Module) {
+	t.Helper()
+	orig, err := clc.Compile(markSrc, "mark_prog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := accelpass.Transform(ir.CloneModule(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Program{Module: orig}
+	k, err := p.CreateKernel("mark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgBuffer(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgInt32(1, int32(n)); err != nil {
+		t.Fatal(err)
+	}
+	return k, res.Module
+}
+
+// TestLaunchHandleSlicesAndReplans drives a transformed kernel slice by
+// slice, changing the plan mid-flight, and checks the result is exactly
+// a single pass over every virtual group.
+func TestLaunchHandleSlicesAndReplans(t *testing.T) {
+	plat := GetPlatforms()[0]
+	ctx := plat.CreateContext()
+	const groups, local = 16, 64
+	const n = groups * local
+	buf, err := ctx.CreateBuffer(n * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, trans := buildTransformed(t, buf, n)
+
+	nd := NDRange{Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{local, 1, 1}}
+	rtWords := rtlib.BuildRT(1, nd.NumGroups(), nd.Local, 1)
+	h, err := NewLaunchHandle(plat, trans, k, nd, rtWords, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetSliceRounds(1)
+
+	// First slice: 2 workers x chunk 1 x 1 round = 2 virtual groups.
+	done, err := h.Step()
+	if err != nil || done {
+		t.Fatalf("after slice 1: done=%v err=%v", done, err)
+	}
+	if consumed, total := h.Progress(); consumed != 2 || total != groups {
+		t.Fatalf("progress = %d/%d, want 2/%d", consumed, total, groups)
+	}
+
+	// Re-plan mid-flight: the next slice covers 4x2 = 8 groups.
+	h.UpdatePlan(4, 2)
+	if phys, chunk := h.Plan(); phys != 4 || chunk != 2 {
+		t.Fatalf("plan = (%d,%d), want (4,2)", phys, chunk)
+	}
+	if done, err = h.Step(); err != nil || done {
+		t.Fatalf("after slice 2: done=%v err=%v", done, err)
+	}
+	if consumed, _ := h.Progress(); consumed != 10 {
+		t.Fatalf("consumed = %d, want 10", consumed)
+	}
+
+	if err := h.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Done() {
+		t.Fatal("handle not done after Run")
+	}
+	if consumed, total := h.Progress(); consumed != total {
+		t.Fatalf("consumed %d of %d after completion", consumed, total)
+	}
+	// UpdatePlan after completion is a no-op, not a crash.
+	h.UpdatePlan(64, 4)
+
+	for i := int64(0); i < n; i++ {
+		want := int32(i + 1)
+		if got := int32(binary.LittleEndian.Uint32(buf.Bytes[i*4:])); got != want {
+			t.Fatalf("out[%d] = %d, want %d (virtual group ran zero or multiple times)", i, got, want)
+		}
+	}
+	// The machine went back to the platform pool on completion.
+	if idle := plat.Machines().Idle(); idle != 1 {
+		t.Errorf("pool idle machines = %d, want 1", idle)
+	}
+}
+
+// TestLaunchHandleZeroCopy verifies buffers are bound in place: the
+// kernel's writes appear in Buffer.Bytes with no read-back step, and
+// host writes between slices are visible to later slices.
+func TestLaunchHandleZeroCopy(t *testing.T) {
+	plat := GetPlatforms()[0]
+	ctx := plat.CreateContext()
+	const groups, local = 8, 32
+	const n = groups * local
+	buf, err := ctx.CreateBuffer(n * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, trans := buildTransformed(t, buf, n)
+	nd := NDRange{Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{local, 1, 1}}
+	rtWords := rtlib.BuildRT(1, nd.NumGroups(), nd.Local, 1)
+	h, err := NewLaunchHandle(plat, trans, k, nd, rtWords, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetSliceRounds(1)
+	if done, err := h.Step(); done || err != nil {
+		t.Fatalf("first slice: done=%v err=%v", done, err)
+	}
+	// Virtual group 0 already landed in the buffer — no copy-back.
+	if got := int32(binary.LittleEndian.Uint32(buf.Bytes[0:])); got != 1 {
+		t.Fatalf("out[0] = %d after first slice, want 1 (zero-copy write not visible)", got)
+	}
+	// Host mutation between slices is seen by the remaining slices
+	// (out[i] += i+1 accumulates on top of it).
+	last := int64(n - 1)
+	binary.LittleEndian.PutUint32(buf.Bytes[last*4:], 100)
+	if err := h.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := int32(binary.LittleEndian.Uint32(buf.Bytes[last*4:])); got != int32(100+last+1) {
+		t.Fatalf("out[last] = %d, want %d (host write between slices lost)", got, 100+last+1)
+	}
+}
+
+// TestMachinePoolReuse checks the hot path stops constructing machines:
+// sequential launches on one platform share a pooled machine.
+func TestMachinePoolReuse(t *testing.T) {
+	pool := NewMachinePool()
+	mod, err := clc.Compile(markSrc, "pool_prog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := pool.Acquire(mod)
+	pool.Release(m1)
+	if idle := pool.Idle(); idle != 1 {
+		t.Fatalf("idle = %d, want 1", idle)
+	}
+	m2 := pool.Acquire(mod)
+	if m2 != m1 {
+		t.Error("pool did not reuse the released machine")
+	}
+	if idle := pool.Idle(); idle != 0 {
+		t.Fatalf("idle = %d after acquire, want 0", idle)
+	}
+	// Release resets the region registry so bound buffers are dropped.
+	r := m2.BindRegion(make([]byte, 64), ir.Global)
+	if r.ID <= 0 {
+		t.Fatal("bound region got reserved ID")
+	}
+	pool.Release(m2)
+	m3 := pool.Acquire(mod)
+	r2 := m3.BindRegion(make([]byte, 64), ir.Global)
+	if r2.ID != 1 {
+		t.Errorf("region ID after pooled reset = %d, want 1", r2.ID)
+	}
+}
+
+// TestConcurrentEnqueueSharedBuffer is the opencl-level half of the
+// copy-back race regression: two queues launch kernels writing disjoint
+// windows of one buffer concurrently; in-place binding means neither
+// overwrites the other (run under -race).
+func TestConcurrentEnqueueSharedBuffer(t *testing.T) {
+	plat := GetPlatforms()[0]
+	ctx := plat.CreateContext()
+	const half = 1024
+	buf, err := ctx.CreateBuffer(2 * half * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ctx.CreateProgramWithSource(`
+kernel void fill(global int* out, int base, int n)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) out[base + i] = base + i + 7;
+}
+`)
+	if err := p.Build(); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(base int32) *Kernel {
+		k, err := p.CreateKernel("fill")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = k.SetArgBuffer(0, buf)
+		_ = k.SetArgInt32(1, base)
+		_ = k.SetArgInt32(2, half)
+		return k
+	}
+	nd := NDRange{Dims: 1, Global: [3]int64{half, 1, 1}, Local: [3]int64{64, 1, 1}}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for _, base := range []int32{0, half} {
+		q := ctx.CreateCommandQueue()
+		k := mk(base)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if err := q.EnqueueNDRangeKernel(k, nd); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*half; i++ {
+		if got := int32(binary.LittleEndian.Uint32(buf.Bytes[i*4:])); got != int32(i+7) {
+			t.Fatalf("out[%d] = %d, want %d", i, got, i+7)
+		}
+	}
+}

@@ -16,11 +16,24 @@ import (
 	"repro/internal/device"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/rtlib"
 )
 
 // Platform pairs the API with a modeled device.
 type Platform struct {
 	Dev *device.Platform
+
+	machOnce sync.Once
+	machines *MachinePool
+}
+
+// Machines returns the platform's persistent interpreter machine pool
+// (created on first use). Launch handles draw their machines from here
+// so the execution hot path reuses machines instead of constructing one
+// per launch.
+func (p *Platform) Machines() *MachinePool {
+	p.machOnce.Do(func() { p.machines = NewMachinePool() })
+	return p.machines
 }
 
 // GetPlatforms lists the available platforms (the paper's two
@@ -86,12 +99,17 @@ func (c *Context) CreateBuffer(size int64) (*Buffer, error) {
 // ErrOutOfMemory mirrors CL_MEM_OBJECT_ALLOCATION_FAILURE.
 var ErrOutOfMemory = fmt.Errorf("opencl: device memory exhausted")
 
-// Release frees the buffer's device memory.
+// Release frees the buffer's device memory. Buffers constructed outside
+// a context (ctx == nil, e.g. host-side descriptor images) release to
+// nothing instead of faulting.
 func (b *Buffer) Release() {
 	if b.released {
 		return
 	}
 	b.released = true
+	if b.ctx == nil {
+		return
+	}
 	b.ctx.mu.Lock()
 	b.ctx.allocated -= b.Size
 	b.ctx.mu.Unlock()
@@ -221,64 +239,43 @@ func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, off int64, out []byte) error
 }
 
 // EnqueueNDRangeKernel launches the kernel synchronously (the in-order
-// queue model: Finish is implicit per launch).
+// queue model: Finish is implicit per launch). Buffers are bound into
+// the machine zero-copy, so the launch does not pay per-byte copy-in or
+// copy-out and concurrent launches sharing a buffer see each other's
+// writes instead of overwriting them on copy-back.
 func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, nd NDRange) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return launchOnModule(k.Prog.Module, k, nd, nil)
-}
-
-// launchOnModule runs the kernel on the interpreter, binding buffers to
-// machine regions and copying results back. extraArgs (used by the
-// accelOS scheduler for the RT descriptor) are appended after the user
-// arguments.
-func launchOnModule(mod *ir.Module, k *Kernel, nd NDRange, extraArgs []interp.Value) error {
-	mach := interp.NewMachine(mod)
-	vals := make([]interp.Value, 0, len(k.args)+len(extraArgs))
-	type binding struct {
-		buf *Buffer
-		r   *interp.Region
+	pool := fallbackPool
+	if k.Prog.Ctx != nil {
+		pool = k.Prog.Ctx.Plat.Machines()
 	}
-	var binds []binding
+	mach := pool.Acquire(k.Prog.Module)
+	defer pool.Release(mach)
+	vals := make([]interp.Value, 0, len(k.args))
 	for i, a := range k.args {
 		if !a.set {
 			return fmt.Errorf("opencl: kernel %q argument %d not set", k.Name, i)
 		}
 		if a.buf != nil {
-			r := mach.NewRegion(a.buf.Size, ir.Global)
-			copy(r.Bytes, a.buf.Bytes)
-			binds = append(binds, binding{buf: a.buf, r: r})
+			r := mach.BindRegion(a.buf.Bytes, ir.Global)
 			vals = append(vals, interp.Value{K: ir.Pointer, P: interp.Ptr{R: r}})
 			continue
 		}
 		vals = append(vals, a.val)
 	}
-	vals = append(vals, extraArgs...)
-	if err := mach.Launch(k.Name, vals, nd); err != nil {
-		return err
-	}
-	for _, b := range binds {
-		copy(b.buf.Bytes, b.r.Bytes)
-	}
-	return nil
+	return mach.Launch(k.Name, vals, nd)
 }
 
-// LaunchTransformed is the hook the accelOS Kernel Scheduler uses: it
-// launches kernel name from an arbitrary (transformed) module with the
-// RT descriptor appended and a reduced physical grid.
+// LaunchTransformed launches kernel name from an arbitrary (transformed)
+// module with the RT descriptor appended and a reduced physical grid,
+// running every slice back to back. It is the one-shot convenience entry
+// point over NewLaunchHandle; the accelOS Kernel Scheduler holds the
+// handle itself so it can re-plan between slices.
 func LaunchTransformed(mod *ir.Module, k *Kernel, nd NDRange, rtWords []int64, physGroups int64) error {
-	rt := make([]byte, len(rtWords)*8)
-	for i, w := range rtWords {
-		for b := 0; b < 8; b++ {
-			rt[i*8+b] = byte(uint64(w) >> (8 * b))
-		}
+	h, err := NewLaunchHandle(nil, mod, k, nd, rtWords, physGroups, rtWords[rtlib.RTChunk])
+	if err != nil {
+		return err
 	}
-	rtBuf := &Buffer{Size: int64(len(rt)), Bytes: rt}
-	k2 := &Kernel{Prog: &Program{Module: mod}, Name: k.Name, args: append(append([]arg{}, k.args...), arg{set: true, buf: rtBuf})}
-	phys := NDRange{
-		Dims:   nd.Dims,
-		Global: [3]int64{physGroups * nd.Local[0], nd.Local[1], nd.Local[2]},
-		Local:  nd.Local,
-	}
-	return launchOnModule(mod, k2, phys, nil)
+	return h.Run()
 }

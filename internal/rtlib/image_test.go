@@ -1,0 +1,35 @@
+package rtlib
+
+import "testing"
+
+// TestRTImageRoundtrip checks the byte image the host binds into the
+// interpreter matches the word layout the transformed kernel reads, and
+// that between-slice word rewrites land.
+func TestRTImageRoundtrip(t *testing.T) {
+	words := BuildRT(2, [3]int64{6, 5, 1}, [3]int64{8, 4, 1}, 3)
+	img := EncodeRT(words)
+	if len(img) != RTWords*8 {
+		t.Fatalf("image size = %d, want %d", len(img), RTWords*8)
+	}
+	for i, w := range words {
+		if got := Word(img, i); got != w {
+			t.Errorf("word %d = %d, want %d", i, got, w)
+		}
+	}
+	if Word(img, RTTotal) != 30 {
+		t.Errorf("RTTotal = %d, want 30", Word(img, RTTotal))
+	}
+
+	// The host drives the dequeue cursor and slice horizon in place.
+	PutWord(img, RTNext, 12)
+	PutWord(img, RTTotal, 18)
+	PutWord(img, RTChunk, 1)
+	if Word(img, RTNext) != 12 || Word(img, RTTotal) != 18 || Word(img, RTChunk) != 1 {
+		t.Errorf("rewritten words = next %d total %d chunk %d",
+			Word(img, RTNext), Word(img, RTTotal), Word(img, RTChunk))
+	}
+	// Untouched geometry words survive the rewrite.
+	if Word(img, RTVG) != 6 || Word(img, RTVG+1) != 5 || Word(img, RTLS) != 8 {
+		t.Error("geometry words corrupted by cursor rewrite")
+	}
+}

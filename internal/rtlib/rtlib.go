@@ -10,6 +10,7 @@
 package rtlib
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -176,4 +177,28 @@ func BuildRT(dims int, numGroups, localSize [3]int64, chunk int) []int64 {
 		rt[RTLS+d] = localSize[d]
 	}
 	return rt
+}
+
+// EncodeRT renders the RT descriptor words as the little-endian byte
+// image the transformed kernel dereferences as `global long*`. The host
+// runtime binds this image into the interpreter machine and rewrites
+// individual words between execution slices.
+func EncodeRT(words []int64) []byte {
+	b := make([]byte, len(words)*8)
+	for i, w := range words {
+		PutWord(b, i, w)
+	}
+	return b
+}
+
+// PutWord writes RT descriptor word idx into an encoded image — the
+// host side of driving the dequeue cursor (RTNext), the slice horizon
+// (RTTotal) and the chunk size (RTChunk) between slices.
+func PutWord(img []byte, idx int, w int64) {
+	binary.LittleEndian.PutUint64(img[idx*8:], uint64(w))
+}
+
+// Word reads RT descriptor word idx from an encoded image.
+func Word(img []byte, idx int) int64 {
+	return int64(binary.LittleEndian.Uint64(img[idx*8:]))
 }
