@@ -16,6 +16,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/elastic"
 	"repro/internal/experiments"
+	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/metrics"
 	"repro/internal/opencl"
@@ -198,17 +199,73 @@ func BenchmarkJITTransform(b *testing.B) {
 	}
 }
 
+// benchEngines names the two interpreter engines: "treewalk" is the
+// pre-VM reference (the before of the perf record), "vm" the compiled
+// bytecode engine.
+var benchEngines = []struct {
+	name string
+	eng  interp.Engine
+}{
+	{"vm", interp.EngineVM},
+	{"treewalk", interp.EngineTreeWalk},
+}
+
 // BenchmarkInterpLaunch measures functional kernel execution on the
-// interpreter (one 4096-item vadd launch).
+// interpreter (one 4096-item sad launch), compiled once and launched
+// per iteration, on both engines.
 func BenchmarkInterpLaunch(b *testing.B) {
 	k, err := parboil.ByName("sad/larger_sad_calc_8")
 	if err != nil {
 		b.Fatal(err)
 	}
-	for i := 0; i < b.N; i++ {
-		if _, err := k.RunNative(); err != nil {
-			b.Fatal(err)
-		}
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			pl, err := k.PrepareNative(e.eng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pl.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDispatch isolates interpreter dispatch: one work-item
+// spinning a tight arithmetic loop, so ns/op is almost purely
+// per-instruction overhead (map-environment tree walk vs register VM).
+func BenchmarkDispatch(b *testing.B) {
+	mod, err := clc.Compile(`
+kernel void spin(global int* out)
+{
+    int acc = 0;
+    int i;
+    for (i = 0; i < 100000; ++i) acc += i & 7;
+    out[0] = acc;
+}
+`, "spin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range benchEngines {
+		b.Run(e.name, func(b *testing.B) {
+			m := interp.NewMachine(mod)
+			m.Engine = e.eng
+			out := m.NewRegion(4, ir.Global)
+			args := []interp.Value{{K: ir.Pointer, P: interp.Ptr{R: out}}}
+			nd := interp.ND1(1, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.Launch("spin", args, nd); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -444,6 +501,7 @@ kernel void vadd(global const float* x, global const float* y, global float* z, 
 	_ = k.SetArgBuffer(2, z)
 	_ = k.SetArgInt32(3, n)
 	nd := opencl.NDRange{Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := app.EnqueueKernel(k, nd); err != nil {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/clc"
 	"repro/internal/cluster"
 	"repro/internal/device"
+	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/opencl"
 	"repro/internal/rtlib"
@@ -252,6 +253,10 @@ func (rt *Runtime) jitProgram(req *Request) error {
 	p.orig = orig
 	p.trans = res.Module
 	p.infos = res.Kernels
+	// Lower the transformed module to interpreter bytecode now, while
+	// the application is still in its build phase: kernel launches (and
+	// every re-planned slice) then start on a cache hit.
+	interp.SharedProgram(p.trans)
 	rt.statsMu.Lock()
 	rt.stats.ProgramsJITed++
 	rt.statsMu.Unlock()

@@ -1,0 +1,411 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/ir"
+)
+
+// This file is the bytecode compiler: a one-time, per-function pass that
+// numbers every ir.Value into a dense register slot (ir.NumberFunction)
+// and lowers basic blocks into a flat []instr array with pre-resolved
+// operands — register indices instead of map lookups, constants folded
+// into a prefilled tail of the register file, callees and builtins bound
+// at compile time, and branch targets as pc offsets. The VM (vm.go)
+// dispatches over this form; the tree-walking interpreter in exec.go is
+// kept as the semantic reference.
+
+// vmOp is a VM opcode. The set is deliberately finer-grained than
+// ir.Opcode where pre-resolution pays: builtin calls split into
+// work-item, math and IR-function calls, and constant-index GEPs fold
+// the scaled offset.
+type vmOp uint8
+
+const (
+	opAlloca      vmOp = iota // dst = fresh private region of imm bytes (space in sub)
+	opAllocaLocal             // dst = work-group local region, slot a, imm bytes
+	opLoad                    // dst = load kind from regs[a]
+	opStore                   // store regs[a] (kind) to regs[b]
+	opGEP                     // dst = regs[a] + regs[b].I*imm
+	opGEPConst                // dst = regs[a] + imm (pre-scaled constant index)
+	opBin                     // dst = binop sub(regs[a], regs[b]), result kind
+	opCmp                     // dst = cmp sub(regs[a], regs[b])
+	opCast                    // dst = cast sub(regs[a]) to kind
+	opSelect                  // dst = regs[a] ? regs[b] : regs[c]
+	opAtomic                  // dst = atomic sub on regs[a] with regs[b] (operand kind)
+	opBarrier                 // work-group barrier: suspend the work-item
+	opCall                    // dst = call fn(regs[args...])
+	opWI                      // dst = work-item builtin sub; dim = a<0 ? imm : regs[a].I
+	opMath                    // dst = math builtin sub(regs[a][, regs[b]]) at kind
+	opJump                    // pc = imm
+	opCondJump                // pc = regs[a] ? b : c
+	opRet                     // return regs[a] (a < 0: void)
+	opTrap                    // execution fault with msg
+)
+
+// Work-item builtin codes (opWI sub).
+const (
+	wiGlobalID uint8 = iota
+	wiLocalID
+	wiGroupID
+	wiNumGroups
+	wiLocalSize
+	wiGlobalSize
+	wiGlobalOffset
+	wiWorkDim
+)
+
+var wiBuiltins = map[string]uint8{
+	"get_global_id":     wiGlobalID,
+	"get_local_id":      wiLocalID,
+	"get_group_id":      wiGroupID,
+	"get_num_groups":    wiNumGroups,
+	"get_local_size":    wiLocalSize,
+	"get_global_size":   wiGlobalSize,
+	"get_global_offset": wiGlobalOffset,
+	"get_work_dim":      wiWorkDim,
+}
+
+// instr is one VM instruction. dst/a/b/c are register-file indices (-1
+// where unused); imm carries sizes, pre-scaled offsets and jump targets.
+type instr struct {
+	op   vmOp
+	sub  uint8   // BinKind / CmpPred / CastKind / AtomicKind / builtin code / AddrSpace
+	kind ir.Kind // operand or result kind where the operation is typed
+	dst  int32
+	a    int32
+	b    int32
+	c    int32
+	imm  int64
+	fn   *compiledFn // opCall target
+	args []int32     // opCall argument registers
+	msg  string      // opTrap message
+}
+
+// compiledFn is the compiled form of one IR function: flat code over a
+// register file of nregs Values, of which [0, nparams) are the incoming
+// arguments and [constBase, nregs) are prefilled constants.
+type compiledFn struct {
+	fn        *ir.Function
+	code      []instr
+	nparams   int
+	constBase int
+	nregs     int
+	consts    []Value
+
+	// regPool recycles register files across frames and launches; files
+	// are cleared on Get so stale values (and the regions they pin) do
+	// not leak between activations.
+	regPool sync.Pool
+}
+
+// getRegs returns a cleared register file with the constant tail
+// prefilled. The pooled pointer travels with the frame and goes back
+// verbatim in putRegs, so frame push/pop allocates nothing.
+func (cf *compiledFn) getRegs() *[]Value {
+	p := cf.regPool.Get().(*[]Value)
+	regs := *p
+	clear(regs)
+	copy(regs[cf.constBase:], cf.consts)
+	return p
+}
+
+func (cf *compiledFn) putRegs(p *[]Value) {
+	cf.regPool.Put(p)
+}
+
+// Prog is a compiled module: the unit the VM executes and the unit the
+// host layers cache (opencl.Program keeps one per built program; pooled
+// machines resolve theirs through SharedProgram).
+type Prog struct {
+	Mod *ir.Module
+
+	fns map[string]*compiledFn
+
+	// localSizes assigns every local-space alloca in the module a dense
+	// work-group slot; sizes are static (element size × count), so a
+	// group's local regions are carved without locks.
+	localSizes []int64
+}
+
+// CompileModule lowers every defined function of the module to bytecode.
+// The module must not be mutated afterwards (callees are resolved to
+// compiled-function pointers at this point).
+func CompileModule(mod *ir.Module) *Prog {
+	p := &Prog{Mod: mod, fns: make(map[string]*compiledFn)}
+	// Two phases so calls can reference functions defined later.
+	for _, f := range mod.Funcs {
+		if !f.IsDecl() {
+			p.fns[f.Name] = &compiledFn{fn: f}
+		}
+	}
+	for _, f := range mod.Funcs {
+		if !f.IsDecl() {
+			p.compileFn(p.fns[f.Name])
+		}
+	}
+	return p
+}
+
+// SharedProgram returns the compiled form of mod from a bounded global
+// cache, compiling on first use. The bound mirrors the machine pool's
+// module cap: a long-lived daemon JITs a module per application program,
+// and an unbounded cache would pin every retired module forever.
+const maxCachedProgs = 64
+
+var (
+	progMu    sync.Mutex
+	progCache = make(map[*ir.Module]*Prog)
+)
+
+func SharedProgram(mod *ir.Module) *Prog {
+	progMu.Lock()
+	defer progMu.Unlock()
+	if p := progCache[mod]; p != nil {
+		return p
+	}
+	p := CompileModule(mod)
+	if len(progCache) >= maxCachedProgs {
+		for k := range progCache {
+			delete(progCache, k)
+			break
+		}
+	}
+	progCache[mod] = p
+	return p
+}
+
+// constKey dedups constants by kind and bits.
+type constKey struct {
+	kind ir.Kind
+	i    int64
+	f    float64
+}
+
+type fnCompiler struct {
+	prog *Prog
+	cf   *compiledFn
+	nb   *ir.Numbering
+
+	constRegs map[constKey]int32
+	consts    []Value
+
+	blockPC map[*ir.Block]int32
+	code    []instr
+}
+
+func (p *Prog) compileFn(cf *compiledFn) {
+	fn := cf.fn
+	c := &fnCompiler{
+		prog:      p,
+		cf:        cf,
+		nb:        ir.NumberFunction(fn),
+		constRegs: make(map[constKey]int32),
+		blockPC:   make(map[*ir.Block]int32),
+	}
+	// Pass 1: block pc offsets. Every IR instruction lowers to exactly
+	// one VM instruction; unterminated blocks get a trailing trap so
+	// execution cannot silently fall through into the next block.
+	pc := int32(0)
+	for _, b := range fn.Blocks {
+		c.blockPC[b] = pc
+		pc += int32(len(b.Instrs))
+		if !b.Terminated() {
+			pc++
+		}
+	}
+	c.code = make([]instr, 0, pc)
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			c.emit(in)
+		}
+		if !b.Terminated() {
+			c.code = append(c.code, instr{op: opTrap, msg: fmt.Sprintf("fell off unterminated block in %s", fn.Name)})
+		}
+	}
+	cf.code = c.code
+	cf.nparams = len(fn.Params)
+	cf.constBase = c.nb.NumValues()
+	cf.consts = c.consts
+	cf.nregs = cf.constBase + len(c.consts)
+	n := cf.nregs
+	cf.regPool.New = func() any {
+		s := make([]Value, n)
+		return &s
+	}
+}
+
+// reg resolves an operand to its register index, interning constants.
+// The second result is false for values the function does not define
+// (invalid IR); the caller lowers the whole instruction to a trap,
+// preserving the tree-walker's use-of-undefined-value fault.
+func (c *fnCompiler) reg(v ir.Value) (int32, bool) {
+	switch k := v.(type) {
+	case *ir.ConstInt:
+		return c.constReg(constKey{kind: k.Ty.Kind, i: k.V}, Value{K: k.Ty.Kind, I: k.V}), true
+	case *ir.ConstFloat:
+		return c.constReg(constKey{kind: k.Ty.Kind, f: k.V}, Value{K: k.Ty.Kind, F: k.V}), true
+	case *ir.ConstNull:
+		return c.constReg(constKey{kind: ir.Pointer}, Value{K: ir.Pointer}), true
+	}
+	return c.nb.IndexOf(v)
+}
+
+func (c *fnCompiler) constReg(key constKey, v Value) int32 {
+	if r, ok := c.constRegs[key]; ok {
+		return r
+	}
+	r := int32(c.nb.NumValues() + len(c.consts))
+	c.consts = append(c.consts, v)
+	c.constRegs[key] = r
+	return r
+}
+
+// regs resolves all operands; ok is false if any is undefined.
+func (c *fnCompiler) regs(vs []ir.Value) ([]int32, bool) {
+	out := make([]int32, len(vs))
+	for i, v := range vs {
+		r, ok := c.reg(v)
+		if !ok {
+			return nil, false
+		}
+		out[i] = r
+	}
+	return out, true
+}
+
+func (c *fnCompiler) dst(in *ir.Instr) int32 {
+	if !in.HasResult() {
+		return -1
+	}
+	r, _ := c.nb.IndexOf(in)
+	return r
+}
+
+func (c *fnCompiler) emit(in *ir.Instr) {
+	undef := func(v ir.Value) {
+		c.code = append(c.code, instr{op: opTrap, msg: fmt.Sprintf("use of undefined value %s", v.Ident())})
+	}
+	ops, ok := c.regs(in.Args)
+	if !ok {
+		for _, v := range in.Args {
+			if _, defined := c.reg(v); !defined {
+				undef(v)
+				return
+			}
+		}
+	}
+	switch in.Op {
+	case ir.OpAlloca:
+		size := in.AllocaElem.Size() * in.AllocaCount
+		if in.AllocaSpace == ir.Local {
+			slot := int32(len(c.prog.localSizes))
+			c.prog.localSizes = append(c.prog.localSizes, size)
+			c.code = append(c.code, instr{op: opAllocaLocal, dst: c.dst(in), a: slot, imm: size})
+			return
+		}
+		c.code = append(c.code, instr{op: opAlloca, dst: c.dst(in), sub: uint8(in.AllocaSpace), imm: size})
+	case ir.OpLoad:
+		c.code = append(c.code, instr{op: opLoad, dst: c.dst(in), a: ops[0], kind: in.Ty.Kind})
+	case ir.OpStore:
+		c.code = append(c.code, instr{op: opStore, a: ops[0], b: ops[1], kind: in.Args[0].Type().Kind})
+	case ir.OpGEP:
+		elem := in.Ty.Elem.Size()
+		if cv, isConst := ir.ConstIntValue(in.Args[1]); isConst {
+			c.code = append(c.code, instr{op: opGEPConst, dst: c.dst(in), a: ops[0], imm: cv * elem})
+			return
+		}
+		c.code = append(c.code, instr{op: opGEP, dst: c.dst(in), a: ops[0], b: ops[1], imm: elem})
+	case ir.OpBin:
+		c.code = append(c.code, instr{op: opBin, dst: c.dst(in), a: ops[0], b: ops[1], sub: uint8(in.BinK), kind: in.Ty.Kind})
+	case ir.OpCmp:
+		c.code = append(c.code, instr{op: opCmp, dst: c.dst(in), a: ops[0], b: ops[1], sub: uint8(in.CmpK)})
+	case ir.OpCast:
+		c.code = append(c.code, instr{op: opCast, dst: c.dst(in), a: ops[0], sub: uint8(in.CastK), kind: in.Ty.Kind})
+	case ir.OpSelect:
+		c.code = append(c.code, instr{op: opSelect, dst: c.dst(in), a: ops[0], b: ops[1], c: ops[2]})
+	case ir.OpAtomic:
+		c.code = append(c.code, instr{op: opAtomic, dst: c.dst(in), a: ops[0], b: ops[1], sub: uint8(in.AtomK), kind: in.Args[1].Type().Kind})
+	case ir.OpBarrier:
+		c.code = append(c.code, instr{op: opBarrier})
+	case ir.OpCall:
+		c.emitCall(in, ops)
+	case ir.OpBr:
+		c.code = append(c.code, instr{op: opJump, imm: int64(c.blockPC[in.Then])})
+	case ir.OpCondBr:
+		c.code = append(c.code, instr{op: opCondJump, a: ops[0], b: c.blockPC[in.Then], c: c.blockPC[in.Else]})
+	case ir.OpRet:
+		r := int32(-1)
+		if len(in.Args) > 0 {
+			r = ops[0]
+		}
+		c.code = append(c.code, instr{op: opRet, a: r})
+	default:
+		c.code = append(c.code, instr{op: opTrap, msg: fmt.Sprintf("unsupported opcode %d", in.Op)})
+	}
+}
+
+// emitCall pre-binds the callee: defined functions become direct opCall
+// to their compiled form; declarations resolve to work-item or math
+// builtin opcodes with names, dims and kinds resolved now instead of per
+// execution.
+func (c *fnCompiler) emitCall(in *ir.Instr, ops []int32) {
+	callee := c.prog.Mod.Lookup(in.Callee)
+	if callee == nil {
+		c.code = append(c.code, instr{op: opTrap, msg: fmt.Sprintf("call to unknown function %q", in.Callee)})
+		return
+	}
+	if !callee.IsDecl() {
+		c.code = append(c.code, instr{op: opCall, dst: c.dst(in), fn: c.prog.fns[callee.Name], args: ops})
+		return
+	}
+	name := in.Callee
+	if code, ok := wiBuiltins[name]; ok {
+		// Dimension argument: constants fold into imm (with the same
+		// clamp the reference engine applies); non-constants read a
+		// register at runtime; pointer or absent arguments mean dim 0.
+		ins := instr{op: opWI, dst: c.dst(in), sub: code, a: -1}
+		if len(in.Args) == 1 && in.Args[0].Type().Kind != ir.Pointer {
+			if cv, isConst := ir.ConstIntValue(in.Args[0]); isConst {
+				if cv < 0 || cv > 2 {
+					cv = 0
+				}
+				ins.imm = cv
+			} else {
+				ins.a = ops[0]
+			}
+		}
+		c.code = append(c.code, ins)
+		return
+	}
+	if strings.HasPrefix(name, "__clc_") {
+		op, kind, err := parseMathBuiltin(name)
+		if err != "" {
+			c.code = append(c.code, instr{op: opTrap, msg: err})
+			return
+		}
+		ins := instr{op: opMath, dst: c.dst(in), sub: op, kind: kind, a: ops[0], b: -1}
+		if len(ops) > 1 {
+			ins.b = ops[1]
+		}
+		c.code = append(c.code, ins)
+		return
+	}
+	c.code = append(c.code, instr{op: opTrap, msg: fmt.Sprintf("unknown builtin %q", name)})
+}
+
+// kindTypes maps a value kind back to a type singleton for the shared
+// load/store/binop helpers (which only inspect Kind and Size).
+var kindTypes = func() [ir.Pointer + 1]*ir.Type {
+	var t [ir.Pointer + 1]*ir.Type
+	t[ir.Void] = ir.VoidT
+	t[ir.Bool] = ir.BoolT
+	t[ir.I32] = ir.I32T
+	t[ir.I64] = ir.I64T
+	t[ir.F32] = ir.F32T
+	t[ir.F64] = ir.F64T
+	t[ir.Pointer] = ir.PointerTo(ir.I64T, ir.Global)
+	return t
+}()

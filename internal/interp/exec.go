@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ir"
 )
@@ -65,12 +66,47 @@ func (n NDRange) Validate() error {
 	return nil
 }
 
+// Engine selects the execution engine of a machine.
+type Engine int
+
+const (
+	// EngineVM is the default: compiled bytecode over flat register
+	// files, work-groups in parallel on a bounded worker pool,
+	// cooperative work-items (vm.go).
+	EngineVM Engine = iota
+	// EngineTreeWalk is the original tree-walking interpreter — one
+	// goroutine per work-item, sequential groups. It is kept as the
+	// semantic reference for the differential parity suite.
+	EngineTreeWalk
+)
+
+// defaultMaxSteps is the launch-global instruction budget when
+// Machine.MaxSteps is zero. The budget is shared by every work-item and
+// call frame of one Launch (nested frames no longer reset it), so a
+// runaway kernel traps no matter where it loops.
+const defaultMaxSteps = 200_000_000
+
 type launchCtx struct {
 	m    *Machine
 	fn   *ir.Function
 	args []Value
 	nd   NDRange
 	ng   [3]int64
+
+	// VM engine state (nil/zero under the tree-walker except the step
+	// budget, which both engines share).
+	prog *Prog
+	kcf  *compiledFn
+
+	steps    atomic.Int64
+	maxSteps int64
+}
+
+// addSteps charges n executed instructions against the launch budget.
+func (l *launchCtx) addSteps(n int64) {
+	if l.steps.Add(n) > l.maxSteps {
+		panic(trap{fmt.Sprintf("instruction budget exceeded in %s", l.fn.Name)})
+	}
 }
 
 type wgCtx struct {
@@ -83,14 +119,39 @@ type wgCtx struct {
 }
 
 type wiCtx struct {
-	wg  *wgCtx
-	lid [3]int64
+	wg    *wgCtx
+	lid   [3]int64
+	steps int64 // batched count not yet flushed to the launch budget
 }
 
-// Launch runs a kernel to completion: all work-groups of the NDRange are
-// executed (sequentially across groups, concurrently within a group, as a
-// single compute unit would time-slice them). The error reports the first
-// fault.
+// step charges one instruction, flushing to the shared budget in
+// batches so the hot loop stays off the atomic.
+func (wi *wiCtx) step() {
+	wi.steps++
+	if wi.steps >= stepBatch {
+		wi.wg.l.addSteps(wi.steps)
+		wi.steps = 0
+	}
+}
+
+// gid returns the work-item's global id.
+func (wi *wiCtx) gid() [3]int64 {
+	l := wi.wg.l
+	return [3]int64{
+		wi.wg.group[0]*l.nd.Local[0] + wi.lid[0],
+		wi.wg.group[1]*l.nd.Local[1] + wi.lid[1],
+		wi.wg.group[2]*l.nd.Local[2] + wi.lid[2],
+	}
+}
+
+// Launch runs a kernel to completion: all work-groups of the NDRange
+// are executed and the error reports the first fault (by work-group
+// linear order, tagged with the faulting work-item's global id).
+//
+// Under the default VM engine the kernel is executed from its compiled
+// bytecode with work-groups running in parallel; under EngineTreeWalk
+// the original tree-walking reference engine runs groups sequentially
+// with one goroutine per work-item.
 func (m *Machine) Launch(kernel string, args []Value, nd NDRange) error {
 	fn := m.Mod.Lookup(kernel)
 	if fn == nil {
@@ -114,7 +175,23 @@ func (m *Machine) Launch(kernel string, args []Value, nd NDRange) error {
 			return fmt.Errorf("interp: launch of %d work-items exceeds limit %d", total, m.MaxWorkItems)
 		}
 	}
-	l := &launchCtx{m: m, fn: fn, args: args, nd: nd, ng: nd.NumGroups()}
+	if m.Engine == EngineTreeWalk {
+		return m.launchTreeWalk(fn, args, nd)
+	}
+	return m.launchVM(fn, args, nd)
+}
+
+func (m *Machine) maxSteps() int64 {
+	if m.MaxSteps > 0 {
+		return m.MaxSteps
+	}
+	return defaultMaxSteps
+}
+
+// --- reference engine: tree-walking interpreter ---------------------
+
+func (m *Machine) launchTreeWalk(fn *ir.Function, args []Value, nd NDRange) error {
+	l := &launchCtx{m: m, fn: fn, args: args, nd: nd, ng: nd.NumGroups(), maxSteps: m.maxSteps()}
 	for gz := int64(0); gz < l.ng[2]; gz++ {
 		for gy := int64(0); gy < l.ng[1]; gy++ {
 			for gx := int64(0); gx < l.ng[0]; gx++ {
@@ -127,27 +204,38 @@ func (m *Machine) Launch(kernel string, args []Value, nd NDRange) error {
 	return nil
 }
 
+// wiFault is one work-item's failure, tagged for deterministic
+// selection.
+type wiFault struct {
+	lin int64 // linearized local id
+	gid [3]int64
+	err error
+}
+
 func (l *launchCtx) runGroup(group [3]int64) error {
 	nd := l.nd
 	size := int(nd.WGSize())
-	wg := &wgCtx{l: l, group: group, bar: newBarrier(size), locals: make(map[*ir.Instr]*Region)}
-	errc := make(chan error, size)
+	wg := &wgCtx{l: l, group: group, bar: getBarrier(size), locals: make(map[*ir.Instr]*Region)}
+	errc := make(chan wiFault, size)
 	var wgrp sync.WaitGroup
 	for lz := int64(0); lz < nd.Local[2]; lz++ {
 		for ly := int64(0); ly < nd.Local[1]; ly++ {
 			for lx := int64(0); lx < nd.Local[0]; lx++ {
 				wi := &wiCtx{wg: wg, lid: [3]int64{lx, ly, lz}}
+				lin := (lz*nd.Local[1]+ly)*nd.Local[0] + lx
 				wgrp.Add(1)
 				go func() {
 					defer wgrp.Done()
 					defer func() {
 						if r := recover(); r != nil {
 							wg.bar.poison()
+							f := wiFault{lin: lin, gid: wi.gid()}
 							if t, ok := r.(trap); ok {
-								errc <- t
-								return
+								f.err = t
+							} else {
+								f.err = fmt.Errorf("interp: panic: %v", r)
 							}
-							errc <- fmt.Errorf("interp: panic: %v", r)
+							errc <- f
 						}
 					}()
 					fr := &frame{wi: wi, env: make(map[ir.Value]Value)}
@@ -157,12 +245,27 @@ func (l *launchCtx) runGroup(group [3]int64) error {
 		}
 	}
 	wgrp.Wait()
-	select {
-	case err := <-errc:
-		return err
-	default:
+	putBarrier(wg.bar)
+	close(errc)
+	// Drain every buffered fault. Siblings unwound by barrier poisoning
+	// are collateral of the real fault, so a genuine trap wins over
+	// them; among peers, the lowest local id wins for determinism.
+	var best *wiFault
+	for f := range errc {
+		f := f
+		switch {
+		case best == nil:
+			best = &f
+		case isPoison(best.err) && !isPoison(f.err):
+			best = &f
+		case isPoison(best.err) == isPoison(f.err) && f.lin < best.lin:
+			best = &f
+		}
+	}
+	if best == nil {
 		return nil
 	}
+	return fmt.Errorf("interp: work-item global id (%d,%d,%d): %w", best.gid[0], best.gid[1], best.gid[2], best.err)
 }
 
 // frame is one function activation for one work-item.
@@ -189,17 +292,14 @@ func (fr *frame) callDepth(fn *ir.Function, args []Value, depth int) Value {
 	return callee.run(fn, depth)
 }
 
-// run executes the body of fn in this frame.
+// run executes the body of fn in this frame. The instruction budget is
+// the launch-global one carried by the work-item context, so nested
+// frames cannot reset it.
 func (fr *frame) run(fn *ir.Function, depth int) Value {
 	blk := fn.Entry()
-	steps := 0
-	const maxSteps = 200_000_000
 	for {
 		for _, in := range blk.Instrs {
-			steps++
-			if steps > maxSteps {
-				panic(trap{fmt.Sprintf("instruction budget exceeded in %s", fn.Name)})
-			}
+			fr.wi.step()
 			switch in.Op {
 			case ir.OpBr:
 				blk = in.Then
@@ -290,42 +390,7 @@ func (fr *frame) exec(in *ir.Instr, depth int) {
 	case ir.OpAtomic:
 		p := fr.eval(in.Args[0]).P
 		v := fr.eval(in.Args[1])
-		t := in.Args[1].Type()
-		// Deferred unlock so a trapping access (out of bounds, null)
-		// cannot leave the stripe locked: machines are pooled and the
-		// stripes are shared, so a poisoned lock would outlive the
-		// faulting launch.
-		fr.env[in] = func() Value {
-			mu := atomicLock(p)
-			mu.Lock()
-			defer mu.Unlock()
-			old := m.load(t, p)
-			var next Value
-			switch in.AtomK {
-			case ir.AtomAdd:
-				next = Value{K: old.K, I: old.I + v.I}
-			case ir.AtomSub:
-				next = Value{K: old.K, I: old.I - v.I}
-			case ir.AtomMin:
-				next = old
-				if v.I < old.I {
-					next = v
-				}
-			case ir.AtomMax:
-				next = old
-				if v.I > old.I {
-					next = v
-				}
-			case ir.AtomAnd:
-				next = Value{K: old.K, I: old.I & v.I}
-			case ir.AtomOr:
-				next = Value{K: old.K, I: old.I | v.I}
-			case ir.AtomXchg:
-				next = v
-			}
-			m.store(t, next, p)
-			return old
-		}()
+		fr.env[in] = m.atomicRMW(in.AtomK, in.Args[1].Type(), p, v)
 	case ir.OpBarrier:
 		fr.wi.wg.bar.await()
 	case ir.OpCall:
@@ -381,68 +446,148 @@ func (fr *frame) execBuiltin(name string, args []Value) Value {
 		return IntV(int64(l.nd.Dims))
 	}
 	if strings.HasPrefix(name, "__clc_") {
-		return execMath(name, args)
+		op, kind, errMsg := parseMathBuiltin(name)
+		if errMsg != "" {
+			panic(trap{errMsg})
+		}
+		x := args[0].F
+		var y float64
+		if len(args) > 1 {
+			y = args[1].F
+		}
+		return evalMath(op, kind, x, y)
 	}
 	panic(trap{fmt.Sprintf("unknown builtin %q", name)})
 }
 
-// execMath evaluates a math builtin named "__clc_<op>_<type>".
-func execMath(name string, args []Value) Value {
+// --- semantics shared by both engines --------------------------------
+
+// atomicRMW performs an atomic read-modify-write on p. A deferred
+// unlock so a trapping access (out of bounds, null) cannot leave the
+// stripe locked: machines are pooled and the stripes are shared, so a
+// poisoned lock would outlive the faulting launch.
+func (m *Machine) atomicRMW(k ir.AtomicKind, t *ir.Type, p Ptr, v Value) Value {
+	mu := atomicLock(p)
+	mu.Lock()
+	defer mu.Unlock()
+	old := m.load(t, p)
+	var next Value
+	switch k {
+	case ir.AtomAdd:
+		next = Value{K: old.K, I: old.I + v.I}
+	case ir.AtomSub:
+		next = Value{K: old.K, I: old.I - v.I}
+	case ir.AtomMin:
+		next = old
+		if v.I < old.I {
+			next = v
+		}
+	case ir.AtomMax:
+		next = old
+		if v.I > old.I {
+			next = v
+		}
+	case ir.AtomAnd:
+		next = Value{K: old.K, I: old.I & v.I}
+	case ir.AtomOr:
+		next = Value{K: old.K, I: old.I | v.I}
+	case ir.AtomXchg:
+		next = v
+	}
+	m.store(t, next, p)
+	return old
+}
+
+// Math builtin codes, pre-parsed from "__clc_<op>_<type>" names by the
+// bytecode compiler and on demand by the reference engine.
+const (
+	mathSqrt uint8 = iota
+	mathRsqrt
+	mathFabs
+	mathExp
+	mathExp2
+	mathLog
+	mathLog2
+	mathSin
+	mathCos
+	mathTan
+	mathAtan2
+	mathFloor
+	mathCeil
+	mathPow
+	mathFmod
+	mathFmin
+	mathFmax
+	mathNativeDivide
+)
+
+var mathOps = map[string]uint8{
+	"sqrt": mathSqrt, "rsqrt": mathRsqrt, "fabs": mathFabs,
+	"exp": mathExp, "exp2": mathExp2, "log": mathLog, "log2": mathLog2,
+	"sin": mathSin, "cos": mathCos, "tan": mathTan, "atan2": mathAtan2,
+	"floor": mathFloor, "ceil": mathCeil, "pow": mathPow, "fmod": mathFmod,
+	"fmin": mathFmin, "fmax": mathFmax, "native_divide": mathNativeDivide,
+}
+
+// parseMathBuiltin splits a "__clc_<op>_<type>" name. A non-empty errMsg
+// carries the exact trap message the reference engine raises.
+func parseMathBuiltin(name string) (op uint8, kind ir.Kind, errMsg string) {
 	body := strings.TrimPrefix(name, "__clc_")
 	idx := strings.LastIndex(body, "_")
 	if idx < 0 {
-		panic(trap{fmt.Sprintf("malformed math builtin %q", name)})
+		return 0, 0, fmt.Sprintf("malformed math builtin %q", name)
 	}
-	op := body[:idx]
-	kind := ir.F32
+	kind = ir.F32
 	if body[idx+1:] == "double" {
 		kind = ir.F64
 	}
-	x := args[0].F
-	var y float64
-	if len(args) > 1 {
-		y = args[1].F
+	op, ok := mathOps[body[:idx]]
+	if !ok {
+		return 0, 0, fmt.Sprintf("unknown math builtin %q", body[:idx])
 	}
+	return op, kind, ""
+}
+
+// evalMath evaluates a pre-parsed math builtin.
+func evalMath(op uint8, kind ir.Kind, x, y float64) Value {
 	var r float64
 	switch op {
-	case "sqrt":
+	case mathSqrt:
 		r = math.Sqrt(x)
-	case "rsqrt":
+	case mathRsqrt:
 		r = 1 / math.Sqrt(x)
-	case "fabs":
+	case mathFabs:
 		r = math.Abs(x)
-	case "exp":
+	case mathExp:
 		r = math.Exp(x)
-	case "exp2":
+	case mathExp2:
 		r = math.Exp2(x)
-	case "log":
+	case mathLog:
 		r = math.Log(x)
-	case "log2":
+	case mathLog2:
 		r = math.Log2(x)
-	case "sin":
+	case mathSin:
 		r = math.Sin(x)
-	case "cos":
+	case mathCos:
 		r = math.Cos(x)
-	case "tan":
+	case mathTan:
 		r = math.Tan(x)
-	case "atan2":
+	case mathAtan2:
 		r = math.Atan2(x, y)
-	case "floor":
+	case mathFloor:
 		r = math.Floor(x)
-	case "ceil":
+	case mathCeil:
 		r = math.Ceil(x)
-	case "pow":
+	case mathPow:
 		r = math.Pow(x, y)
-	case "fmod":
+	case mathFmod:
 		r = math.Mod(x, y)
-	case "fmin":
+	case mathFmin:
 		r = math.Min(x, y)
-	case "fmax":
+	case mathFmax:
 		r = math.Max(x, y)
-	case "native_divide":
+	case mathNativeDivide:
 		r = x / y
-	default:
-		panic(trap{fmt.Sprintf("unknown math builtin %q", op)})
 	}
 	if kind == ir.F32 {
 		return Value{K: ir.F32, F: float64(float32(r))}
@@ -511,6 +656,17 @@ func truncInt(k ir.Kind, v int64) Value {
 	}
 }
 
+// ptrOrd orders a pointer for relational comparison: region ID (order
+// of registration) then offset. Pointers into regions that were never
+// encoded to memory order as ID 0; cross-region pointer order is
+// unspecified, as on a real device.
+func ptrOrd(p Ptr) int64 {
+	if p.R == nil {
+		return 0
+	}
+	return int64(uint64(p.R.ID)<<ptrOffBits | uint64(p.Off))
+}
+
 func cmpOp(p ir.CmpPred, x, y Value) Value {
 	var b bool
 	if p.IsFloatPred() {
@@ -532,7 +688,19 @@ func cmpOp(p ir.CmpPred, x, y Value) Value {
 	}
 	xi, yi := x.I, y.I
 	if x.K == ir.Pointer {
-		xi, yi = int64(encodePtr(x.P)), int64(encodePtr(y.P))
+		// Equality is region identity plus offset (null == null); this
+		// never forces region registration.
+		switch p {
+		case ir.IEQ:
+			return BoolV(x.P == y.P)
+		case ir.INE:
+			return BoolV(x.P != y.P)
+		}
+		if x.P.R == y.P.R {
+			xi, yi = x.P.Off, y.P.Off
+		} else {
+			xi, yi = ptrOrd(x.P), ptrOrd(y.P)
+		}
 	}
 	switch p {
 	case ir.IEQ:

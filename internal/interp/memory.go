@@ -80,12 +80,45 @@ func (v Value) Bool() bool { return v.I != 0 }
 type Machine struct {
 	Mod *ir.Module
 
+	// Engine selects the execution engine: the bytecode VM (default) or
+	// the tree-walking reference interpreter.
+	Engine Engine
+
 	mu      sync.Mutex
 	regions []*Region
 
 	// MaxWorkItems bounds a single launch as a safety net against
 	// runaway NDRanges in tests. Zero means no limit.
 	MaxWorkItems int64
+
+	// MaxSteps bounds the total instructions one Launch may execute
+	// across all its work-items and call frames. Zero means the default
+	// budget (defaultMaxSteps).
+	MaxSteps int64
+
+	// prog is the compiled bytecode of Mod, resolved lazily through the
+	// shared program cache. Machines are owned by one launch at a time
+	// (the pool hands them out exclusively), so no lock is needed.
+	prog *Prog
+}
+
+// Program returns the machine's compiled bytecode, compiling the module
+// through the shared cache on first use. Pooled machines keep it across
+// Reset, so sliced launches and re-plans reuse the compiled form.
+func (m *Machine) Program() *Prog {
+	if m.prog == nil {
+		m.prog = SharedProgram(m.Mod)
+	}
+	return m.prog
+}
+
+// UseProgram seeds the machine with an already-compiled program (the
+// opencl layer caches one per built Program). Programs for a different
+// module are ignored.
+func (m *Machine) UseProgram(p *Prog) {
+	if p != nil && p.Mod == m.Mod {
+		m.prog = p
+	}
 }
 
 // Atomic read-modify-writes must serialize across machines, not per
@@ -129,11 +162,21 @@ func (m *Machine) NewRegion(size int64, space ir.AddrSpace) *Region {
 // memory in place.
 func (m *Machine) BindRegion(bytes []byte, space ir.AddrSpace) *Region {
 	r := &Region{Bytes: bytes, Space: space}
-	m.mu.Lock()
-	r.ID = len(m.regions)
-	m.regions = append(m.regions, r)
-	m.mu.Unlock()
+	m.registerRegion(r)
 	return r
+}
+
+// registerRegion assigns the region an ID in the machine's registry so
+// pointers into it can be encoded as memory words. Host-visible regions
+// register eagerly; the VM's arena-allocated allocas register lazily,
+// on the first encode — most never need an ID at all.
+func (m *Machine) registerRegion(r *Region) {
+	m.mu.Lock()
+	if r.ID == 0 {
+		r.ID = len(m.regions)
+		m.regions = append(m.regions, r)
+	}
+	m.mu.Unlock()
 }
 
 // Reset drops every region from the registry so a pooled machine can be
@@ -158,10 +201,14 @@ func (m *Machine) regionByID(id int) *Region {
 
 const ptrOffBits = 40
 
-// encodePtr packs a pointer into a 64-bit word for in-memory storage.
-func encodePtr(p Ptr) uint64 {
+// encodePtr packs a pointer into a 64-bit word for in-memory storage,
+// registering the target region on first encode.
+func (m *Machine) encodePtr(p Ptr) uint64 {
 	if p.R == nil {
 		return 0
+	}
+	if p.R.ID == 0 {
+		m.registerRegion(p.R)
 	}
 	if p.Off < 0 || p.Off >= 1<<ptrOffBits {
 		panic(trap{fmt.Sprintf("pointer offset %d out of encodable range", p.Off)})
@@ -236,7 +283,7 @@ func (m *Machine) store(t *ir.Type, v Value, p Ptr) {
 	case ir.F64:
 		binary.LittleEndian.PutUint64(b, math.Float64bits(v.F))
 	case ir.Pointer:
-		binary.LittleEndian.PutUint64(b, encodePtr(v.P))
+		binary.LittleEndian.PutUint64(b, m.encodePtr(v.P))
 	default:
 		panic(trap{fmt.Sprintf("store of unsupported type %s", t)})
 	}
@@ -293,7 +340,8 @@ func (r *Region) ReadFloat32s(off int64, n int) []float32 {
 }
 
 // barrier is a reusable (cyclic) synchronization barrier for the
-// work-items of one work-group.
+// work-items of one work-group (tree-walking engine only; the VM
+// suspends work-items cooperatively instead).
 type barrier struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
@@ -309,6 +357,28 @@ func newBarrier(n int) *barrier {
 	return b
 }
 
+// barrierPool recycles barriers across work-groups and launches; a
+// barrier is only returned after every work-item goroutine has joined,
+// so resetting its state is safe.
+var barrierPool = sync.Pool{New: func() any { return newBarrier(0) }}
+
+func getBarrier(n int) *barrier {
+	b := barrierPool.Get().(*barrier)
+	b.n, b.count, b.gen, b.dead = n, 0, 0, false
+	return b
+}
+
+func putBarrier(b *barrier) { barrierPool.Put(b) }
+
+// poisonMsg marks the collateral unwind of work-items whose sibling
+// trapped; error draining prefers the genuine fault over these.
+const poisonMsg = "barrier poisoned by sibling work-item fault"
+
+func isPoison(err error) bool {
+	t, ok := err.(trap)
+	return ok && t.msg == poisonMsg
+}
+
 // await blocks until all n work-items arrive. If the barrier has been
 // poisoned (a sibling work-item trapped), it panics to unwind this
 // work-item too.
@@ -316,7 +386,7 @@ func (b *barrier) await() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.dead {
-		panic(trap{"barrier poisoned by sibling work-item fault"})
+		panic(trap{poisonMsg})
 	}
 	gen := b.gen
 	b.count++
@@ -330,7 +400,7 @@ func (b *barrier) await() {
 		b.cond.Wait()
 	}
 	if b.dead {
-		panic(trap{"barrier poisoned by sibling work-item fault"})
+		panic(trap{poisonMsg})
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build !race
+
+package interp
+
+// raceEnabled reports whether the race detector is active; alloc-count
+// assertions are skipped under -race, where sync.Pool fast paths are
+// instrumented away.
+const raceEnabled = false

@@ -1,0 +1,415 @@
+package interp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ir"
+)
+
+// This file is the bytecode VM and its execution engine:
+//
+//   - work-items execute over flat register files with an explicit frame
+//     stack, so a work-item suspends at a barrier at ANY call depth by
+//     saving (pc, frames) — no goroutine per work-item;
+//   - the work-items of one group run cooperatively in local-id order,
+//     yielding only at barriers (one "round" between barriers replaces
+//     the old cyclic-barrier rendezvous);
+//   - work-groups are independent by construction and run in parallel on
+//     a bounded worker pool, cutting goroutine count per launch from
+//     Global work-items to O(NumCPU);
+//   - per-frame register files, per-group local regions and per-item
+//     private allocas come from pools and bump arenas, so repeated
+//     sliced launches on pooled machines stop allocating per slice.
+//
+// Semantics are shared with the reference tree-walker (exec.go) through
+// the common binOp/cmpOp/castOp/evalMath/load/store helpers; the Parboil
+// differential parity suite holds the two engines byte-identical.
+
+type wiStatus uint8
+
+const (
+	wiRunning wiStatus = iota
+	wiBarrier          // suspended at a work-group barrier
+	wiDone             // returned from the kernel frame
+)
+
+// vmFrame is one suspended or active function activation. regp is the
+// pooled register-file pointer; it returns to the pool verbatim when
+// the frame pops.
+type vmFrame struct {
+	cf   *compiledFn
+	regp *[]Value
+	pc   int32
+	dst  int32 // caller register receiving the return value (-1: none)
+}
+
+// wiState is the full execution state of one work-item: a stack of
+// frames plus its local id. Suspending at a barrier is just returning
+// with the stack intact.
+type wiState struct {
+	frames []vmFrame
+	lid    [3]int64
+	status wiStatus
+	steps  int64 // batched instruction count not yet flushed to the launch budget
+}
+
+// arena bump-allocates private and local regions for the groups one
+// worker runs. Regions are never recycled within a launch (a dangling
+// pointer into a dead frame's alloca reads exactly what the reference
+// engine would read), but the backing chunks amortize allocation and
+// arrive pre-zeroed.
+type arena struct {
+	buf     []byte
+	regions []Region
+}
+
+const arenaChunk = 64 << 10
+
+func (a *arena) alloc(size int64, space ir.AddrSpace) *Region {
+	if size > int64(len(a.buf)) {
+		n := int64(arenaChunk)
+		if size > n {
+			n = size
+		}
+		a.buf = make([]byte, n)
+	}
+	b := a.buf[:size:size]
+	a.buf = a.buf[size:]
+	if len(a.regions) == 0 {
+		a.regions = make([]Region, 64)
+	}
+	r := &a.regions[0]
+	a.regions = a.regions[1:]
+	*r = Region{Bytes: b, Space: space}
+	return r
+}
+
+// groupRunner is one worker's reusable scratch: work-item states, the
+// per-group local-region table and the alloca arena. Runners are pooled
+// across launches and machines.
+type groupRunner struct {
+	items  []wiState
+	locals []*Region
+	ar     arena
+}
+
+var runnerPool = sync.Pool{New: func() any { return new(groupRunner) }}
+
+// vmGroup is the execution context of one work-group.
+type vmGroup struct {
+	l      *launchCtx
+	group  [3]int64
+	locals []*Region
+	ar     *arena
+}
+
+// stepBatch is how many instructions a work-item executes between
+// flushes to the launch-global instruction budget.
+const stepBatch = 4096
+
+// launchVM runs the kernel over a bounded worker pool: each worker
+// claims work-group linear indices from an atomic cursor and runs them
+// to completion. The first faulting group (in linear order) wins error
+// reporting, as under the old sequential group loop.
+func (m *Machine) launchVM(fn *ir.Function, args []Value, nd NDRange) error {
+	prog := m.Program()
+	kcf := prog.fns[fn.Name]
+	if kcf == nil {
+		return fmt.Errorf("interp: kernel %q not compiled", fn.Name)
+	}
+	l := &launchCtx{m: m, fn: fn, args: args, nd: nd, ng: nd.NumGroups(), prog: prog, kcf: kcf, maxSteps: m.maxSteps()}
+	total := l.ng[0] * l.ng[1] * l.ng[2]
+	workers := int64(runtime.GOMAXPROCS(0))
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		gr := runnerPool.Get().(*groupRunner)
+		defer runnerPool.Put(gr)
+		for i := int64(0); i < total; i++ {
+			if err := l.runGroupVM(gr, delinearize(i, l.ng)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		abort   atomic.Bool
+		mu      sync.Mutex
+		bestIdx = int64(-1)
+		bestErr error
+		wg      sync.WaitGroup
+	)
+	for w := int64(0); w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gr := runnerPool.Get().(*groupRunner)
+			defer runnerPool.Put(gr)
+			for !abort.Load() {
+				i := next.Add(1) - 1
+				if i >= total {
+					return
+				}
+				if err := l.runGroupVM(gr, delinearize(i, l.ng)); err != nil {
+					mu.Lock()
+					if bestIdx < 0 || i < bestIdx {
+						bestIdx, bestErr = i, err
+					}
+					mu.Unlock()
+					abort.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return bestErr
+}
+
+func delinearize(i int64, ng [3]int64) [3]int64 {
+	return [3]int64{i % ng[0], (i / ng[0]) % ng[1], i / (ng[0] * ng[1])}
+}
+
+// runGroupVM executes one work-group cooperatively: every live work-item
+// is resumed once per round and runs until its next barrier (or until it
+// returns); when the round ends, all live items have arrived, which IS
+// the barrier release. Completed items count as arrived at every later
+// barrier, so a group whose items retire at different loop trip counts
+// drains instead of deadlocking.
+func (l *launchCtx) runGroupVM(gr *groupRunner, group [3]int64) error {
+	nd := l.nd
+	size := int(nd.WGSize())
+	if cap(gr.items) < size {
+		gr.items = make([]wiState, size)
+	}
+	gr.items = gr.items[:size]
+	nslots := len(l.prog.localSizes)
+	if cap(gr.locals) < nslots {
+		gr.locals = make([]*Region, nslots)
+	}
+	gr.locals = gr.locals[:nslots]
+	clear(gr.locals)
+	g := &vmGroup{l: l, group: group, locals: gr.locals, ar: &gr.ar}
+
+	i := 0
+	for lz := int64(0); lz < nd.Local[2]; lz++ {
+		for ly := int64(0); ly < nd.Local[1]; ly++ {
+			for lx := int64(0); lx < nd.Local[0]; lx++ {
+				wi := &gr.items[i]
+				i++
+				wi.lid = [3]int64{lx, ly, lz}
+				wi.status = wiRunning
+				wi.steps = 0
+				regp := l.kcf.getRegs()
+				copy(*regp, l.args)
+				wi.frames = append(wi.frames[:0], vmFrame{cf: l.kcf, regp: regp, pc: 0, dst: -1})
+			}
+		}
+	}
+
+	live := size
+	for live > 0 {
+		for i := range gr.items {
+			wi := &gr.items[i]
+			if wi.status == wiDone {
+				continue
+			}
+			if err := g.resume(wi); err != nil {
+				gid := [3]int64{
+					group[0]*nd.Local[0] + wi.lid[0],
+					group[1]*nd.Local[1] + wi.lid[1],
+					group[2]*nd.Local[2] + wi.lid[2],
+				}
+				g.release(gr)
+				return fmt.Errorf("interp: work-item global id (%d,%d,%d): %w", gid[0], gid[1], gid[2], err)
+			}
+			if wi.status == wiDone {
+				live--
+			}
+		}
+	}
+	return nil
+}
+
+// release returns the frames of every unfinished work-item after a fault
+// so pooled register files are not pinned by the abandoned group.
+func (g *vmGroup) release(gr *groupRunner) {
+	for i := range gr.items {
+		wi := &gr.items[i]
+		for f := range wi.frames {
+			wi.frames[f].cf.putRegs(wi.frames[f].regp)
+			wi.frames[f] = vmFrame{}
+		}
+		wi.frames = wi.frames[:0]
+	}
+}
+
+// resume runs a work-item until its next suspension point, converting
+// execution faults (traps) into errors.
+func (g *vmGroup) resume(wi *wiState) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if t, ok := r.(trap); ok {
+				err = t
+				return
+			}
+			err = fmt.Errorf("interp: panic: %v", r)
+		}
+	}()
+	g.exec(wi)
+	return nil
+}
+
+// exec is the dispatch loop. It caches the top frame in locals and only
+// touches the frame stack on call, return and barrier.
+func (g *vmGroup) exec(wi *wiState) {
+	l := g.l
+	m := l.m
+	top := len(wi.frames) - 1
+	cf := wi.frames[top].cf
+	code := cf.code
+	regs := *wi.frames[top].regp
+	pc := wi.frames[top].pc
+	steps := wi.steps
+
+	for {
+		in := &code[pc]
+		pc++
+		steps++
+		if steps >= stepBatch {
+			l.addSteps(steps)
+			steps = 0
+		}
+		switch in.op {
+		case opAlloca:
+			r := g.ar.alloc(in.imm, ir.AddrSpace(in.sub))
+			regs[in.dst] = Value{K: ir.Pointer, P: Ptr{R: r}}
+		case opAllocaLocal:
+			r := g.locals[in.a]
+			if r == nil {
+				r = g.ar.alloc(in.imm, ir.Local)
+				g.locals[in.a] = r
+			}
+			regs[in.dst] = Value{K: ir.Pointer, P: Ptr{R: r}}
+		case opLoad:
+			regs[in.dst] = m.load(kindTypes[in.kind], regs[in.a].P)
+		case opStore:
+			m.store(kindTypes[in.kind], regs[in.a], regs[in.b].P)
+		case opGEP:
+			base := regs[in.a].P
+			if base.IsNull() {
+				panic(trap{"gep on null pointer"})
+			}
+			regs[in.dst] = Value{K: ir.Pointer, P: Ptr{R: base.R, Off: base.Off + regs[in.b].I*in.imm}}
+		case opGEPConst:
+			base := regs[in.a].P
+			if base.IsNull() {
+				panic(trap{"gep on null pointer"})
+			}
+			regs[in.dst] = Value{K: ir.Pointer, P: Ptr{R: base.R, Off: base.Off + in.imm}}
+		case opBin:
+			regs[in.dst] = binOp(ir.BinKind(in.sub), kindTypes[in.kind], regs[in.a], regs[in.b])
+		case opCmp:
+			regs[in.dst] = cmpOp(ir.CmpPred(in.sub), regs[in.a], regs[in.b])
+		case opCast:
+			regs[in.dst] = castOp(ir.CastKind(in.sub), kindTypes[in.kind], regs[in.a])
+		case opSelect:
+			if regs[in.a].Bool() {
+				regs[in.dst] = regs[in.b]
+			} else {
+				regs[in.dst] = regs[in.c]
+			}
+		case opAtomic:
+			regs[in.dst] = m.atomicRMW(ir.AtomicKind(in.sub), kindTypes[in.kind], regs[in.a].P, regs[in.b])
+		case opBarrier:
+			wi.frames[top].pc = pc
+			wi.status = wiBarrier
+			wi.steps = steps
+			return
+		case opCall:
+			if top+1 > maxCallDepth {
+				panic(trap{"call depth exceeded (runaway recursion?)"})
+			}
+			wi.frames[top].pc = pc
+			callee := in.fn
+			cregp := callee.getRegs()
+			cregs := *cregp
+			for ai, ar := range in.args {
+				cregs[ai] = regs[ar]
+			}
+			wi.frames = append(wi.frames, vmFrame{cf: callee, regp: cregp, pc: 0, dst: in.dst})
+			top++
+			cf, code, regs, pc = callee, callee.code, cregs, 0
+		case opWI:
+			dim := in.imm
+			if in.a >= 0 {
+				dim = regs[in.a].I
+				if dim < 0 || dim > 2 {
+					dim = 0
+				}
+			}
+			var v Value
+			switch in.sub {
+			case wiGlobalID:
+				v = LongV(g.group[dim]*l.nd.Local[dim] + wi.lid[dim])
+			case wiLocalID:
+				v = LongV(wi.lid[dim])
+			case wiGroupID:
+				v = LongV(g.group[dim])
+			case wiNumGroups:
+				v = LongV(l.ng[dim])
+			case wiLocalSize:
+				v = LongV(l.nd.Local[dim])
+			case wiGlobalSize:
+				v = LongV(l.nd.Global[dim])
+			case wiGlobalOffset:
+				v = LongV(0)
+			case wiWorkDim:
+				v = IntV(int64(l.nd.Dims))
+			}
+			regs[in.dst] = v
+		case opMath:
+			x := regs[in.a].F
+			var y float64
+			if in.b >= 0 {
+				y = regs[in.b].F
+			}
+			regs[in.dst] = evalMath(in.sub, in.kind, x, y)
+		case opJump:
+			pc = int32(in.imm)
+		case opCondJump:
+			if regs[in.a].Bool() {
+				pc = in.b
+			} else {
+				pc = in.c
+			}
+		case opRet:
+			var rv Value
+			if in.a >= 0 {
+				rv = regs[in.a]
+			}
+			cf.putRegs(wi.frames[top].regp)
+			dst := wi.frames[top].dst
+			wi.frames[top] = vmFrame{}
+			wi.frames = wi.frames[:top]
+			top--
+			if top < 0 {
+				wi.status = wiDone
+				wi.steps = steps
+				return
+			}
+			fr := &wi.frames[top]
+			cf, code, regs, pc = fr.cf, fr.cf.code, *fr.regp, fr.pc
+			if dst >= 0 {
+				regs[dst] = rv
+			}
+		case opTrap:
+			panic(trap{in.msg})
+		}
+	}
+}

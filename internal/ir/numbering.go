@@ -1,0 +1,46 @@
+package ir
+
+// Numbering assigns a dense index to every value a function defines:
+// parameters first (in signature order), then instruction results in
+// block order. It is the hook the bytecode compiler (internal/interp)
+// uses to map ir.Value operands onto flat register-file slots, so that
+// execution never touches a map keyed by interface values.
+//
+// Constants are deliberately not numbered: they are not definitions, and
+// consumers give them their own (deduplicated) slots.
+type Numbering struct {
+	idx map[Value]int32
+	n   int32
+}
+
+// NumberFunction numbers all values defined by f. Instructions without a
+// result (stores, barriers, terminators) are skipped, so the index space
+// is exactly the set of referencable definitions.
+func NumberFunction(f *Function) *Numbering {
+	nb := &Numbering{idx: make(map[Value]int32, len(f.Params)+f.NumInstrs())}
+	for _, p := range f.Params {
+		nb.idx[p] = nb.n
+		nb.n++
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.HasResult() {
+				nb.idx[in] = nb.n
+				nb.n++
+			}
+		}
+	}
+	return nb
+}
+
+// IndexOf returns the dense index of a numbered value. The second result
+// is false for constants and for values defined outside the numbered
+// function.
+func (nb *Numbering) IndexOf(v Value) (int32, bool) {
+	i, ok := nb.idx[v]
+	return i, ok
+}
+
+// NumValues returns how many values were numbered (the required register
+// count before constants).
+func (nb *Numbering) NumValues() int { return int(nb.n) }

@@ -1,0 +1,34 @@
+package ir
+
+import "testing"
+
+func TestNumberFunction(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunction("f", I32T,
+		&Param{Nam: "a", Ty: I32T, Idx: 0},
+		&Param{Nam: "b", Ty: PointerTo(I32T, Global), Idx: 1})
+	b := &Builder{Fn: f}
+	entry := f.NewBlock("entry")
+	b.SetInsert(entry)
+	ld := b.Load(f.Params[1])
+	sum := b.Bin(Add, ld, f.Params[0])
+	st := b.Store(sum, f.Params[1]) // no result: must not be numbered
+	b.Ret(sum)
+
+	nb := NumberFunction(f)
+	if nb.NumValues() != 4 { // 2 params + load + add
+		t.Fatalf("NumValues = %d, want 4", nb.NumValues())
+	}
+	for i, v := range []Value{f.Params[0], f.Params[1], ld, sum} {
+		idx, ok := nb.IndexOf(v)
+		if !ok || idx != int32(i) {
+			t.Errorf("IndexOf(%s) = %d,%v, want %d", v.Ident(), idx, ok, i)
+		}
+	}
+	if _, ok := nb.IndexOf(st); ok {
+		t.Error("store (no result) was numbered")
+	}
+	if _, ok := nb.IndexOf(CI(7)); ok {
+		t.Error("constant was numbered")
+	}
+}

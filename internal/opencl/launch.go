@@ -132,6 +132,11 @@ func NewLaunchHandle(plat *Platform, mod *ir.Module, k *Kernel, nd NDRange, rtWo
 		pool = plat.Machines()
 	}
 	mach := pool.Acquire(mod)
+	// The handle's machine executes mod (usually the JIT-transformed
+	// module, not k's build product); resolve its bytecode through the
+	// shared cache so every slice — and every pooled machine that later
+	// serves this module — runs the same compiled form.
+	mach.UseProgram(interp.SharedProgram(mod))
 	args := make([]interp.Value, 0, len(k.args)+1)
 	for i, a := range k.args {
 		if !a.set {

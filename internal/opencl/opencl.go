@@ -115,11 +115,15 @@ func (b *Buffer) Release() {
 	b.ctx.mu.Unlock()
 }
 
-// Program is kernel source plus its build product.
+// Program is kernel source plus its build products: the IR module and,
+// once a kernel has launched, the interpreter's compiled bytecode.
 type Program struct {
 	Ctx    *Context
 	Source string
 	Module *ir.Module
+
+	compMu   sync.Mutex
+	compiled *interp.Prog
 }
 
 // CreateProgramWithSource registers kernel source.
@@ -139,6 +143,21 @@ func (p *Program) Build() error {
 	}
 	p.Module = m
 	return nil
+}
+
+// Compiled returns the program's bytecode, compiled on first use and
+// cached for the program's lifetime so every launch — including fresh
+// machines past the pool caps — reuses the compiled form.
+func (p *Program) Compiled() *interp.Prog {
+	if p.Module == nil {
+		return nil
+	}
+	p.compMu.Lock()
+	defer p.compMu.Unlock()
+	if p.compiled == nil {
+		p.compiled = interp.SharedProgram(p.Module)
+	}
+	return p.compiled
 }
 
 // Kernel is a program entry point with bound arguments.
@@ -252,6 +271,7 @@ func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, nd NDRange) error {
 	}
 	mach := pool.Acquire(k.Prog.Module)
 	defer pool.Release(mach)
+	mach.UseProgram(k.Prog.Compiled())
 	vals := make([]interp.Value, 0, len(k.args))
 	for i, a := range k.args {
 		if !a.set {

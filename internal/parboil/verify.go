@@ -55,32 +55,17 @@ func (k *Kernel) VerifyEquivalence(physGroups int64) error {
 // returns the final bytes of every argument buffer (outputs and inputs
 // alike; inputs must come back untouched unless marked Out).
 func runSpec(mod *ir.Module, kernel string, spec LaunchSpec, info *accelpass.KernelInfo, physGroups int64) ([][]byte, error) {
+	return runSpecEngine(mod, kernel, spec, info, physGroups, interp.EngineVM)
+}
+
+// runSpecEngine is runSpec on an explicit execution engine; the
+// differential parity suite runs every kernel on both and compares.
+func runSpecEngine(mod *ir.Module, kernel string, spec LaunchSpec, info *accelpass.KernelInfo, physGroups int64, eng interp.Engine) ([][]byte, error) {
 	mach := interp.NewMachine(mod)
-	var args []interp.Value
-	var bufs [][]byte
-	for _, a := range spec.Args {
-		switch {
-		case a.Scalar != nil:
-			args = append(args, interp.IntV(*a.Scalar))
-			bufs = append(bufs, nil)
-		case a.I32 != nil:
-			r := mach.NewRegion(int64(len(a.I32))*4, ir.Global)
-			r.WriteInt32s(0, a.I32)
-			args = append(args, interp.Value{K: ir.Pointer, P: interp.Ptr{R: r}})
-			bufs = append(bufs, r.Bytes)
-		case a.F32 != nil:
-			r := mach.NewRegion(int64(len(a.F32))*4, ir.Global)
-			r.WriteFloat32s(0, a.F32)
-			args = append(args, interp.Value{K: ir.Pointer, P: interp.Ptr{R: r}})
-			bufs = append(bufs, r.Bytes)
-		case a.I64 != nil:
-			r := mach.NewRegion(int64(len(a.I64))*8, ir.Global)
-			r.WriteInt64s(0, a.I64)
-			args = append(args, interp.Value{K: ir.Pointer, P: interp.Ptr{R: r}})
-			bufs = append(bufs, r.Bytes)
-		default:
-			return nil, fmt.Errorf("argument %q has no value", a.Name)
-		}
+	mach.Engine = eng
+	args, bufs, err := bindSpecArgs(mach, spec)
+	if err != nil {
+		return nil, err
 	}
 	nd := interp.NDRange{Dims: spec.Dims, Global: spec.Global, Local: spec.Local}
 	if info != nil {
@@ -105,6 +90,40 @@ func runSpec(mod *ir.Module, kernel string, spec LaunchSpec, info *accelpass.Ker
 	return bufs, nil
 }
 
+// bindSpecArgs materializes the spec's arguments on the machine:
+// scalars as values, arrays as freshly written global regions. The
+// returned bufs parallel the args (nil entries for scalars) and alias
+// the regions' backing bytes for output comparison.
+func bindSpecArgs(mach *interp.Machine, spec LaunchSpec) ([]interp.Value, [][]byte, error) {
+	var args []interp.Value
+	var bufs [][]byte
+	for _, a := range spec.Args {
+		switch {
+		case a.Scalar != nil:
+			args = append(args, interp.IntV(*a.Scalar))
+			bufs = append(bufs, nil)
+		case a.I32 != nil:
+			r := mach.NewRegion(int64(len(a.I32))*4, ir.Global)
+			r.WriteInt32s(0, a.I32)
+			args = append(args, interp.Value{K: ir.Pointer, P: interp.Ptr{R: r}})
+			bufs = append(bufs, r.Bytes)
+		case a.F32 != nil:
+			r := mach.NewRegion(int64(len(a.F32))*4, ir.Global)
+			r.WriteFloat32s(0, a.F32)
+			args = append(args, interp.Value{K: ir.Pointer, P: interp.Ptr{R: r}})
+			bufs = append(bufs, r.Bytes)
+		case a.I64 != nil:
+			r := mach.NewRegion(int64(len(a.I64))*8, ir.Global)
+			r.WriteInt64s(0, a.I64)
+			args = append(args, interp.Value{K: ir.Pointer, P: interp.Ptr{R: r}})
+			bufs = append(bufs, r.Bytes)
+		default:
+			return nil, nil, fmt.Errorf("argument %q has no value", a.Name)
+		}
+	}
+	return args, bufs, nil
+}
+
 // Reference helpers used by golden tests.
 
 // Float32At reads a float32 from little-endian buffer bytes.
@@ -121,9 +140,52 @@ func Int32At(b []byte, i int) int32 {
 // returns the final contents of every argument buffer (nil entries for
 // scalars). Used by golden-reference tests and examples.
 func (k *Kernel) RunNative() ([][]byte, error) {
+	return k.RunNativeEngine(interp.EngineVM)
+}
+
+// RunNativeEngine is RunNative on an explicit interpreter engine.
+func (k *Kernel) RunNativeEngine(eng interp.Engine) ([][]byte, error) {
 	mod, err := clc.Compile(k.Source, k.Name)
 	if err != nil {
 		return nil, err
 	}
-	return runSpec(mod, k.Name, k.Setup(), nil, 0)
+	return runSpecEngine(mod, k.Name, k.Setup(), nil, 0, eng)
+}
+
+// PreparedLaunch is a reusable native verification launch: a machine
+// with the spec's buffers bound, ready to Launch repeatedly over the
+// same memory. Benchmarks use it to time kernel execution in isolation
+// from front-end compilation and buffer setup.
+type PreparedLaunch struct {
+	Mach   *interp.Machine
+	Kernel string
+	Args   []interp.Value
+	ND     interp.NDRange
+}
+
+// PrepareNative compiles the kernel once and binds its verification
+// launch onto a machine with the given engine.
+func (k *Kernel) PrepareNative(eng interp.Engine) (*PreparedLaunch, error) {
+	mod, err := clc.Compile(k.Source, k.Name)
+	if err != nil {
+		return nil, err
+	}
+	mach := interp.NewMachine(mod)
+	mach.Engine = eng
+	spec := k.Setup()
+	args, _, err := bindSpecArgs(mach, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedLaunch{
+		Mach:   mach,
+		Kernel: k.Name,
+		Args:   args,
+		ND:     interp.NDRange{Dims: spec.Dims, Global: spec.Global, Local: spec.Local},
+	}, nil
+}
+
+// Run executes the prepared launch once.
+func (pl *PreparedLaunch) Run() error {
+	return pl.Mach.Launch(pl.Kernel, pl.Args, pl.ND)
 }

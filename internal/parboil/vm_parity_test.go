@@ -1,0 +1,156 @@
+package parboil
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/accelpass"
+	"repro/internal/clc"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/opencl"
+	"repro/internal/rtlib"
+)
+
+// TestVMParityNative is the differential suite over the native path:
+// every Parboil kernel runs its verification launch on the tree-walking
+// reference interpreter and on the bytecode VM with identical inputs,
+// and every argument buffer must match byte for byte.
+func TestVMParityNative(t *testing.T) {
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.FullName(), func(t *testing.T) {
+			t.Parallel()
+			ref, err := k.RunNativeEngine(interp.EngineTreeWalk)
+			if err != nil {
+				t.Fatalf("tree-walker: %v", err)
+			}
+			vm, err := k.RunNativeEngine(interp.EngineVM)
+			if err != nil {
+				t.Fatalf("vm: %v", err)
+			}
+			spec := k.Setup()
+			for i := range ref {
+				if !bytes.Equal(ref[i], vm[i]) {
+					t.Errorf("buffer %d (%s) differs between tree-walker and VM", i, spec.Args[i].Name)
+				}
+			}
+		})
+	}
+}
+
+// TestVMParityTransformedSliced is the differential suite over the live
+// execution path: every kernel's JIT-transformed form runs as a
+// multi-slice LaunchHandle execution on the VM (one dequeue round per
+// slice, a reduced physical grid) and must reproduce the tree-walker's
+// native output buffers byte for byte.
+func TestVMParityTransformedSliced(t *testing.T) {
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.FullName(), func(t *testing.T) {
+			t.Parallel()
+			ref, err := k.RunNativeEngine(interp.EngineTreeWalk)
+			if err != nil {
+				t.Fatalf("tree-walker: %v", err)
+			}
+
+			orig, err := clc.Compile(k.Source, k.Name)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			tm := ir.CloneModule(orig)
+			res, err := accelpass.Transform(tm)
+			if err != nil {
+				t.Fatalf("transform: %v", err)
+			}
+			info := res.Kernels[k.Name]
+			if info == nil {
+				t.Fatal("transformation lost the kernel")
+			}
+
+			spec := k.Setup()
+			cl, bufs, err := clKernelFromSpec(orig, k.Name, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nd := interp.NDRange{Dims: spec.Dims, Global: spec.Global, Local: spec.Local}
+			rtWords := rtlib.BuildRT(nd.Dims, nd.NumGroups(), nd.Local, info.Chunk)
+			h, err := opencl.NewLaunchHandle(nil, tm, cl, nd, rtWords, 2, rtWords[rtlib.RTChunk])
+			if err != nil {
+				t.Fatalf("handle: %v", err)
+			}
+			h.SetSliceRounds(1) // force many slices
+			slices := 0
+			for {
+				done, err := h.Step()
+				if err != nil {
+					t.Fatalf("slice %d: %v", slices, err)
+				}
+				slices++
+				if done {
+					break
+				}
+			}
+			if total := nd.TotalGroups(); total > 2 && slices < 2 {
+				t.Fatalf("expected a multi-slice execution, got %d slice(s) for %d virtual groups", slices, total)
+			}
+			for i := range ref {
+				if !bytes.Equal(ref[i], bufs[i]) {
+					t.Errorf("buffer %d (%s) differs between tree-walker native and VM sliced execution",
+						i, spec.Args[i].Name)
+				}
+			}
+		})
+	}
+}
+
+// clKernelFromSpec materializes an opencl.Kernel over the module with
+// the spec's arguments bound as device buffers, returning the backing
+// bytes of each argument (nil for scalars) for output comparison.
+func clKernelFromSpec(mod *ir.Module, name string, spec LaunchSpec) (*opencl.Kernel, [][]byte, error) {
+	p := &opencl.Program{Module: mod}
+	cl, err := p.CreateKernel(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	var bufs [][]byte
+	for i, a := range spec.Args {
+		switch {
+		case a.Scalar != nil:
+			if err := cl.SetArgInt32(i, int32(*a.Scalar)); err != nil {
+				return nil, nil, err
+			}
+			bufs = append(bufs, nil)
+		case a.I32 != nil:
+			b := make([]byte, 4*len(a.I32))
+			for j, v := range a.I32 {
+				binary.LittleEndian.PutUint32(b[4*j:], uint32(v))
+			}
+			if err := cl.SetArgBuffer(i, &opencl.Buffer{Size: int64(len(b)), Bytes: b}); err != nil {
+				return nil, nil, err
+			}
+			bufs = append(bufs, b)
+		case a.F32 != nil:
+			b := make([]byte, 4*len(a.F32))
+			for j, v := range a.F32 {
+				binary.LittleEndian.PutUint32(b[4*j:], math.Float32bits(v))
+			}
+			if err := cl.SetArgBuffer(i, &opencl.Buffer{Size: int64(len(b)), Bytes: b}); err != nil {
+				return nil, nil, err
+			}
+			bufs = append(bufs, b)
+		case a.I64 != nil:
+			b := make([]byte, 8*len(a.I64))
+			for j, v := range a.I64 {
+				binary.LittleEndian.PutUint64(b[8*j:], uint64(v))
+			}
+			if err := cl.SetArgBuffer(i, &opencl.Buffer{Size: int64(len(b)), Bytes: b}); err != nil {
+				return nil, nil, err
+			}
+			bufs = append(bufs, b)
+		}
+	}
+	return cl, bufs, nil
+}
