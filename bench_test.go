@@ -470,6 +470,153 @@ kernel void touch(global int* d) { d[get_global_id(0)] = (int)get_global_id(0); 
 	}
 }
 
+// asyncPipelineFixture is the shared setup of the host-API benchmarks:
+// one application with `chains` independent 4 MB buffers and strided
+// kernels on a DMA-modeled context (transfers take bus wall time with
+// the host CPU idle, as on real hardware).
+type asyncPipelineFixture struct {
+	rt  *accelos.Runtime
+	app *accelos.App
+	buf []*accelos.BufferHandle
+	krn []*accelos.KernelHandle
+	hst [][]byte
+	nd  opencl.NDRange
+}
+
+const (
+	apChains = 8
+	apElems  = 2 << 20 // 8 MB per chain
+	apN      = 128
+	apIters  = 8
+)
+
+func newAsyncPipelineFixture(b *testing.B) *asyncPipelineFixture {
+	b.Helper()
+	rt := accelos.NewRuntime(opencl.GetPlatforms()[0])
+	rt.Ctx.SetDMAModel(true)
+	app := rt.Connect("bench-pipeline")
+	prog, err := app.CreateProgram(`
+kernel void strided(global float* d, int n, int stride, int iters)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) {
+        float acc = d[i * stride];
+        int it;
+        for (it = 0; it < iters; ++it) acc = acc * 1.000001f + 0.5f;
+        d[i * stride] = acc;
+    }
+}
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &asyncPipelineFixture{rt: rt, app: app, nd: opencl.ND1(apN, 64)}
+	for c := 0; c < apChains; c++ {
+		buf, err := app.CreateBuffer(apElems * 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k, err := prog.CreateKernel("strided")
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = k.SetArgBuffer(0, buf)
+		_ = k.SetArgInt32(1, apN)
+		_ = k.SetArgInt32(2, apElems/apN)
+		_ = k.SetArgInt32(3, apIters)
+		f.buf = append(f.buf, buf)
+		f.krn = append(f.krn, k)
+		f.hst = append(f.hst, make([]byte, apElems*4))
+	}
+	return f
+}
+
+// BenchmarkAsyncPipeline runs N independent write→kernel→read chains
+// from ONE application two ways: "serial" submits each command through
+// the blocking wrappers (the pre-event in-order model), "async" enqueues
+// everything with wait-list edges and blocks once on Finish. The async
+// form overlaps DMA transfers with in-flight kernel slices, so its ns/op
+// should be well under the serial ns/op (the acceptance bar is 1.5×).
+func BenchmarkAsyncPipeline(b *testing.B) {
+	b.Run("serial", func(b *testing.B) {
+		f := newAsyncPipelineFixture(b)
+		defer f.rt.Shutdown()
+		defer f.app.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for c := 0; c < apChains; c++ {
+				if err := f.buf[c].Write(0, f.hst[c]); err != nil {
+					b.Fatal(err)
+				}
+				if err := f.app.EnqueueKernel(f.krn[c], f.nd); err != nil {
+					b.Fatal(err)
+				}
+				if err := f.buf[c].Read(0, f.hst[c]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(apChains, "chains")
+	})
+	b.Run("async", func(b *testing.B) {
+		f := newAsyncPipelineFixture(b)
+		defer f.rt.Shutdown()
+		defer f.app.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tails := make([]*opencl.Event, apChains)
+			for c := 0; c < apChains; c++ {
+				wev, err := f.buf[c].WriteAsync(0, f.hst[c])
+				if err != nil {
+					b.Fatal(err)
+				}
+				kev, err := f.app.EnqueueKernelAsync(f.krn[c], f.nd, wev)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rev, err := f.buf[c].ReadAsync(0, f.hst[c], kev)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tails[c] = rev
+			}
+			f.app.Finish()
+			// The chain tail fails if any upstream command failed; a
+			// silently broken async path must not record a bogus win.
+			if err := opencl.WaitAll(tails...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(apChains, "chains")
+	})
+}
+
+// BenchmarkEventOverhead isolates the cost of the event machinery
+// itself: enqueue + dependency resolution + completion + Wait for a
+// no-op marker command, with no kernel or transfer work behind it.
+func BenchmarkEventOverhead(b *testing.B) {
+	ctx := opencl.GetPlatforms()[0].CreateContext()
+	for _, mode := range []string{"in-order", "out-of-order"} {
+		b.Run(mode, func(b *testing.B) {
+			q := ctx.CreateCommandQueue()
+			if mode == "out-of-order" {
+				q = ctx.CreateOutOfOrderQueue()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev, err := q.EnqueueMarker()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := ev.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSlicedLaunch measures the sliced engine end to end through
 // the accelOS runtime (JIT-transformed kernel, RT descriptor slices,
 // pooled machines) — the live hot path the dynamic re-planner drives.

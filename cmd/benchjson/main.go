@@ -1,10 +1,17 @@
 // Command benchjson converts `go test -bench` text output into a JSON
-// record. The CI benchmark smoke job pipes the interpreter benchmarks
-// through it to produce BENCH_interp.json, the start of the repo's
-// performance trajectory; refresh the committed snapshot with:
+// record. The CI benchmark smoke jobs pipe benchmark suites through it
+// to produce the repo's performance-trajectory snapshots
+// (BENCH_interp.json, BENCH_api.json); refresh them with:
 //
 //	go test -run xxx -bench 'InterpLaunch|SlicedLaunch|Dispatch' \
 //	    -benchtime 1x -benchmem . | go run ./cmd/benchjson -out BENCH_interp.json
+//	go test -run xxx -bench 'AsyncPipeline|EventOverhead' \
+//	    -benchtime 3x -benchmem . | go run ./cmd/benchjson \
+//	    -require AsyncPipeline,EventOverhead -out BENCH_api.json
+//
+// -require makes the conversion fail unless every listed name substring
+// matched at least one benchmark, so a CI job cannot silently record an
+// empty or mis-filtered run.
 package main
 
 import (
@@ -42,6 +49,7 @@ func main() {
 	in := flag.String("in", "-", "benchmark text output ('-' for stdin)")
 	out := flag.String("out", "-", "JSON destination ('-' for stdout)")
 	note := flag.String("note", "", "free-form note stored in the record")
+	require := flag.String("require", "", "comma-separated name substrings that must each match a benchmark")
 	flag.Parse()
 
 	var src io.Reader = os.Stdin
@@ -55,6 +63,9 @@ func main() {
 	}
 	rec, err := parse(src)
 	if err != nil {
+		fatal(err)
+	}
+	if err := checkRequired(rec, *require); err != nil {
 		fatal(err)
 	}
 	rec.Note = *note
@@ -76,6 +87,28 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchjson:", err)
 	os.Exit(1)
+}
+
+// checkRequired verifies every comma-separated substring matches at
+// least one parsed benchmark name.
+func checkRequired(rec *Record, require string) error {
+	for _, want := range strings.Split(require, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for _, b := range rec.Benchmarks {
+			if strings.Contains(b.Name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("required benchmark %q not found in input", want)
+		}
+	}
+	return nil
 }
 
 // parse reads the standard benchmark output format: header key: value

@@ -108,10 +108,20 @@ func live() {
 			_ = k.SetArgBuffer(0, buf)
 			_ = k.SetArgInt32(1, n)
 			nd := opencl.NDRange{Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1}}
+			// Chain the iterations through wait-list edges and block only
+			// once at the end: the cluster scheduler sees the whole chain
+			// as this app's pending window. (A nil wait-list entry is
+			// skipped, so the first iteration needs no special case.)
+			var prev *opencl.Event
 			for it := 0; it < 3; it++ {
-				if err := app.EnqueueKernel(k, nd); err != nil {
+				ev, err := app.EnqueueKernelAsync(k, nd, prev)
+				if err != nil {
 					log.Fatalf("app %d: launch: %v", id, err)
 				}
+				prev = ev
+			}
+			if err := prev.Wait(); err != nil {
+				log.Fatalf("app %d: chain: %v", id, err)
 			}
 		}(id)
 	}

@@ -70,7 +70,12 @@ func tenant(rt *accelos.Runtime, id int, wg *sync.WaitGroup, report chan<- strin
 	for i := 0; i < n; i++ {
 		binary.LittleEndian.PutUint32(host[i*4:], uint32(i+id))
 	}
-	if err := data.Write(0, host); err != nil {
+	// Event-based submission: the write, the iteration chain and the
+	// read-back are enqueued up front with wait-list edges; the tenant
+	// blocks only on the final event while the daemon sees its whole
+	// pending window.
+	wev, err := data.WriteAsync(0, host)
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -81,12 +86,21 @@ func tenant(rt *accelos.Runtime, id int, wg *sync.WaitGroup, report chan<- strin
 	_ = k.SetArgBuffer(0, data)
 	_ = k.SetArgInt32(1, n)
 	nd := opencl.NDRange{Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{64, 1, 1}}
+	prev := wev
 	for it := 0; it < iters; it++ {
-		if err := app.EnqueueKernel(k, nd); err != nil {
+		kev, err := app.EnqueueKernelAsync(k, nd, prev)
+		if err != nil {
 			log.Fatalf("tenant %d: launch: %v", id, err)
 		}
+		prev = kev
 	}
-	_ = data.Read(0, host)
+	rev, err := data.ReadAsync(0, host, prev)
+	if err != nil {
+		log.Fatalf("tenant %d: read: %v", id, err)
+	}
+	if err := rev.Wait(); err != nil {
+		log.Fatalf("tenant %d: pipeline: %v", id, err)
+	}
 	first := int32(binary.LittleEndian.Uint32(host[4:]))
 	report <- fmt.Sprintf("tenant %d (%s): %d iterations done, data[1]=%d",
 		id, kernelNames[id%len(sources)], iters, first)

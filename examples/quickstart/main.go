@@ -47,10 +47,15 @@ func main() {
 	for i := 0; i < n; i++ {
 		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(float32(i)))
 	}
-	if err := x.Write(0, buf); err != nil {
+	// The event-based host API: both uploads are in flight at once, the
+	// kernel waits on them through its wait list, and the read-back waits
+	// on the kernel — the host never blocks until the final Wait.
+	wx, err := x.WriteAsync(0, buf)
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := y.Write(0, buf); err != nil {
+	wy, err := y.WriteAsync(0, buf)
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -64,11 +69,18 @@ func main() {
 	_ = k.SetArgInt32(3, n)
 
 	nd := opencl.NDRange{Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{128, 1, 1}}
-	if err := app.EnqueueKernel(k, nd); err != nil { // intercepted: scheduled as virtual groups
+	kev, err := app.EnqueueKernelAsync(k, nd, wx, wy) // intercepted: scheduled as virtual groups
+	if err != nil {
 		log.Fatal(err)
 	}
 	out := make([]byte, n*4)
-	_ = y.Read(0, out)
+	rev, err := y.ReadAsync(0, out, kev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rev.Wait(); err != nil {
+		log.Fatal(err)
+	}
 	ok := true
 	for i := 0; i < n; i++ {
 		got := math.Float32frombits(binary.LittleEndian.Uint32(out[i*4:]))

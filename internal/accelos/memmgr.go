@@ -52,10 +52,17 @@ func (m *MemoryManager) Alloc(appID int, size int64) error {
 }
 
 // Free releases size bytes owned by the application and resumes paused
-// applications.
+// applications. A buffer's deferred release (pinned by in-flight
+// commands at Release time) may land after ReleaseApp already reclaimed
+// the application's whole tally at process exit; the free is clamped to
+// what the application still holds so the bytes are never subtracted
+// twice.
 func (m *MemoryManager) Free(appID int, size int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if held := m.perApp[appID]; size > held {
+		size = held
+	}
 	m.used -= size
 	m.perApp[appID] -= size
 	if m.perApp[appID] <= 0 {

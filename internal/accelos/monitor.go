@@ -71,6 +71,14 @@ type Monitor struct {
 
 	transitions int
 	reschedules int
+
+	// pending/running track the asynchronous submission window: a kernel
+	// is pending from interception until its wait list and admission
+	// release it to a device, and running from launch to retirement. The
+	// scheduler plans against running kernels while seeing the pending
+	// window coming.
+	pending int
+	running int
 }
 
 // State returns the current FSM state.
@@ -111,6 +119,50 @@ func (m *Monitor) Reschedule() {
 		m.state = StateMonitor
 		m.transitions += 2
 	}
+}
+
+// KernelQueued records an intercepted kernel execution entering the
+// pending window (wait list or admission not yet satisfied).
+func (m *Monitor) KernelQueued() {
+	m.mu.Lock()
+	m.pending++
+	m.mu.Unlock()
+}
+
+// KernelStarted moves a kernel from pending to running.
+func (m *Monitor) KernelStarted() {
+	m.mu.Lock()
+	m.pending--
+	m.running++
+	m.mu.Unlock()
+}
+
+// KernelRetired removes a kernel from the accounting: from running if it
+// launched, from pending if it was abandoned first (failed wait list,
+// released buffer, launch error).
+func (m *Monitor) KernelRetired(started bool) {
+	m.mu.Lock()
+	if started {
+		m.running--
+	} else {
+		m.pending--
+	}
+	m.mu.Unlock()
+}
+
+// PendingKernels reports how many intercepted executions are waiting on
+// dependencies or admission.
+func (m *Monitor) PendingKernels() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pending
+}
+
+// RunningKernels reports how many executions are launched and in flight.
+func (m *Monitor) RunningKernels() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.running
 }
 
 func (m *Monitor) to(s MonState) {

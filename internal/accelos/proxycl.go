@@ -2,6 +2,7 @@ package accelos
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/accelpass"
 	"repro/internal/ir"
@@ -14,12 +15,27 @@ import (
 // memory (shown in the authors' prior work to have negligible overhead);
 // this reproduction transports them over an in-process channel, which
 // preserves the interposition boundary the paper relies on.
+//
+// Submissions are event-based: EnqueueKernelAsync and the buffer
+// Read/WriteAsync calls return an *opencl.Event immediately, accept wait
+// lists, and complete in the background — one application can pipeline
+// transfers against in-flight kernels and express whole dependency
+// graphs, which the Kernel Scheduler sees as its pending window. The
+// event-free EnqueueKernel/Read/Write calls remain as thin blocking
+// wrappers.
 
 // App is one connected application.
 type App struct {
 	rt   *Runtime
 	ID   int
 	Name string
+
+	// q carries the application's asynchronous buffer transfers: an
+	// out-of-order queue, so only wait-list edges order commands.
+	q *opencl.CommandQueue
+
+	// group tracks the app's incomplete events for Finish.
+	group opencl.EventGroup
 }
 
 // Connect registers an application with the daemon.
@@ -28,12 +44,30 @@ func (rt *Runtime) Connect(name string) *App {
 	rt.nextApp++
 	id := rt.nextApp
 	rt.mu.Unlock()
-	return &App{rt: rt, ID: id, Name: name}
+	return &App{rt: rt, ID: id, Name: name, q: rt.Ctx.CreateOutOfOrderQueue()}
 }
 
 // Close releases everything the application holds.
 func (a *App) Close() {
 	a.rt.mem.ReleaseApp(a.ID)
+}
+
+// track registers an event against the app's outstanding set (Finish
+// waits for the set to drain).
+func (a *App) track(ev *opencl.Event) {
+	a.group.Add(ev)
+}
+
+// Finish blocks until every event the application enqueued (kernels and
+// transfers) has reached a terminal status. Per-command errors are
+// reported on the commands' own events.
+func (a *App) Finish() {
+	a.group.Wait()
+}
+
+// Outstanding reports how many of the app's events are incomplete.
+func (a *App) Outstanding() int {
+	return a.group.Pending()
 }
 
 // Program is the application's handle to a built OpenCL program. The
@@ -63,9 +97,20 @@ func (a *App) CreateProgram(src string) (*Program, error) {
 // BufferHandle is the application's device memory handle.
 type BufferHandle struct {
 	app *App
-	buf *opencl.Buffer
 	// Size in bytes.
 	Size int64
+
+	mu  sync.Mutex
+	buf *opencl.Buffer
+}
+
+// handle returns the underlying buffer, or nil after Release. Commands
+// resolve it once at enqueue time and pin it; a later Release then
+// fails the command rather than yanking the bytes.
+func (h *BufferHandle) handle() *opencl.Buffer {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.buf
 }
 
 // CreateBuffer allocates device memory. The accelOS memory manager may
@@ -82,7 +127,9 @@ func (a *App) CreateBuffer(size int64) (*BufferHandle, error) {
 		if err != nil {
 			return err
 		}
+		h.mu.Lock()
 		h.buf = b
+		h.mu.Unlock()
 		return nil
 	}})
 	if err != nil {
@@ -92,31 +139,73 @@ func (a *App) CreateBuffer(size int64) (*BufferHandle, error) {
 	return h, nil
 }
 
-// Release frees the buffer.
+// Release frees the buffer. The release is refcount-aware: with
+// commands in flight the memory-manager accounting is returned only
+// when the last command unpins the buffer, queued commands fail with a
+// clear error instead of racing on the bytes, and a double Release is a
+// no-op.
 func (h *BufferHandle) Release() {
-	if h.buf == nil {
+	h.mu.Lock()
+	b := h.buf
+	h.buf = nil
+	h.mu.Unlock()
+	if b == nil {
 		return
 	}
-	h.buf.Release()
-	h.buf = nil
-	h.app.rt.mem.Free(h.app.ID, h.Size)
+	app, size := h.app, h.Size
+	b.ReleaseFunc(func() { app.rt.mem.Free(app.ID, size) })
 }
 
-// Write copies host bytes into the buffer (shared-memory transport: no
-// daemon round trip needed, as in the paper's IPC design).
+// WriteAsync schedules a host→device copy and returns its event
+// immediately (shared-memory transport: no daemon round trip needed, as
+// in the paper's IPC design). The data slice must stay untouched until
+// the event completes.
+func (h *BufferHandle) WriteAsync(off int64, data []byte, waits ...*opencl.Event) (*opencl.Event, error) {
+	b := h.handle()
+	if b == nil {
+		return nil, fmt.Errorf("accelos: buffer released")
+	}
+	ev, err := h.app.q.EnqueueWrite(b, off, data, waits...)
+	if err != nil {
+		return nil, err
+	}
+	h.app.track(ev)
+	return ev, nil
+}
+
+// ReadAsync schedules a device→host copy and returns its event
+// immediately; out is filled when the event completes.
+func (h *BufferHandle) ReadAsync(off int64, out []byte, waits ...*opencl.Event) (*opencl.Event, error) {
+	b := h.handle()
+	if b == nil {
+		return nil, fmt.Errorf("accelos: buffer released")
+	}
+	ev, err := h.app.q.EnqueueRead(b, off, out, waits...)
+	if err != nil {
+		return nil, err
+	}
+	h.app.track(ev)
+	return ev, nil
+}
+
+// Write copies host bytes into the buffer, blocking until the copy
+// completes (thin wrapper over WriteAsync + Wait).
 func (h *BufferHandle) Write(off int64, data []byte) error {
-	if h.buf == nil {
-		return fmt.Errorf("accelos: buffer released")
+	ev, err := h.WriteAsync(off, data)
+	if err != nil {
+		return err
 	}
-	return h.app.rt.Queue.EnqueueWriteBuffer(h.buf, off, data)
+	return ev.Wait()
 }
 
-// Read copies buffer bytes back to the host.
+// Read copies buffer bytes back to the host, blocking until the copy
+// completes (thin wrapper over ReadAsync + Wait).
 func (h *BufferHandle) Read(off int64, out []byte) error {
-	if h.buf == nil {
-		return fmt.Errorf("accelos: buffer released")
+	ev, err := h.ReadAsync(off, out)
+	if err != nil {
+		return err
 	}
-	return h.app.rt.Queue.EnqueueReadBuffer(h.buf, off, out)
+	return ev.Wait()
 }
 
 // KernelHandle is the application's kernel object with bound arguments.
@@ -129,6 +218,11 @@ type KernelHandle struct {
 type kernArg struct {
 	set bool
 	buf *BufferHandle
+	// clb is the underlying buffer resolved (and pinned) at enqueue
+	// time; the daemon binds it instead of re-reading the handle, which
+	// the application may Release concurrently.
+	clb *opencl.Buffer
+	loc int64 // > 0: local-memory argument of this byte size
 	i32 *int32
 	i64 *int64
 	f32 *float32
@@ -180,6 +274,20 @@ func (k *KernelHandle) SetArgFloat32(i int, v float32) error {
 	return nil
 }
 
+// SetArgLocal binds a local-memory argument of the given byte size for
+// a __local pointer parameter: every work-group of the launch receives
+// its own zeroed local region of that size.
+func (k *KernelHandle) SetArgLocal(i int, size int64) error {
+	if i < 0 || i >= len(k.args) {
+		return fmt.Errorf("accelos: argument %d out of range", i)
+	}
+	if size <= 0 {
+		return fmt.Errorf("accelos: local argument %d has non-positive size %d", i, size)
+	}
+	k.args[i] = kernArg{set: true, loc: size}
+	return nil
+}
+
 // toCL materializes an opencl.Kernel with the bound arguments. The
 // argument list is sized by the ORIGINAL kernel signature; the Kernel
 // Scheduler appends the RT descriptor for the transformed wrapper.
@@ -191,8 +299,16 @@ func (k *KernelHandle) toCL() (*opencl.Kernel, error) {
 	}
 	for i, a := range k.args {
 		switch {
+		case a.clb != nil:
+			err = cl.SetArgBuffer(i, a.clb)
 		case a.buf != nil:
-			err = cl.SetArgBuffer(i, a.buf.clBuffer())
+			b := a.buf.handle()
+			if b == nil {
+				return nil, fmt.Errorf("accelos: kernel %q argument %d: buffer released", k.name, i)
+			}
+			err = cl.SetArgBuffer(i, b)
+		case a.loc > 0:
+			err = cl.SetArgLocal(i, a.loc)
 		case a.i32 != nil:
 			err = cl.SetArgInt32(i, *a.i32)
 		case a.i64 != nil:
@@ -207,19 +323,65 @@ func (k *KernelHandle) toCL() (*opencl.Kernel, error) {
 	return cl, nil
 }
 
-func (h *BufferHandle) clBuffer() *opencl.Buffer { return h.buf }
-
-// EnqueueKernel intercepts clEnqueueNDRangeKernel: scenario (b) — the
-// Kernel Scheduler alters the grid and launches the transformed kernel.
-// The call blocks until the execution completes (in-order queue
-// semantics), but concurrent applications' launches overlap.
-func (a *App) EnqueueKernel(k *KernelHandle, nd opencl.NDRange) error {
-	for i, arg := range k.args {
+// EnqueueKernelAsync intercepts clEnqueueNDRangeKernel: scenario (b) —
+// the Kernel Scheduler alters the grid and launches the transformed
+// kernel. The call returns the execution's event immediately; the
+// kernel starts once every wait-list event completes (a failed
+// dependency fails this event instead of launching). Arguments are
+// snapshotted at enqueue, and the buffers they name stay pinned until
+// the event completes.
+func (a *App) EnqueueKernelAsync(k *KernelHandle, nd opencl.NDRange, waits ...*opencl.Event) (*opencl.Event, error) {
+	if err := nd.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opencl.CheckWaitList(waits...); err != nil {
+		return nil, fmt.Errorf("accelos: kernel %q: %w", k.name, err)
+	}
+	args := make([]kernArg, len(k.args))
+	copy(args, k.args)
+	var bufs []*opencl.Buffer
+	for i, arg := range args {
 		if !arg.set {
-			return fmt.Errorf("accelos: kernel %q argument %d not set", k.name, i)
+			return nil, fmt.Errorf("accelos: kernel %q argument %d not set", k.name, i)
+		}
+		if arg.buf != nil {
+			b := arg.buf.handle()
+			if b == nil {
+				return nil, fmt.Errorf("accelos: kernel %q argument %d: buffer released", k.name, i)
+			}
+			args[i].clb = b
+			bufs = append(bufs, b)
 		}
 	}
-	return a.rt.submit(&Request{Kind: ReqKernelExec, App: a, Kern: k, ND: nd})
+	for pi, b := range bufs {
+		if err := b.Pin(); err != nil {
+			for _, p := range bufs[:pi] {
+				p.Unpin()
+			}
+			return nil, fmt.Errorf("accelos: kernel %q: %w", k.name, err)
+		}
+	}
+	ev := opencl.NewControlledEvent(waits...)
+	ev.OnComplete(func(*opencl.Event) {
+		for _, b := range bufs {
+			b.Unpin()
+		}
+	})
+	a.track(ev)
+	snap := &KernelHandle{prog: k.prog, name: k.name, args: args}
+	a.rt.submitAsync(&Request{Kind: ReqKernelExec, App: a, Kern: snap, ND: nd, Waits: waits, Event: ev, Bufs: bufs})
+	return ev, nil
+}
+
+// EnqueueKernel launches the kernel and blocks until the execution
+// completes — the pre-event call shape, now a thin wrapper over
+// EnqueueKernelAsync + Wait. Concurrent applications' launches overlap.
+func (a *App) EnqueueKernel(k *KernelHandle, nd opencl.NDRange) error {
+	ev, err := a.EnqueueKernelAsync(k, nd)
+	if err != nil {
+		return err
+	}
+	return ev.Wait()
 }
 
 // Query is an example of scenario (c): a passthrough request that

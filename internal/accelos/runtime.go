@@ -63,8 +63,9 @@ type Runtime struct {
 }
 
 // launchRec tracks one kernel execution from interception to
-// completion: parked while awaiting pool admission, then bound to a
-// LaunchHandle and driven slice by slice.
+// completion: deferred while its wait list is incomplete, parked while
+// awaiting pool admission, then bound to a LaunchHandle and driven slice
+// by slice. Its event is the application's handle to the execution.
 type launchRec struct {
 	id      int
 	app     string
@@ -76,8 +77,10 @@ type launchRec struct {
 	cl      *opencl.Kernel
 	nd      opencl.NDRange
 	rtWords []int64
+	bufs    []*opencl.Buffer // argument buffers, pinned by the app until completion
 	h       *opencl.LaunchHandle
-	reply   chan error
+	ev      *opencl.Event
+	started bool // reached startLaunch (pending → running)
 }
 
 // PlanSample is one allocation pushed to an in-flight execution by the
@@ -103,6 +106,10 @@ type Stats struct {
 	// queue before the completion event that admitted them (bounded
 	// cluster runtimes only).
 	QueuedAdmissions int
+	// WaitDeferred counts kernel executions that arrived with an
+	// incomplete wait list: the scheduler saw them as its pending window
+	// before their dependencies released them.
+	WaitDeferred int
 	// DeviceLaunches counts launches per pool member (cluster runtimes
 	// only; nil for single-device runtimes).
 	DeviceLaunches []int
@@ -117,6 +124,12 @@ type Request struct {
 	Kern  *KernelHandle
 	ND    opencl.NDRange
 	Other func() error
+
+	// Asynchronous kernel submissions carry their wait list, completion
+	// event and pinned argument buffers instead of a reply channel.
+	Waits []*opencl.Event
+	Event *opencl.Event
+	Bufs  []*opencl.Buffer
 
 	reply chan error
 }
@@ -235,6 +248,14 @@ func (rt *Runtime) submit(req *Request) error {
 	return <-req.reply
 }
 
+// submitAsync hands a request to the daemon without waiting for a
+// reply: the request's event carries the outcome. This is the
+// non-blocking path that lets the Kernel Scheduler see an application's
+// whole pending window while earlier submissions are still in flight.
+func (rt *Runtime) submitAsync(req *Request) {
+	rt.reqCh <- req
+}
+
 // jitProgram is scenario (a) of the FSM: compile the source, clone,
 // transform, and keep both modules. The application keeps launching
 // kernels under their original names; the transformed module provides
@@ -270,22 +291,28 @@ func (rt *Runtime) jitProgram(req *Request) error {
 // and completion the scheduler re-runs the §3 plan over the resident
 // set and pushes the resized PhysWGs/Chunk to the in-flight handles at
 // their next slice boundary — the paper's §5 dynamic adaptation, live.
+//
+// Submissions are asynchronous: the request's event reports the
+// outcome. A submission with an incomplete wait list is registered as
+// pending immediately — the scheduler sees the app's whole dependency
+// window — and admitted to a device when the last dependency completes.
 func (rt *Runtime) scheduleKernel(req *Request) error {
 	k := req.Kern
+	ev := req.Event
 	info := k.prog.infos[k.name]
 	if info == nil {
 		err := fmt.Errorf("accelos: kernel %q has no JIT metadata", k.name)
-		req.reply <- err
+		ev.Fail(err)
 		return err
 	}
 	nd := req.ND
 	if err := nd.Validate(); err != nil {
-		req.reply <- err
+		ev.Fail(err)
 		return err
 	}
 	cl, err := k.toCL()
 	if err != nil {
-		req.reply <- err
+		ev.Fail(err)
 		return err
 	}
 	// Describe this execution for the resource-sharing algorithm.
@@ -305,6 +332,7 @@ func (rt *Runtime) scheduleKernel(req *Request) error {
 	exec.ID = id
 	rt.active[id] = exec
 	rt.activeMu.Unlock()
+	rt.mon.KernelQueued()
 
 	rec := &launchRec{
 		id:      id,
@@ -316,9 +344,49 @@ func (rt *Runtime) scheduleKernel(req *Request) error {
 		cl:      cl,
 		nd:      nd,
 		rtWords: rtlib.BuildRT(nd.Dims, nd.NumGroups(), nd.Local, info.Chunk),
-		reply:   req.reply,
+		bufs:    req.Bufs,
+		ev:      ev,
 	}
 
+	deferred := false
+	for _, w := range req.Waits {
+		if w != nil && !w.Status().Terminal() {
+			deferred = true
+			break
+		}
+	}
+	if deferred {
+		rt.statsMu.Lock()
+		rt.stats.WaitDeferred++
+		rt.statsMu.Unlock()
+	}
+	// Admission runs when the wait list drains (immediately for an empty
+	// or already-complete one). A failed dependency abandons the
+	// execution and propagates the cause to its event.
+	opencl.WhenAll(req.Waits, func(depErr error) {
+		if depErr != nil {
+			rt.abandon(rec, fmt.Errorf("accelos: kernel %q: wait-list dependency failed: %w", rec.kern, depErr))
+			return
+		}
+		rt.admit(rec)
+	})
+	return nil
+}
+
+// abandon retires a never-launched execution (failed wait list) and
+// fails its event.
+func (rt *Runtime) abandon(rec *launchRec, err error) {
+	rt.activeMu.Lock()
+	delete(rt.active, rec.id)
+	rt.activeMu.Unlock()
+	rt.mon.KernelRetired(false)
+	rec.ev.Fail(err)
+}
+
+// admit hands a wait-released execution to a device: on a cluster
+// runtime through the placement policy and pool admission control, on a
+// single device straight to the sliced launch path.
+func (rt *Runtime) admit(rec *launchRec) {
 	if rt.pool != nil {
 		// Cluster path: the placement policy routes the request to a
 		// pool member. The record is parked BEFORE Submit so that every
@@ -328,7 +396,7 @@ func (rt *Runtime) scheduleKernel(req *Request) error {
 		// onPoolEvent. Parking first closes the window where a
 		// concurrent completion could admit the request before the
 		// scheduler has registered it.
-		rec.ce = &sim.ClusterExec{K: exec, Tenant: req.App.Name}
+		rec.ce = &sim.ClusterExec{K: rec.exec, Tenant: rec.app}
 		rt.launchMu.Lock()
 		rt.pending[rec.ce] = rec
 		rt.launchMu.Unlock()
@@ -337,10 +405,9 @@ func (rt *Runtime) scheduleKernel(req *Request) error {
 			rt.stats.QueuedAdmissions++
 			rt.statsMu.Unlock()
 		}
-		return nil
+		return
 	}
 	rt.startLaunch(rec)
-	return nil
 }
 
 // onPoolEvent is the cluster runtime's scheduling loop: installed as the
@@ -375,6 +442,13 @@ func (rt *Runtime) onPoolEvent(ev cluster.PoolEvent) {
 // shares at their next slice boundary), and drives the slices in the
 // execution's own goroutine.
 func (rt *Runtime) startLaunch(rec *launchRec) {
+	// A buffer released while the execution waited on its dependencies
+	// or in a device run queue fails the execution before it binds.
+	if err := rec.releasedArg(); err != nil {
+		rt.retire(rec)
+		rec.ev.Fail(err)
+		return
+	}
 	plat := rt.Plat
 	if rt.pool != nil && rec.devIdx >= 0 {
 		plat = rt.plats[rec.devIdx]
@@ -382,7 +456,7 @@ func (rt *Runtime) startLaunch(rec *launchRec) {
 	h, err := opencl.NewLaunchHandle(plat, rec.mod, rec.cl, rec.nd, rec.rtWords, 1, rec.rtWords[rtlib.RTChunk])
 	if err != nil {
 		rt.retire(rec)
-		rec.reply <- err
+		rec.ev.Fail(err)
 		return
 	}
 	rt.mu.Lock()
@@ -391,6 +465,8 @@ func (rt *Runtime) startLaunch(rec *launchRec) {
 	}
 	rt.mu.Unlock()
 	rec.h = h
+	rec.started = true
+	rt.mon.KernelStarted()
 	rt.launchMu.Lock()
 	rt.launches[rec.id] = rec
 	rt.launchMu.Unlock()
@@ -402,12 +478,40 @@ func (rt *Runtime) startLaunch(rec *launchRec) {
 	}
 	rt.statsMu.Unlock()
 
+	rec.ev.MarkRunning()
 	rt.replan(rec.devIdx)
 	go func() {
-		err := h.Run()
+		var lerr error
+		for {
+			// A buffer released mid-execution cancels the launch at the
+			// next slice boundary instead of racing on the bytes.
+			if rerr := rec.releasedArg(); rerr != nil {
+				h.Cancel(rerr)
+			}
+			done, serr := h.Step()
+			if done {
+				lerr = serr
+				break
+			}
+		}
 		rt.retire(rec)
-		rec.reply <- err
+		if lerr != nil {
+			rec.ev.Fail(lerr)
+		} else {
+			rec.ev.Complete()
+		}
 	}()
+}
+
+// releasedArg reports the first of the execution's argument buffers the
+// application has released, if any.
+func (rec *launchRec) releasedArg() error {
+	for _, b := range rec.bufs {
+		if b.Released() {
+			return fmt.Errorf("accelos: kernel %q: %w", rec.kern, opencl.ErrBufferReleased)
+		}
+	}
+	return nil
 }
 
 // retire removes a finished (or failed) execution from every registry
@@ -416,6 +520,7 @@ func (rt *Runtime) retire(rec *launchRec) {
 	rt.activeMu.Lock()
 	delete(rt.active, rec.id)
 	rt.activeMu.Unlock()
+	rt.mon.KernelRetired(rec.started)
 	rt.launchMu.Lock()
 	delete(rt.launches, rec.id)
 	rt.launchMu.Unlock()
@@ -445,12 +550,16 @@ func (rt *Runtime) replan(devIdx int) {
 		}
 		launches = PlanTenantShares(rt.plats[devIdx].Dev, kes, tenants, nil, false)
 	} else {
-		rt.activeMu.Lock()
-		kes := make([]*sim.KernelExec, 0, len(rt.active))
-		for _, e := range rt.active {
-			kes = append(kes, e)
+		// Plan over launched executions only: rt.active also holds the
+		// pending window (wait-deferred kernels), and allocating device
+		// share to kernels that cannot run yet would shrink the running
+		// set's slices while that share sat idle.
+		rt.launchMu.Lock()
+		kes := make([]*sim.KernelExec, 0, len(rt.launches))
+		for _, r := range rt.launches {
+			kes = append(kes, r.exec)
 		}
-		rt.activeMu.Unlock()
+		rt.launchMu.Unlock()
 		launches = PlanShares(rt.Plat.Dev, kes, false)
 	}
 	if len(launches) == 0 {

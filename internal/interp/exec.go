@@ -86,12 +86,20 @@ const (
 // runaway kernel traps no matter where it loops.
 const defaultMaxSteps = 200_000_000
 
+// localArg is one LocalArgV placeholder in a launch's argument list:
+// argument index plus the per-work-group region size to materialize.
+type localArg struct {
+	idx  int
+	size int64
+}
+
 type launchCtx struct {
-	m    *Machine
-	fn   *ir.Function
-	args []Value
-	nd   NDRange
-	ng   [3]int64
+	m      *Machine
+	fn     *ir.Function
+	args   []Value
+	locals []localArg // LocalArgV placeholders, materialized per group
+	nd     NDRange
+	ng     [3]int64
 
 	// VM engine state (nil/zero under the tree-walker except the step
 	// budget, which both engines share).
@@ -169,6 +177,20 @@ func (m *Machine) Launch(kernel string, args []Value, nd NDRange) error {
 	if len(args) != len(fn.Params) {
 		return fmt.Errorf("interp: kernel %q takes %d args, got %d", kernel, len(fn.Params), len(args))
 	}
+	var locals []localArg
+	for i, a := range args {
+		size, ok := localArgSize(a)
+		if !ok {
+			continue
+		}
+		if size <= 0 {
+			return fmt.Errorf("interp: kernel %q local argument %d has non-positive size %d", kernel, i, size)
+		}
+		if fn.Params[i].Ty.Kind != ir.Pointer {
+			return fmt.Errorf("interp: kernel %q argument %d is not a pointer parameter; cannot bind local memory", kernel, i)
+		}
+		locals = append(locals, localArg{idx: i, size: size})
+	}
 	if m.MaxWorkItems > 0 {
 		total := nd.Global[0] * nd.Global[1] * nd.Global[2]
 		if total > m.MaxWorkItems {
@@ -176,9 +198,9 @@ func (m *Machine) Launch(kernel string, args []Value, nd NDRange) error {
 		}
 	}
 	if m.Engine == EngineTreeWalk {
-		return m.launchTreeWalk(fn, args, nd)
+		return m.launchTreeWalk(fn, args, locals, nd)
 	}
-	return m.launchVM(fn, args, nd)
+	return m.launchVM(fn, args, locals, nd)
 }
 
 func (m *Machine) maxSteps() int64 {
@@ -190,8 +212,8 @@ func (m *Machine) maxSteps() int64 {
 
 // --- reference engine: tree-walking interpreter ---------------------
 
-func (m *Machine) launchTreeWalk(fn *ir.Function, args []Value, nd NDRange) error {
-	l := &launchCtx{m: m, fn: fn, args: args, nd: nd, ng: nd.NumGroups(), maxSteps: m.maxSteps()}
+func (m *Machine) launchTreeWalk(fn *ir.Function, args []Value, locals []localArg, nd NDRange) error {
+	l := &launchCtx{m: m, fn: fn, args: args, locals: locals, nd: nd, ng: nd.NumGroups(), maxSteps: m.maxSteps()}
 	for gz := int64(0); gz < l.ng[2]; gz++ {
 		for gy := int64(0); gy < l.ng[1]; gy++ {
 			for gx := int64(0); gx < l.ng[0]; gx++ {
@@ -216,6 +238,16 @@ func (l *launchCtx) runGroup(group [3]int64) error {
 	nd := l.nd
 	size := int(nd.WGSize())
 	wg := &wgCtx{l: l, group: group, bar: getBarrier(size), locals: make(map[*ir.Instr]*Region)}
+	// Materialize host-declared local arguments: one fresh region per
+	// work-group, shared by its work-items, in place of the placeholder.
+	gargs := l.args
+	if len(l.locals) > 0 {
+		gargs = append([]Value(nil), l.args...)
+		for _, la := range l.locals {
+			r := l.m.NewRegion(la.size, ir.Local)
+			gargs[la.idx] = Value{K: ir.Pointer, P: Ptr{R: r}}
+		}
+	}
 	errc := make(chan wiFault, size)
 	var wgrp sync.WaitGroup
 	for lz := int64(0); lz < nd.Local[2]; lz++ {
@@ -239,7 +271,7 @@ func (l *launchCtx) runGroup(group [3]int64) error {
 						}
 					}()
 					fr := &frame{wi: wi, env: make(map[ir.Value]Value)}
-					fr.call(l.fn, l.args)
+					fr.call(l.fn, gargs)
 				}()
 			}
 		}

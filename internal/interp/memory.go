@@ -72,6 +72,28 @@ func PtrV(p Ptr, space ir.AddrSpace) Value {
 	return Value{K: ir.Pointer, P: p}
 }
 
+// localArgMagic tags a Value produced by LocalArgV. The sentinel never
+// reaches kernel code: Launch replaces it with a fresh per-work-group
+// local region before any work-item runs.
+const localArgMagic = -0x10ca1a59
+
+// LocalArgV returns a local-memory argument placeholder of the given
+// byte size (the host API's clSetKernelArg(size, NULL) form). At launch,
+// every work-group receives its own zeroed local region of that size in
+// place of the placeholder, shared by the group's work-items.
+func LocalArgV(size int64) Value {
+	return Value{K: ir.Pointer, I: localArgMagic, P: Ptr{Off: size}}
+}
+
+// localArgSize reports whether v is a LocalArgV placeholder and, if so,
+// its requested size.
+func localArgSize(v Value) (int64, bool) {
+	if v.K == ir.Pointer && v.P.R == nil && v.I == localArgMagic {
+		return v.P.Off, true
+	}
+	return 0, false
+}
+
 // Bool reports the truthiness of an integer value.
 func (v Value) Bool() bool { return v.I != 0 }
 

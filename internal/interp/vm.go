@@ -114,13 +114,13 @@ const stepBatch = 4096
 // claims work-group linear indices from an atomic cursor and runs them
 // to completion. The first faulting group (in linear order) wins error
 // reporting, as under the old sequential group loop.
-func (m *Machine) launchVM(fn *ir.Function, args []Value, nd NDRange) error {
+func (m *Machine) launchVM(fn *ir.Function, args []Value, locals []localArg, nd NDRange) error {
 	prog := m.Program()
 	kcf := prog.fns[fn.Name]
 	if kcf == nil {
 		return fmt.Errorf("interp: kernel %q not compiled", fn.Name)
 	}
-	l := &launchCtx{m: m, fn: fn, args: args, nd: nd, ng: nd.NumGroups(), prog: prog, kcf: kcf, maxSteps: m.maxSteps()}
+	l := &launchCtx{m: m, fn: fn, args: args, locals: locals, nd: nd, ng: nd.NumGroups(), prog: prog, kcf: kcf, maxSteps: m.maxSteps()}
 	total := l.ng[0] * l.ng[1] * l.ng[2]
 	workers := int64(runtime.GOMAXPROCS(0))
 	if workers > total {
@@ -196,6 +196,15 @@ func (l *launchCtx) runGroupVM(gr *groupRunner, group [3]int64) error {
 	clear(gr.locals)
 	g := &vmGroup{l: l, group: group, locals: gr.locals, ar: &gr.ar}
 
+	// Materialize host-declared local arguments: one region per group,
+	// patched over the LocalArgV placeholder in every item's registers.
+	var largs [8]Value
+	argPatch := largs[:0]
+	for _, la := range l.locals {
+		r := g.ar.alloc(la.size, ir.Local)
+		argPatch = append(argPatch, Value{K: ir.Pointer, P: Ptr{R: r}})
+	}
+
 	i := 0
 	for lz := int64(0); lz < nd.Local[2]; lz++ {
 		for ly := int64(0); ly < nd.Local[1]; ly++ {
@@ -207,6 +216,9 @@ func (l *launchCtx) runGroupVM(gr *groupRunner, group [3]int64) error {
 				wi.steps = 0
 				regp := l.kcf.getRegs()
 				copy(*regp, l.args)
+				for pi, la := range l.locals {
+					(*regp)[la.idx] = argPatch[pi]
+				}
 				wi.frames = append(wi.frames[:0], vmFrame{cf: l.kcf, regp: regp, pc: 0, dst: -1})
 			}
 		}

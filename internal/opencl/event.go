@@ -1,0 +1,383 @@
+package opencl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// This file is the event half of the asynchronous host API: every
+// Enqueue* call returns an *Event immediately and the command completes
+// in the background. Events carry a status, an error, completion
+// callbacks and — while incomplete — their recorded wait-list edges, so
+// the dispatcher can reject dependency cycles at enqueue time instead of
+// letting Finish deadlock on them.
+
+// EventStatus is the lifecycle state of a command (mirrors the OpenCL
+// execution-status model, with an explicit failure state).
+type EventStatus int32
+
+const (
+	// EventQueued: the command is in its queue with unsatisfied wait-list
+	// dependencies.
+	EventQueued EventStatus = iota
+	// EventSubmitted: every dependency completed; the command has been
+	// released to the runtime.
+	EventSubmitted
+	// EventRunning: the command body is executing.
+	EventRunning
+	// EventComplete: the command finished successfully.
+	EventComplete
+	// EventFailed: the command (or one of its dependencies) failed; Err
+	// carries the cause.
+	EventFailed
+)
+
+func (s EventStatus) String() string {
+	switch s {
+	case EventQueued:
+		return "queued"
+	case EventSubmitted:
+		return "submitted"
+	case EventRunning:
+		return "running"
+	case EventComplete:
+		return "complete"
+	case EventFailed:
+		return "failed"
+	}
+	return "?"
+}
+
+// Terminal reports whether the status is final.
+func (s EventStatus) Terminal() bool { return s == EventComplete || s == EventFailed }
+
+// ErrCyclicWaitList marks a dependency cycle: no completion order
+// exists, so waiting on it would block forever. Command events always
+// depend on strictly older events, so cycles can only be closed by
+// CompleteWhen — which fails the closing event with this error — and an
+// Enqueue* whose wait list references a cycle-failed event is rejected
+// with it at enqueue time.
+var ErrCyclicWaitList = fmt.Errorf("opencl: wait list contains a dependency cycle")
+
+// Event is one asynchronously completing command (or a user event). It
+// is created by an Enqueue* call, NewUserEvent, or a runtime submission,
+// and completes exactly once.
+type Event struct {
+	mu     sync.Mutex
+	status EventStatus
+	err    error
+	done   chan struct{}
+	cbs    []func(*Event)
+	deps   []*Event // recorded wait-list edges; cleared on completion
+	user   bool
+}
+
+// newEvent returns a queued event with the given dependency edges
+// recorded for cycle detection.
+func newEvent(deps []*Event) *Event {
+	return &Event{done: make(chan struct{}), deps: deps}
+}
+
+// NewUserEvent returns an event completed by host code rather than by a
+// command (clCreateUserEvent): pass it in wait lists to gate commands on
+// host-side conditions, then call Complete or Fail exactly once.
+func NewUserEvent() *Event {
+	e := newEvent(nil)
+	e.user = true
+	return e
+}
+
+// NewControlledEvent returns an event that a runtime layer (e.g. the
+// accelOS daemon) completes itself, with the wait list recorded for
+// cycle detection. It is the producer-side constructor of the
+// interposition boundary; applications use queue Enqueue* calls instead.
+func NewControlledEvent(waits ...*Event) *Event {
+	return newEvent(compactWaits(waits))
+}
+
+// compactWaits drops nil entries (callers may pass optional events).
+func compactWaits(waits []*Event) []*Event {
+	out := make([]*Event, 0, len(waits))
+	for _, w := range waits {
+		if w != nil {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Status returns the event's current lifecycle state.
+func (e *Event) Status() EventStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.status
+}
+
+// Err returns the failure cause, or nil while incomplete or on success.
+func (e *Event) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Wait blocks until the event completes and returns its error.
+func (e *Event) Wait() error {
+	<-e.done
+	return e.Err()
+}
+
+// WaitAll waits for every event and returns the first failure.
+func WaitAll(events ...*Event) error {
+	var first error
+	for _, ev := range events {
+		if ev == nil {
+			continue
+		}
+		if err := ev.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// OnComplete registers a completion callback. It fires exactly once,
+// after the event reaches a terminal status — immediately (on the
+// caller's goroutine) if it already has. Callbacks observe the final
+// status and error through the event itself.
+func (e *Event) OnComplete(fn func(*Event)) {
+	e.mu.Lock()
+	if e.status.Terminal() {
+		e.mu.Unlock()
+		fn(e)
+		return
+	}
+	e.cbs = append(e.cbs, fn)
+	e.mu.Unlock()
+}
+
+// transition advances an incomplete event's status (Queued → Submitted →
+// Running). Terminal events ignore it: a dependency failure may have
+// finished the event while its command was being released.
+func (e *Event) transition(s EventStatus) {
+	e.mu.Lock()
+	if !e.status.Terminal() && s > e.status {
+		e.status = s
+	}
+	e.mu.Unlock()
+}
+
+// MarkSubmitted records that the command left its queue for the runtime.
+// Producer-side API (queues and runtime layers); terminal events ignore it.
+func (e *Event) MarkSubmitted() { e.transition(EventSubmitted) }
+
+// MarkRunning records that the command body started executing.
+// Producer-side API; terminal events ignore it.
+func (e *Event) MarkRunning() { e.transition(EventRunning) }
+
+// finish completes the event exactly once: later calls are no-ops, so a
+// dependency-failure propagation and a command body racing to finish the
+// same event resolve deterministically to whichever lands first.
+func (e *Event) finish(err error) {
+	e.mu.Lock()
+	if e.status.Terminal() {
+		e.mu.Unlock()
+		return
+	}
+	if err != nil {
+		e.status, e.err = EventFailed, err
+	} else {
+		e.status = EventComplete
+	}
+	cbs := e.cbs
+	e.cbs = nil
+	e.deps = nil // completed events cannot take part in cycles
+	e.mu.Unlock()
+	close(e.done)
+	for _, fn := range cbs {
+		fn(e)
+	}
+}
+
+// Complete marks the event successful. Producer-side API: valid on user
+// and controlled events (queue-owned events are completed by their
+// command). No-op if already terminal.
+func (e *Event) Complete() { e.finish(nil) }
+
+// Fail marks the event failed with the given cause. Producer-side API;
+// no-op if already terminal.
+func (e *Event) Fail(err error) {
+	if err == nil {
+		err = fmt.Errorf("opencl: event failed")
+	}
+	e.finish(err)
+}
+
+// CompleteWhen chains this (user or controlled) event to a wait list: it
+// completes when every listed event completes, or fails with the first
+// failure. CompleteWhen is the only way dependency edges are added after
+// an event's creation, so it is where cycles are caught: a chain that
+// would make the event (transitively) wait on itself immediately fails
+// it with ErrCyclicWaitList instead of recording a permanently
+// uncompletable edge — dependents then fail rather than hang, and the
+// dependency graph stays acyclic at all times.
+func (e *Event) CompleteWhen(waits ...*Event) {
+	ws := compactWaits(waits)
+	// chainMu makes the cycle scan and the edge append atomic across
+	// events: without it, two concurrent CompleteWhen calls could each
+	// miss the other's half of a cycle and record it undetected.
+	chainMu.Lock()
+	if reaches(ws, e) {
+		chainMu.Unlock()
+		e.finish(ErrCyclicWaitList)
+		return
+	}
+	e.mu.Lock()
+	if !e.status.Terminal() {
+		e.deps = append(e.deps, ws...)
+	}
+	e.mu.Unlock()
+	chainMu.Unlock()
+	WhenAll(ws, func(err error) { e.finish(err) })
+}
+
+// chainMu serializes CompleteWhen edge additions — the one way
+// dependency edges appear after an event's creation. Command enqueues
+// never contend for it: a freshly created event cannot close a cycle.
+var chainMu sync.Mutex
+
+// reaches reports whether target is reachable from any of the events
+// over recorded dependency edges (incomplete events only; completed
+// events drop their edges).
+func reaches(from []*Event, target *Event) bool {
+	seen := make(map[*Event]bool)
+	var visit func(ev *Event) bool
+	visit = func(ev *Event) bool {
+		if ev == target {
+			return true
+		}
+		if seen[ev] {
+			return false
+		}
+		seen[ev] = true
+		ev.mu.Lock()
+		deps := append([]*Event(nil), ev.deps...)
+		ev.mu.Unlock()
+		for _, d := range deps {
+			if visit(d) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, w := range from {
+		if w != nil && visit(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// WhenAll invokes fn exactly once, after every listed event is terminal,
+// with the first failure among them (nil if all succeeded). With an
+// empty list it fires immediately on the caller's goroutine.
+func WhenAll(waits []*Event, fn func(error)) {
+	n := 0
+	for _, w := range waits {
+		if w != nil {
+			n++
+		}
+	}
+	if n == 0 {
+		fn(nil)
+		return
+	}
+	var (
+		mu        sync.Mutex
+		remaining = n
+		firstErr  error
+	)
+	for _, w := range waits {
+		if w == nil {
+			continue
+		}
+		w.OnComplete(func(ev *Event) {
+			mu.Lock()
+			if err := ev.Err(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining--
+			ready := remaining == 0
+			err := firstErr
+			mu.Unlock()
+			if ready {
+				fn(err)
+			}
+		})
+	}
+}
+
+// EventGroup tracks a set of in-flight events and blocks until all of
+// them reach a terminal status — the machinery behind both
+// CommandQueue.Finish and accelos App.Finish. The zero value is ready
+// to use.
+type EventGroup struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+// Add registers an event with the group; it leaves the group when it
+// completes (with either outcome).
+func (g *EventGroup) Add(ev *Event) {
+	g.mu.Lock()
+	if g.cond == nil {
+		g.cond = sync.NewCond(&g.mu)
+	}
+	g.n++
+	g.mu.Unlock()
+	ev.OnComplete(func(*Event) {
+		g.mu.Lock()
+		g.n--
+		if g.n == 0 {
+			g.cond.Broadcast()
+		}
+		g.mu.Unlock()
+	})
+}
+
+// Wait blocks until every registered event is terminal.
+func (g *EventGroup) Wait() {
+	g.mu.Lock()
+	for g.n > 0 {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// Pending reports how many registered events are not yet terminal.
+func (g *EventGroup) Pending() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// CheckWaitList rejects wait lists that could never complete because of
+// a dependency cycle, returning ErrCyclicWaitList. The dependency graph
+// is acyclic by construction — command events only ever point at
+// strictly older events, and CompleteWhen (the one source of late
+// edges) fails a cycle-closing event on the spot — so the check is a
+// constant-time scan of the direct wait events for that cycle failure,
+// not a closure walk: enqueueing an N-long dependency chain stays O(N)
+// total.
+func CheckWaitList(waits ...*Event) error {
+	for _, w := range waits {
+		if w == nil {
+			continue
+		}
+		if err := w.Err(); err != nil && errors.Is(err, ErrCyclicWaitList) {
+			return ErrCyclicWaitList
+		}
+	}
+	return nil
+}

@@ -116,6 +116,7 @@ type LaunchHandle struct {
 	total    int64
 	consumed int64
 	done     bool
+	cancel   error // pending abort, applied at the next slice boundary
 	err      error
 }
 
@@ -143,12 +144,15 @@ func NewLaunchHandle(plat *Platform, mod *ir.Module, k *Kernel, nd NDRange, rtWo
 			pool.Release(mach)
 			return nil, fmt.Errorf("opencl: kernel %q argument %d not set", k.Name, i)
 		}
-		if a.buf != nil {
+		switch {
+		case a.buf != nil:
 			r := mach.BindRegion(a.buf.Bytes, ir.Global)
 			args = append(args, interp.Value{K: ir.Pointer, P: interp.Ptr{R: r}})
-			continue
+		case a.localSize > 0:
+			args = append(args, interp.LocalArgV(a.localSize))
+		default:
+			args = append(args, a.val)
 		}
-		args = append(args, a.val)
 	}
 	img := rtlib.EncodeRT(rtWords)
 	r := mach.BindRegion(img, ir.Global)
@@ -230,6 +234,22 @@ func (h *LaunchHandle) Err() error {
 	return h.err
 }
 
+// Cancel requests the execution abort with the given error (e.g. a
+// buffer released out from under the launch). The abort lands at the
+// next slice boundary — never mid-slice, so the machine is released only
+// when idle. Already finished executions ignore it.
+func (h *LaunchHandle) Cancel(err error) {
+	if err == nil {
+		err = fmt.Errorf("opencl: launch cancelled")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done || h.cancel != nil {
+		return
+	}
+	h.cancel = err
+}
+
 // Step executes one slice: it advances the RT descriptor's dequeue
 // cursor to the consumed prefix, sets the slice horizon and chunk, and
 // runs the scheduling kernel with the planned physical work-groups. The
@@ -240,6 +260,12 @@ func (h *LaunchHandle) Step() (done bool, err error) {
 	h.mu.Lock()
 	if h.done {
 		defer h.mu.Unlock()
+		return true, h.err
+	}
+	if h.cancel != nil {
+		defer h.mu.Unlock()
+		h.err = h.cancel
+		h.finishLocked()
 		return true, h.err
 	}
 	phys, chunk, consumed := h.phys, h.chunk, h.consumed

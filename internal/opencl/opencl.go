@@ -11,6 +11,7 @@ package opencl
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/clc"
 	"repro/internal/device"
@@ -52,11 +53,35 @@ type Context struct {
 
 	mu        sync.Mutex
 	allocated int64
+	modelDMA  bool
 }
 
 // CreateContext returns a context on the platform.
 func (p *Platform) CreateContext() *Context {
 	return &Context{Plat: p}
+}
+
+// SetDMAModel enables (or disables) modeled DMA timing on this context's
+// queues: transfer commands then take bytes/PCIeGBps of wall time, with
+// the host CPU idle — as on real hardware, where a DMA engine moves the
+// data. This is what the asynchronous API overlaps with kernel
+// execution; it is off by default so functional tests pay nothing.
+func (c *Context) SetDMAModel(on bool) {
+	c.mu.Lock()
+	c.modelDMA = on
+	c.mu.Unlock()
+}
+
+// dmaDelay returns the modeled DMA wall time for a transfer of n bytes
+// (zero when the model is disabled or the device has no modeled bus).
+func (c *Context) dmaDelay(n int) time.Duration {
+	c.mu.Lock()
+	on := c.modelDMA
+	c.mu.Unlock()
+	if !on || c.Plat == nil || c.Plat.Dev.PCIeGBps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / (c.Plat.Dev.PCIeGBps * 1e9) * float64(time.Second))
 }
 
 // GlobalMemBytes returns the device memory capacity.
@@ -71,7 +96,12 @@ func (c *Context) AllocatedBytes() int64 {
 	return c.allocated
 }
 
-// Buffer is a device memory allocation.
+// Buffer is a device memory allocation. Under the asynchronous API a
+// buffer may have commands in flight at any moment, so its lifetime is
+// refcount-aware: commands pin it while queued or running, Release marks
+// it released immediately but defers the actual free until the last pin
+// drops, and commands touching a released buffer fail with
+// ErrBufferReleased instead of racing on Bytes.
 type Buffer struct {
 	ctx  *Context
 	Size int64
@@ -79,7 +109,11 @@ type Buffer struct {
 	// interpreter machine at launch time.
 	Bytes []byte
 
+	mu       sync.Mutex
+	pins     int
 	released bool
+	freed    bool
+	onFree   func()
 }
 
 // CreateBuffer allocates device memory.
@@ -99,20 +133,97 @@ func (c *Context) CreateBuffer(size int64) (*Buffer, error) {
 // ErrOutOfMemory mirrors CL_MEM_OBJECT_ALLOCATION_FAILURE.
 var ErrOutOfMemory = fmt.Errorf("opencl: device memory exhausted")
 
-// Release frees the buffer's device memory. Buffers constructed outside
-// a context (ctx == nil, e.g. host-side descriptor images) release to
-// nothing instead of faulting.
-func (b *Buffer) Release() {
+// ErrBufferReleased fails commands enqueued on — or still queued when
+// the application released — a buffer.
+var ErrBufferReleased = fmt.Errorf("opencl: buffer released with command in flight")
+
+// Pin takes a command reference on the buffer: the memory stays alive
+// until the matching Unpin even if the application releases the buffer
+// meanwhile. Pinning a released buffer fails.
+func (b *Buffer) Pin() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.released {
+		return ErrBufferReleased
+	}
+	b.pins++
+	return nil
+}
+
+// Unpin drops a command reference; the last Unpin after Release frees
+// the device memory.
+func (b *Buffer) Unpin() {
+	b.mu.Lock()
+	b.pins--
+	free := b.released && b.pins == 0 && !b.freed
+	if free {
+		b.freed = true
+	}
+	b.mu.Unlock()
+	if free {
+		b.free()
+	}
+}
+
+// Released reports whether the application has released the buffer.
+func (b *Buffer) Released() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.released
+}
+
+// Pinned reports how many commands currently hold the buffer (tests and
+// monitoring).
+func (b *Buffer) Pinned() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.pins
+}
+
+// Release marks the buffer released. With no commands in flight the
+// device memory is freed immediately; otherwise the free is deferred to
+// the last Unpin, queued commands fail with ErrBufferReleased when they
+// would run, and new enqueues are rejected. Double release is a no-op.
+// Buffers constructed outside a context (ctx == nil, e.g. host-side
+// descriptor images) release to nothing instead of faulting.
+func (b *Buffer) Release() { b.ReleaseFunc(nil) }
+
+// ReleaseFunc is Release with a hook invoked exactly once when the
+// device memory is actually freed (immediately, or at the last Unpin).
+// Runtime layers use it to mirror their own memory accounting.
+func (b *Buffer) ReleaseFunc(onFree func()) {
+	b.mu.Lock()
+	if b.released {
+		b.mu.Unlock()
 		return
 	}
 	b.released = true
-	if b.ctx == nil {
-		return
+	b.onFree = onFree
+	free := b.pins == 0 && !b.freed
+	if free {
+		b.freed = true
 	}
-	b.ctx.mu.Lock()
-	b.ctx.allocated -= b.Size
-	b.ctx.mu.Unlock()
+	b.mu.Unlock()
+	if free {
+		b.free()
+	}
+}
+
+// free returns the memory to the context's accounting and fires the
+// release hook. Called exactly once, guarded by b.freed.
+func (b *Buffer) free() {
+	if b.ctx != nil {
+		b.ctx.mu.Lock()
+		b.ctx.allocated -= b.Size
+		b.ctx.mu.Unlock()
+	}
+	b.mu.Lock()
+	hook := b.onFree
+	b.onFree = nil
+	b.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
 }
 
 // Program is kernel source plus its build products: the IR module and,
@@ -169,9 +280,10 @@ type Kernel struct {
 }
 
 type arg struct {
-	set bool
-	buf *Buffer
-	val interp.Value
+	set       bool
+	buf       *Buffer
+	localSize int64 // > 0: local-memory argument of this byte size
+	val       interp.Value
 }
 
 // CreateKernel resolves a kernel by name.
@@ -225,67 +337,29 @@ func (k *Kernel) SetArgFloat32(i int, v float32) error {
 	return nil
 }
 
+// SetArgLocal binds a local-memory argument of the given byte size (the
+// clSetKernelArg(size, NULL) form for __local pointer parameters): at
+// launch every work-group receives its own zeroed local region of that
+// size.
+func (k *Kernel) SetArgLocal(i int, size int64) error {
+	if i < 0 || i >= len(k.args) {
+		return fmt.Errorf("opencl: argument index %d out of range", i)
+	}
+	if size <= 0 {
+		return fmt.Errorf("opencl: local argument %d has non-positive size %d", i, size)
+	}
+	k.args[i] = arg{set: true, localSize: size}
+	return nil
+}
+
 // NDRange is a launch geometry.
 type NDRange = interp.NDRange
 
-// CommandQueue executes launches in order.
-type CommandQueue struct {
-	Ctx *Context
-	mu  sync.Mutex
-}
+// ND1 builds a 1-D launch geometry.
+func ND1(global, local int64) NDRange { return interp.ND1(global, local) }
 
-// CreateCommandQueue returns an in-order queue.
-func (c *Context) CreateCommandQueue() *CommandQueue {
-	return &CommandQueue{Ctx: c}
-}
-
-// EnqueueWriteBuffer copies host bytes into a buffer.
-func (q *CommandQueue) EnqueueWriteBuffer(b *Buffer, off int64, data []byte) error {
-	if off < 0 || off+int64(len(data)) > b.Size {
-		return fmt.Errorf("opencl: write outside buffer bounds")
-	}
-	copy(b.Bytes[off:], data)
-	return nil
-}
-
-// EnqueueReadBuffer copies buffer bytes back to the host.
-func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, off int64, out []byte) error {
-	if off < 0 || off+int64(len(out)) > b.Size {
-		return fmt.Errorf("opencl: read outside buffer bounds")
-	}
-	copy(out, b.Bytes[off:])
-	return nil
-}
-
-// EnqueueNDRangeKernel launches the kernel synchronously (the in-order
-// queue model: Finish is implicit per launch). Buffers are bound into
-// the machine zero-copy, so the launch does not pay per-byte copy-in or
-// copy-out and concurrent launches sharing a buffer see each other's
-// writes instead of overwriting them on copy-back.
-func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, nd NDRange) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	pool := fallbackPool
-	if k.Prog.Ctx != nil {
-		pool = k.Prog.Ctx.Plat.Machines()
-	}
-	mach := pool.Acquire(k.Prog.Module)
-	defer pool.Release(mach)
-	mach.UseProgram(k.Prog.Compiled())
-	vals := make([]interp.Value, 0, len(k.args))
-	for i, a := range k.args {
-		if !a.set {
-			return fmt.Errorf("opencl: kernel %q argument %d not set", k.Name, i)
-		}
-		if a.buf != nil {
-			r := mach.BindRegion(a.buf.Bytes, ir.Global)
-			vals = append(vals, interp.Value{K: ir.Pointer, P: interp.Ptr{R: r}})
-			continue
-		}
-		vals = append(vals, a.val)
-	}
-	return mach.Launch(k.Name, vals, nd)
-}
+// ND2 builds a 2-D launch geometry.
+func ND2(gx, gy, lx, ly int64) NDRange { return interp.ND2(gx, gy, lx, ly) }
 
 // LaunchTransformed launches kernel name from an arbitrary (transformed)
 // module with the RT descriptor appended and a reduced physical grid,

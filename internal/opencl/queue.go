@@ -1,0 +1,250 @@
+package opencl
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// CommandQueue is the command half of the asynchronous host API. Every
+// Enqueue* call validates its arguments, snapshots them, and returns an
+// *Event immediately; the command body executes in the background once
+// its wait list completes.
+//
+// Two orderings are supported:
+//
+//   - in-order (CreateCommandQueue): every command implicitly waits on
+//     the previously enqueued command — the classic OpenCL queue, now
+//     just the special case of a wait-list chain;
+//   - out-of-order (CreateOutOfOrderQueue): only explicit wait-list
+//     edges order commands; independent commands run concurrently.
+//
+// Commands on a failed dependency do not run: their event fails with the
+// propagated cause. On an in-order queue that poisons the rest of the
+// chain, exactly like a real device rejecting commands after an error.
+type CommandQueue struct {
+	Ctx *Context
+
+	outOfOrder bool
+
+	mu    sync.Mutex
+	chain *Event // in-order queues: last enqueued command's event
+	group EventGroup
+}
+
+// CreateCommandQueue returns an in-order queue.
+func (c *Context) CreateCommandQueue() *CommandQueue {
+	return &CommandQueue{Ctx: c}
+}
+
+// CreateOutOfOrderQueue returns a queue in out-of-order execution mode:
+// commands are ordered only by their wait lists.
+func (c *Context) CreateOutOfOrderQueue() *CommandQueue {
+	q := c.CreateCommandQueue()
+	q.outOfOrder = true
+	return q
+}
+
+// OutOfOrder reports the queue's execution mode.
+func (q *CommandQueue) OutOfOrder() bool { return q.outOfOrder }
+
+// enqueue is the dispatcher: it records the command's dependency edges
+// (wait list plus, on in-order queues, the implicit chain), rejects
+// cyclic wait lists, pins the buffers the command touches, and releases
+// the command body to a background goroutine once every dependency has
+// completed. It returns the command's event without blocking.
+func (q *CommandQueue) enqueue(what string, bufs []*Buffer, waits []*Event, run func() error) (*Event, error) {
+	deps := compactWaits(waits)
+	q.mu.Lock()
+	if !q.outOfOrder && q.chain != nil {
+		deps = append(deps, q.chain)
+	}
+	if err := CheckWaitList(deps...); err != nil {
+		q.mu.Unlock()
+		return nil, fmt.Errorf("%s: %w", what, err)
+	}
+	pinned := make([]*Buffer, 0, len(bufs))
+	for _, b := range bufs {
+		if err := b.Pin(); err != nil {
+			for _, p := range pinned {
+				p.Unpin()
+			}
+			q.mu.Unlock()
+			return nil, fmt.Errorf("%s: %w", what, err)
+		}
+		pinned = append(pinned, b)
+	}
+	ev := newEvent(deps)
+	if !q.outOfOrder {
+		q.chain = ev
+	}
+	q.group.Add(ev)
+	q.mu.Unlock()
+
+	ev.OnComplete(func(*Event) {
+		for _, b := range pinned {
+			b.Unpin()
+		}
+	})
+
+	WhenAll(deps, func(depErr error) {
+		if depErr != nil {
+			ev.finish(fmt.Errorf("%s: wait-list dependency failed: %w", what, depErr))
+			return
+		}
+		ev.transition(EventSubmitted)
+		go func() {
+			// A buffer released while the command sat in the queue fails
+			// the command instead of touching freed memory.
+			for _, b := range pinned {
+				if b.Released() {
+					ev.finish(fmt.Errorf("%s: %w", what, ErrBufferReleased))
+					return
+				}
+			}
+			ev.transition(EventRunning)
+			err := run()
+			if err != nil {
+				err = fmt.Errorf("%s: %w", what, err)
+			}
+			ev.finish(err)
+		}()
+	})
+	return ev, nil
+}
+
+// EnqueueWrite schedules a host→device copy and returns its event.
+// The data slice must stay untouched until the event completes.
+func (q *CommandQueue) EnqueueWrite(b *Buffer, off int64, data []byte, waits ...*Event) (*Event, error) {
+	if off < 0 || off+int64(len(data)) > b.Size {
+		return nil, fmt.Errorf("opencl: write outside buffer bounds")
+	}
+	return q.enqueue("opencl: write", []*Buffer{b}, waits, func() error {
+		if d := q.Ctx.dmaDelay(len(data)); d > 0 {
+			time.Sleep(d)
+		}
+		copy(b.Bytes[off:], data)
+		return nil
+	})
+}
+
+// EnqueueRead schedules a device→host copy and returns its event. The
+// out slice is filled when the event completes.
+func (q *CommandQueue) EnqueueRead(b *Buffer, off int64, out []byte, waits ...*Event) (*Event, error) {
+	if off < 0 || off+int64(len(out)) > b.Size {
+		return nil, fmt.Errorf("opencl: read outside buffer bounds")
+	}
+	return q.enqueue("opencl: read", []*Buffer{b}, waits, func() error {
+		if d := q.Ctx.dmaDelay(len(out)); d > 0 {
+			time.Sleep(d)
+		}
+		copy(out, b.Bytes[off:])
+		return nil
+	})
+}
+
+// EnqueueKernel schedules a kernel launch and returns its event. The
+// kernel's argument bindings are snapshotted at enqueue time, so the
+// caller may rebind them for the next launch immediately. Buffers are
+// bound into the machine zero-copy when the command runs.
+func (q *CommandQueue) EnqueueKernel(k *Kernel, nd NDRange, waits ...*Event) (*Event, error) {
+	if err := nd.Validate(); err != nil {
+		return nil, err
+	}
+	args := make([]arg, len(k.args))
+	copy(args, k.args)
+	var bufs []*Buffer
+	for i, a := range args {
+		if !a.set {
+			return nil, fmt.Errorf("opencl: kernel %q argument %d not set", k.Name, i)
+		}
+		if a.buf != nil {
+			bufs = append(bufs, a.buf)
+		}
+	}
+	pool := fallbackPool
+	if k.Prog.Ctx != nil {
+		pool = k.Prog.Ctx.Plat.Machines()
+	}
+	mod, name, prog := k.Prog.Module, k.Name, k.Prog.Compiled()
+	return q.enqueue(fmt.Sprintf("opencl: kernel %q", name), bufs, waits, func() error {
+		mach := pool.Acquire(mod)
+		defer pool.Release(mach)
+		mach.UseProgram(prog)
+		vals := make([]interp.Value, 0, len(args))
+		for _, a := range args {
+			switch {
+			case a.buf != nil:
+				r := mach.BindRegion(a.buf.Bytes, ir.Global)
+				vals = append(vals, interp.Value{K: ir.Pointer, P: interp.Ptr{R: r}})
+			case a.localSize > 0:
+				vals = append(vals, interp.LocalArgV(a.localSize))
+			default:
+				vals = append(vals, a.val)
+			}
+		}
+		return mach.Launch(name, vals, nd)
+	})
+}
+
+// EnqueueMarker returns an event that completes when every event in the
+// wait list has completed (on an in-order queue, also every previously
+// enqueued command) — a join point for fan-in dependency graphs.
+func (q *CommandQueue) EnqueueMarker(waits ...*Event) (*Event, error) {
+	return q.enqueue("opencl: marker", nil, waits, func() error { return nil })
+}
+
+// Flush returns once every enqueued command has been issued to the
+// dispatcher. Commands are dispatched eagerly at enqueue time, so Flush
+// is complete by construction; it exists for call-shape compatibility.
+func (q *CommandQueue) Flush() {}
+
+// Finish blocks until every command enqueued so far has reached a
+// terminal status and returns nil; per-command errors are reported on
+// the commands' own events. A wait list referencing a user event that is
+// never completed blocks Finish — cyclic wait lists, which could never
+// complete, are rejected at enqueue time instead.
+func (q *CommandQueue) Finish() error {
+	q.group.Wait()
+	return nil
+}
+
+// Pending reports how many enqueued commands have not yet completed.
+func (q *CommandQueue) Pending() int {
+	return q.group.Pending()
+}
+
+// --- blocking wrappers (the pre-event API call shapes) ----------------
+
+// EnqueueWriteBuffer copies host bytes into a buffer, blocking until the
+// copy completes (thin wrapper over EnqueueWrite + Wait).
+func (q *CommandQueue) EnqueueWriteBuffer(b *Buffer, off int64, data []byte) error {
+	ev, err := q.EnqueueWrite(b, off, data)
+	if err != nil {
+		return err
+	}
+	return ev.Wait()
+}
+
+// EnqueueReadBuffer copies buffer bytes back to the host, blocking until
+// the copy completes (thin wrapper over EnqueueRead + Wait).
+func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, off int64, out []byte) error {
+	ev, err := q.EnqueueRead(b, off, out)
+	if err != nil {
+		return err
+	}
+	return ev.Wait()
+}
+
+// EnqueueNDRangeKernel launches the kernel and blocks until it completes
+// (thin wrapper over EnqueueKernel + Wait).
+func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, nd NDRange) error {
+	ev, err := q.EnqueueKernel(k, nd)
+	if err != nil {
+		return err
+	}
+	return ev.Wait()
+}

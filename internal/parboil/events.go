@@ -1,0 +1,128 @@
+package parboil
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/clc"
+	"repro/internal/opencl"
+)
+
+// VerifyHostAPI runs the kernel's verification launch through the
+// event-based OpenCL host API — context buffers, an out-of-order
+// command queue, and wait-list edges (uploads → kernel → read-backs) —
+// and compares every argument buffer byte for byte against the
+// machine-level native reference (RunNative). It is the end-to-end
+// check that the asynchronous command path preserves the semantics of
+// the direct interpreter launch.
+func (k *Kernel) VerifyHostAPI() error {
+	native, err := k.RunNative()
+	if err != nil {
+		return fmt.Errorf("%s: native run: %w", k.FullName(), err)
+	}
+	mod, err := clc.Compile(k.Source, k.Name)
+	if err != nil {
+		return fmt.Errorf("%s: compile: %w", k.FullName(), err)
+	}
+	ctx := opencl.GetPlatforms()[0].CreateContext()
+	prog := &opencl.Program{Ctx: ctx, Module: mod}
+	cl, err := prog.CreateKernel(k.Name)
+	if err != nil {
+		return fmt.Errorf("%s: %w", k.FullName(), err)
+	}
+	spec := k.Setup()
+	q := ctx.CreateOutOfOrderQueue()
+
+	// Upload every array argument asynchronously; the kernel waits on
+	// all of the uploads through its wait list.
+	var uploads []*opencl.Event
+	bufs := make([]*opencl.Buffer, len(spec.Args))
+	for i, a := range spec.Args {
+		if a.Scalar != nil {
+			if err := cl.SetArgInt32(i, int32(*a.Scalar)); err != nil {
+				return err
+			}
+			continue
+		}
+		host := encodeArg(a)
+		if host == nil {
+			return fmt.Errorf("%s: argument %q has no value", k.FullName(), a.Name)
+		}
+		b, err := ctx.CreateBuffer(int64(len(host)))
+		if err != nil {
+			return fmt.Errorf("%s: buffer %q: %w", k.FullName(), a.Name, err)
+		}
+		bufs[i] = b
+		ev, err := q.EnqueueWrite(b, 0, host)
+		if err != nil {
+			return fmt.Errorf("%s: write %q: %w", k.FullName(), a.Name, err)
+		}
+		uploads = append(uploads, ev)
+		if err := cl.SetArgBuffer(i, b); err != nil {
+			return err
+		}
+	}
+	nd := opencl.NDRange{Dims: spec.Dims, Global: spec.Global, Local: spec.Local}
+	kev, err := q.EnqueueKernel(cl, nd, uploads...)
+	if err != nil {
+		return fmt.Errorf("%s: enqueue: %w", k.FullName(), err)
+	}
+	// Read every buffer back behind the kernel and compare.
+	outs := make([][]byte, len(spec.Args))
+	var reads []*opencl.Event
+	for i, b := range bufs {
+		if b == nil {
+			continue
+		}
+		outs[i] = make([]byte, b.Size)
+		ev, err := q.EnqueueRead(b, 0, outs[i], kev)
+		if err != nil {
+			return fmt.Errorf("%s: read %q: %w", k.FullName(), spec.Args[i].Name, err)
+		}
+		reads = append(reads, ev)
+	}
+	if err := opencl.WaitAll(reads...); err != nil {
+		return fmt.Errorf("%s: pipeline: %w", k.FullName(), err)
+	}
+	if err := q.Finish(); err != nil {
+		return err
+	}
+	for i := range spec.Args {
+		if outs[i] == nil {
+			continue
+		}
+		if !bytes.Equal(native[i], outs[i]) {
+			return fmt.Errorf("%s: buffer %d (%s) differs between native and host-API execution",
+				k.FullName(), i, spec.Args[i].Name)
+		}
+	}
+	return nil
+}
+
+// encodeArg renders an array argument's initial contents as little-
+// endian bytes (nil for scalars).
+func encodeArg(a Arg) []byte {
+	switch {
+	case a.I32 != nil:
+		out := make([]byte, 4*len(a.I32))
+		for i, v := range a.I32 {
+			binary.LittleEndian.PutUint32(out[i*4:], uint32(v))
+		}
+		return out
+	case a.F32 != nil:
+		out := make([]byte, 4*len(a.F32))
+		for i, v := range a.F32 {
+			binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+		}
+		return out
+	case a.I64 != nil:
+		out := make([]byte, 8*len(a.I64))
+		for i, v := range a.I64 {
+			binary.LittleEndian.PutUint64(out[i*8:], uint64(v))
+		}
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package parboil
+
+import "testing"
+
+// TestHostAPIEquivalence runs every Parboil kernel's verification
+// launch through the event-based host API (async uploads → kernel →
+// async read-backs on an out-of-order queue) and requires bit-identical
+// buffers against the direct interpreter launch.
+func TestHostAPIEquivalence(t *testing.T) {
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.FullName(), func(t *testing.T) {
+			t.Parallel()
+			if err := k.VerifyHostAPI(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
