@@ -199,20 +199,24 @@ func BenchmarkJITTransform(b *testing.B) {
 	}
 }
 
-// benchEngines names the two interpreter engines: "treewalk" is the
-// pre-VM reference (the before of the perf record), "vm" the compiled
-// bytecode engine.
+// benchEngines names the interpreter variants of the perf record:
+// "vm" is the bytecode engine behind the full O1 pipeline plus
+// superinstruction fusion (the default compile), "vm-O0" the same
+// engine on unoptimized bytecode (the PR 3 baseline), and "treewalk"
+// the pre-VM tree-walking reference.
 var benchEngines = []struct {
 	name string
 	eng  interp.Engine
+	opts interp.CompileOpts
 }{
-	{"vm", interp.EngineVM},
-	{"treewalk", interp.EngineTreeWalk},
+	{"vm", interp.EngineVM, interp.DefaultCompileOpts},
+	{"vm-O0", interp.EngineVM, interp.CompileOpts{Disable: []string{"fuse"}}},
+	{"treewalk", interp.EngineTreeWalk, interp.CompileOpts{}},
 }
 
 // BenchmarkInterpLaunch measures functional kernel execution on the
 // interpreter (one 4096-item sad launch), compiled once and launched
-// per iteration, on both engines.
+// per iteration, on every engine variant.
 func BenchmarkInterpLaunch(b *testing.B) {
 	k, err := parboil.ByName("sad/larger_sad_calc_8")
 	if err != nil {
@@ -224,6 +228,7 @@ func BenchmarkInterpLaunch(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			pl.Mach.UseProgram(interp.CompileModuleOpts(pl.Mach.Mod, e.opts))
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -255,6 +260,7 @@ kernel void spin(global int* out)
 		b.Run(e.name, func(b *testing.B) {
 			m := interp.NewMachine(mod)
 			m.Engine = e.eng
+			m.UseProgram(interp.CompileModuleOpts(mod, e.opts))
 			out := m.NewRegion(4, ir.Global)
 			args := []interp.Value{{K: ir.Pointer, P: interp.Ptr{R: out}}}
 			nd := interp.ND1(1, 1)

@@ -33,11 +33,15 @@ import (
 	"time"
 
 	"repro/internal/accelos"
+	"repro/internal/clc"
 	"repro/internal/cluster"
 	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/ir"
 	"repro/internal/metrics"
 	"repro/internal/opencl"
+	"repro/internal/parboil"
+	"repro/internal/passes"
 )
 
 func main() {
@@ -53,8 +57,17 @@ func main() {
 	tenants := flag.Int("tenants", 3, "cluster experiment: concurrent applications")
 	perTenant := flag.Int("per-tenant", 4, "cluster experiment: kernel requests per application")
 	chains := flag.Int("chains", 8, "live experiment: independent kernel+transfer pipelines")
+	dumpIR := flag.String("dump-ir", "", "print a named Parboil kernel's IR before and after the O1 pipeline, then exit (e.g. -dump-ir sad/larger_sad_calc_8)")
+	disable := flag.String("disable-pass", "", "comma-separated O1 passes to skip with -dump-ir (mem2reg, constfold, dce, simplifycfg)")
 	flag.Parse()
 
+	if *dumpIR != "" {
+		if err := runDumpIR(*dumpIR, *disable); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
 	if *exp == "cluster" {
 		if err := runCluster(*devices, *policy, *tenants, *perTenant); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -144,6 +157,41 @@ func main() {
 }
 
 var schemes = []experiments.Scheme{experiments.Baseline, experiments.EK, experiments.AccelOS}
+
+// runDumpIR prints a kernel's IR before and after the VM's O1
+// optimization pipeline — the inspection tool for the per-pass disable
+// knob (skip a pass and diff the output to see what it contributed).
+func runDumpIR(name, disable string) error {
+	k, err := parboil.ByName(name)
+	if err != nil {
+		return err
+	}
+	mod, err := clc.Compile(k.Source, k.Name)
+	if err != nil {
+		return err
+	}
+	var skip []string
+	for _, p := range strings.Split(disable, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			skip = append(skip, p)
+		}
+	}
+	fmt.Printf("--- %s: pre-pipeline IR (clc -O0 memory form) ---\n\n", name)
+	fmt.Println(mod.String())
+	opt := ir.CloneModule(mod)
+	if err := passes.RunO1(opt, skip...); err != nil {
+		return fmt.Errorf("O1 pipeline: %w", err)
+	}
+	pipeline := "mem2reg + constfold + dce + simplifycfg"
+	if len(skip) > 0 {
+		pipeline += " minus " + strings.Join(skip, ",")
+	}
+	fmt.Printf("--- %s: post-pipeline IR (%s) ---\n\n", name, pipeline)
+	fmt.Println(opt.String())
+	pre, post := mod.Lookup(k.Name), opt.Lookup(k.Name)
+	fmt.Printf("kernel %s: %d -> %d instructions\n", k.Name, pre.NumInstrs(), post.NumInstrs())
+	return nil
+}
 
 // runCluster sweeps the cluster scheduler: one row per placement
 // policy, with and without rebalancing.
@@ -257,6 +305,7 @@ kernel void strided(global float* d, int n, int stride, int iters)
 
 	asyncStart := time.Now()
 	tails := make([]*opencl.Event, 0, len(cs))
+	events := make([]*opencl.Event, 0, 3*len(cs))
 	for _, c := range cs {
 		wev, err := c.buf.WriteAsync(0, c.host)
 		if err != nil {
@@ -271,6 +320,7 @@ kernel void strided(global float* d, int n, int stride, int iters)
 			return err
 		}
 		tails = append(tails, rev)
+		events = append(events, wev, kev, rev)
 	}
 	app.Finish()
 	async := time.Since(asyncStart)
@@ -278,11 +328,24 @@ kernel void strided(global float* d, int n, int stride, int iters)
 		return fmt.Errorf("async pipeline failed: %w", err)
 	}
 
+	// Measured overlap from the events' own profiling timestamps (the
+	// clGetEventProfilingInfo analogue): the sum of command execution
+	// spans against the pipeline's wall time. 1.00x means fully serial;
+	// anything above is work the wait-list window genuinely overlapped.
+	var busy, queued time.Duration
+	for _, ev := range events {
+		p := ev.ProfilingInfo()
+		busy += p.Duration()
+		queued += p.QueueDelay()
+	}
 	st := rt.Stats()
 	fmt.Printf("--- live: %d independent write→kernel→read pipelines, one app ---\n", chains)
 	fmt.Printf("serial (blocking wrappers):   %12v\n", serial)
 	fmt.Printf("async  (wait-list edges):     %12v\n", async)
 	fmt.Printf("throughput gain:              %11.2fx\n", float64(serial)/float64(async))
+	fmt.Printf("measured overlap (profiling): %11.2fx  (%v command time in %v wall)\n",
+		float64(busy)/float64(async), busy.Round(time.Millisecond), async.Round(time.Millisecond))
+	fmt.Printf("mean wait-list queue delay:   %12v\n", (queued / time.Duration(len(events))).Round(time.Microsecond))
 	fmt.Printf("runtime: %d launches, %d re-plans, %d wait-deferred\n",
 		st.KernelsLaunched, st.Replans, st.WaitDeferred)
 	return nil

@@ -11,7 +11,13 @@
 //
 // -require makes the conversion fail unless every listed name substring
 // matched at least one benchmark, so a CI job cannot silently record an
-// empty or mis-filtered run.
+// empty or mis-filtered run. -require-ratio enforces speedup floors
+// between two benchmarks of the same record ('slow:fast>=min'), the
+// machine-independent way CI guards the interpreter optimization
+// pipeline's >=3x BenchmarkDispatch win:
+//
+//	go run ./cmd/benchjson \
+//	    -require-ratio 'BenchmarkDispatch/vm-O0:BenchmarkDispatch/vm>=3'
 package main
 
 import (
@@ -50,6 +56,8 @@ func main() {
 	out := flag.String("out", "-", "JSON destination ('-' for stdout)")
 	note := flag.String("note", "", "free-form note stored in the record")
 	require := flag.String("require", "", "comma-separated name substrings that must each match a benchmark")
+	requireRatio := flag.String("require-ratio", "",
+		"comma-separated 'slow:fast>=min' specs; fails unless ns/op(slow)/ns/op(fast) >= min within this record (a machine-independent speedup guard)")
 	flag.Parse()
 
 	var src io.Reader = os.Stdin
@@ -66,6 +74,9 @@ func main() {
 		fatal(err)
 	}
 	if err := checkRequired(rec, *require); err != nil {
+		fatal(err)
+	}
+	if err := checkRatios(rec, *requireRatio); err != nil {
 		fatal(err)
 	}
 	rec.Note = *note
@@ -107,6 +118,61 @@ func checkRequired(rec *Record, require string) error {
 		if !found {
 			return fmt.Errorf("required benchmark %q not found in input", want)
 		}
+	}
+	return nil
+}
+
+// checkRatios enforces 'slow:fast>=min' speedup floors within the
+// record: the named benchmarks are matched exactly (after the
+// -GOMAXPROCS strip) and ns/op(slow)/ns/op(fast) must reach min. CI
+// uses it to guard optimization-pipeline speedups without depending on
+// the runner's absolute clock: both sides ran on the same machine in
+// the same job.
+func checkRatios(rec *Record, specs string) error {
+	for _, spec := range strings.Split(specs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		names, minStr, ok := strings.Cut(spec, ">=")
+		if !ok {
+			return fmt.Errorf("bad ratio spec %q: want 'slow:fast>=min'", spec)
+		}
+		slowName, fastName, ok := strings.Cut(names, ":")
+		if !ok {
+			return fmt.Errorf("bad ratio spec %q: want 'slow:fast>=min'", spec)
+		}
+		min, err := strconv.ParseFloat(strings.TrimSpace(minStr), 64)
+		if err != nil {
+			return fmt.Errorf("bad ratio bound in %q: %v", spec, err)
+		}
+		find := func(name string) (Result, error) {
+			name = strings.TrimSpace(name)
+			for _, b := range rec.Benchmarks {
+				if b.Name == name {
+					return b, nil
+				}
+			}
+			return Result{}, fmt.Errorf("benchmark %q not found for ratio check", name)
+		}
+		slow, err := find(slowName)
+		if err != nil {
+			return err
+		}
+		fast, err := find(fastName)
+		if err != nil {
+			return err
+		}
+		if fast.NsPerOp <= 0 {
+			return fmt.Errorf("benchmark %q has no ns/op", fast.Name)
+		}
+		ratio := slow.NsPerOp / fast.NsPerOp
+		if ratio < min {
+			return fmt.Errorf("ratio %s/%s = %.2f, below required %.2f",
+				slow.Name, fast.Name, ratio, min)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: ratio %s/%s = %.2fx (>= %.2f ok)\n",
+			slow.Name, fast.Name, ratio, min)
 	}
 	return nil
 }

@@ -14,6 +14,10 @@ import (
 // on the K20m model the §3 plan is then capped by local memory far
 // below the virtual group count, leaving the share room to grow when a
 // co-resident kernel completes.
+// The spin loop keeps the kernel long-running relative to the O1
+// bytecode VM (the tests below need its slices to still be in flight
+// while a peer arrives); `acc & 0` contributes nothing to the output
+// but keeps the loop live through mem2reg + DCE.
 const churnSrc = `
 kernel void churn(global int* out, int n)
 {
@@ -22,7 +26,10 @@ kernel void churn(global int* out, int n)
     scratch[l] = l;
     barrier(1);
     int i = (int)get_global_id(0);
-    if (i < n) out[i] = out[i] + scratch[l] + 1;
+    int acc = 0;
+    int t;
+    for (t = 0; t < 300; ++t) acc += (i + t) & 7;
+    if (i < n) out[i] = out[i] + scratch[l] + 1 + (acc & 0);
 }
 `
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/opencl"
+	"repro/internal/passes"
 	"repro/internal/rtlib"
 	"repro/internal/sim"
 )
@@ -274,10 +275,22 @@ func (rt *Runtime) jitProgram(req *Request) error {
 	p.orig = orig
 	p.trans = res.Module
 	p.infos = res.Kernels
-	// Lower the transformed module to interpreter bytecode now, while
-	// the application is still in its build phase: kernel launches (and
-	// every re-planned slice) then start on a cache hit.
-	interp.SharedProgram(p.trans)
+	// Run the O1 optimization pipeline (mem2reg + constfold + dce +
+	// simplifycfg) over a clone of the transformed module and adopt it
+	// on success: the scheduling wrapper's dequeue loop and the
+	// computation function both shed their alloca traffic before any
+	// slice executes. The clone matters — the pipeline mutates
+	// pass-by-pass, so a mid-pipeline failure must not leave the app's
+	// module half-transformed; on error the intact memory-form module
+	// stays in service.
+	if opt := ir.CloneModule(p.trans); passes.RunO1(opt) == nil {
+		p.trans = opt
+		// Bytecode lowering would re-run the pipeline on a private
+		// clone; the module is already in optimized form, so skip it.
+		interp.ShareProgram(interp.CompileModuleOpts(p.trans, interp.CompileOpts{}))
+	} else {
+		interp.SharedProgram(p.trans)
+	}
 	rt.statsMu.Lock()
 	rt.stats.ProgramsJITed++
 	rt.statsMu.Unlock()
@@ -387,6 +400,9 @@ func (rt *Runtime) abandon(rec *launchRec, err error) {
 // runtime through the placement policy and pool admission control, on a
 // single device straight to the sliced launch path.
 func (rt *Runtime) admit(rec *launchRec) {
+	// The wait list just drained: the command leaves the pending window
+	// for the scheduler proper (profiling's queued→submitted boundary).
+	rec.ev.MarkSubmitted()
 	if rt.pool != nil {
 		// Cluster path: the placement policy routes the request to a
 		// pool member. The record is parked BEFORE Submit so that every

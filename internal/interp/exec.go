@@ -327,19 +327,41 @@ func (fr *frame) callDepth(fn *ir.Function, args []Value, depth int) Value {
 // run executes the body of fn in this frame. The instruction budget is
 // the launch-global one carried by the work-item context, so nested
 // frames cannot reset it.
+//
+// Phis at a block head read their incoming values in parallel before
+// any of them is assigned (classic phi semantics: a swap of two phis
+// must not see a half-updated state), selected by the edge the control
+// transfer arrived on.
 func (fr *frame) run(fn *ir.Function, depth int) Value {
 	blk := fn.Entry()
+	var prev *ir.Block
 	for {
-		for _, in := range blk.Instrs {
+		phis := blk.Phis()
+		if n := len(phis); n > 0 {
+			var buf [8]Value
+			vals := buf[:0]
+			for _, phi := range phis {
+				fr.wi.step()
+				src := phi.IncomingFor(prev)
+				if src == nil {
+					panic(trap{fmt.Sprintf("phi in %s has no incoming for the edge taken", blk.Name)})
+				}
+				vals = append(vals, fr.eval(src))
+			}
+			for i, phi := range phis {
+				fr.env[phi] = vals[i]
+			}
+		}
+		for _, in := range blk.Instrs[len(phis):] {
 			fr.wi.step()
 			switch in.Op {
 			case ir.OpBr:
-				blk = in.Then
+				prev, blk = blk, in.Then
 			case ir.OpCondBr:
 				if fr.eval(in.Args[0]).Bool() {
-					blk = in.Then
+					prev, blk = blk, in.Then
 				} else {
-					blk = in.Else
+					prev, blk = blk, in.Else
 				}
 			case ir.OpRet:
 				if len(in.Args) == 0 {

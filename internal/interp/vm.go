@@ -110,10 +110,14 @@ type vmGroup struct {
 // flushes to the launch-global instruction budget.
 const stepBatch = 4096
 
-// launchVM runs the kernel over a bounded worker pool: each worker
-// claims work-group linear indices from an atomic cursor and runs them
-// to completion. The first faulting group (in linear order) wins error
-// reporting, as under the old sequential group loop.
+// launchVM runs the kernel's work-groups on persistent workers: the
+// claim loop pulls work-group linear indices from an atomic cursor and
+// runs them to completion. The launching goroutine always runs a claim
+// loop itself; up to workers-1 helpers are borrowed from the machine's
+// WorkerPool (no goroutine is ever spawned per launch — tiny slices on
+// pooled machines used to pay GOMAXPROCS spawns each). The first
+// faulting group (in linear order) wins error reporting, as under the
+// old sequential group loop.
 func (m *Machine) launchVM(fn *ir.Function, args []Value, locals []localArg, nd NDRange) error {
 	prog := m.Program()
 	kcf := prog.fns[fn.Name]
@@ -145,34 +149,126 @@ func (m *Machine) launchVM(fn *ir.Function, args []Value, locals []localArg, nd 
 		bestErr error
 		wg      sync.WaitGroup
 	)
-	for w := int64(0); w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			gr := runnerPool.Get().(*groupRunner)
-			defer runnerPool.Put(gr)
-			for !abort.Load() {
-				i := next.Add(1) - 1
-				if i >= total {
-					return
-				}
-				if err := l.runGroupVM(gr, delinearize(i, l.ng)); err != nil {
-					mu.Lock()
-					if bestIdx < 0 || i < bestIdx {
-						bestIdx, bestErr = i, err
-					}
-					mu.Unlock()
-					abort.Store(true)
-				}
+	claim := func() {
+		gr := runnerPool.Get().(*groupRunner)
+		defer runnerPool.Put(gr)
+		for !abort.Load() {
+			i := next.Add(1) - 1
+			if i >= total {
+				return
 			}
-		}()
+			if err := l.runGroupVM(gr, delinearize(i, l.ng)); err != nil {
+				mu.Lock()
+				if bestIdx < 0 || i < bestIdx {
+					bestIdx, bestErr = i, err
+				}
+				mu.Unlock()
+				abort.Store(true)
+			}
+		}
 	}
+	pool := m.Workers
+	if pool == nil {
+		pool = defaultWorkers()
+	}
+	for w := int64(1); w < workers; w++ {
+		wg.Add(1)
+		if !pool.TrySubmit(func() { defer wg.Done(); claim() }) {
+			// Every worker is busy with other launches; their claim
+			// loops drain those first, so run this launch here instead
+			// of queueing behind them.
+			wg.Done()
+			break
+		}
+	}
+	claim()
 	wg.Wait()
 	return bestErr
 }
 
 func delinearize(i int64, ng [3]int64) [3]int64 {
 	return [3]int64{i % ng[0], (i / ng[0]) % ng[1], i / (ng[0] * ng[1])}
+}
+
+// fastBin is binOp over register pointers: identical semantics (the
+// parity suite holds the two engines byte-identical), but the operands
+// stay in place instead of being copied through a call frame.
+func fastBin(k ir.BinKind, kind ir.Kind, x, y *Value) Value {
+	if k >= ir.FAdd {
+		var r float64
+		switch k {
+		case ir.FAdd:
+			r = x.F + y.F
+		case ir.FSub:
+			r = x.F - y.F
+		case ir.FMul:
+			r = x.F * y.F
+		case ir.FDiv:
+			r = x.F / y.F
+		}
+		if kind == ir.F32 {
+			r = float64(float32(r))
+		}
+		return Value{K: kind, F: r}
+	}
+	var r int64
+	switch k {
+	case ir.Add:
+		r = x.I + y.I
+	case ir.Sub:
+		r = x.I - y.I
+	case ir.Mul:
+		r = x.I * y.I
+	case ir.SDiv:
+		if y.I == 0 {
+			panic(trap{"integer division by zero"})
+		}
+		r = x.I / y.I
+	case ir.SRem:
+		if y.I == 0 {
+			panic(trap{"integer remainder by zero"})
+		}
+		r = x.I % y.I
+	case ir.And:
+		r = x.I & y.I
+	case ir.Or:
+		r = x.I | y.I
+	case ir.Xor:
+		r = x.I ^ y.I
+	case ir.Shl:
+		r = x.I << uint64(y.I&63)
+	case ir.AShr:
+		r = x.I >> uint64(y.I&63)
+	}
+	switch kind {
+	case ir.Bool:
+		r &= 1
+	case ir.I32:
+		r = int64(int32(r))
+	}
+	return Value{K: kind, I: r}
+}
+
+// fastCmp is cmpOp over register pointers, returning the bare verdict.
+func fastCmp(p ir.CmpPred, x, y *Value) bool {
+	if !p.IsFloatPred() && x.K != ir.Pointer {
+		xi, yi := x.I, y.I
+		switch p {
+		case ir.IEQ:
+			return xi == yi
+		case ir.INE:
+			return xi != yi
+		case ir.ILT:
+			return xi < yi
+		case ir.ILE:
+			return xi <= yi
+		case ir.IGT:
+			return xi > yi
+		case ir.IGE:
+			return xi >= yi
+		}
+	}
+	return cmpOp(p, *x, *y).Bool()
 }
 
 // runGroupVM executes one work-group cooperatively: every live work-item
@@ -325,9 +421,65 @@ func (g *vmGroup) exec(wi *wiState) {
 			}
 			regs[in.dst] = Value{K: ir.Pointer, P: Ptr{R: base.R, Off: base.Off + in.imm}}
 		case opBin:
-			regs[in.dst] = binOp(ir.BinKind(in.sub), kindTypes[in.kind], regs[in.a], regs[in.b])
+			// The arithmetic is inlined rather than delegated to the
+			// shared binOp helper: after mem2reg the hot loops are almost
+			// pure register arithmetic, and marshalling two 48-byte
+			// Values through a call dominated the dispatch cost.
+			regs[in.dst] = fastBin(ir.BinKind(in.sub), in.kind, &regs[in.a], &regs[in.b])
 		case opCmp:
-			regs[in.dst] = cmpOp(ir.CmpPred(in.sub), regs[in.a], regs[in.b])
+			regs[in.dst] = BoolV(fastCmp(ir.CmpPred(in.sub), &regs[in.a], &regs[in.b]))
+		case opMove:
+			regs[in.dst] = regs[in.a]
+		case opAddI32:
+			regs[in.dst] = Value{K: ir.I32, I: int64(int32(regs[in.a].I + regs[in.b].I))}
+		case opSubI32:
+			regs[in.dst] = Value{K: ir.I32, I: int64(int32(regs[in.a].I - regs[in.b].I))}
+		case opMulI32:
+			regs[in.dst] = Value{K: ir.I32, I: int64(int32(regs[in.a].I * regs[in.b].I))}
+		case opAndI32:
+			regs[in.dst] = Value{K: ir.I32, I: int64(int32(regs[in.a].I & regs[in.b].I))}
+		case opOrI32:
+			regs[in.dst] = Value{K: ir.I32, I: int64(int32(regs[in.a].I | regs[in.b].I))}
+		case opXorI32:
+			regs[in.dst] = Value{K: ir.I32, I: int64(int32(regs[in.a].I ^ regs[in.b].I))}
+		case opAddI64:
+			regs[in.dst] = Value{K: ir.I64, I: regs[in.a].I + regs[in.b].I}
+		case opAddF32:
+			regs[in.dst] = Value{K: ir.F32, F: float64(float32(regs[in.a].F + regs[in.b].F))}
+		case opSubF32:
+			regs[in.dst] = Value{K: ir.F32, F: float64(float32(regs[in.a].F - regs[in.b].F))}
+		case opMulF32:
+			regs[in.dst] = Value{K: ir.F32, F: float64(float32(regs[in.a].F * regs[in.b].F))}
+		case opDivF32:
+			regs[in.dst] = Value{K: ir.F32, F: float64(float32(regs[in.a].F / regs[in.b].F))}
+		case opCmpJump:
+			if fastCmp(ir.CmpPred(in.sub), &regs[in.a], &regs[in.b]) {
+				pc = in.c
+			} else {
+				pc = int32(in.imm)
+			}
+		case opBinStore:
+			m.store(kindTypes[in.kind], binOp(ir.BinKind(in.sub), kindTypes[in.kind], regs[in.a], regs[in.b]), regs[in.c].P)
+		case opLoadBinStore:
+			t := kindTypes[in.kind]
+			v := m.load(t, regs[in.a].P)
+			x := regs[in.b]
+			if in.sub&lbsSwapped != 0 {
+				v, x = x, v
+			}
+			m.store(t, binOp(ir.BinKind(in.sub&^lbsSwapped), t, v, x), regs[in.c].P)
+		case opLoadIdx:
+			base := regs[in.a].P
+			if base.IsNull() {
+				panic(trap{"gep on null pointer"})
+			}
+			regs[in.dst] = m.load(kindTypes[in.kind], Ptr{R: base.R, Off: base.Off + regs[in.b].I*in.imm})
+		case opLoadOff:
+			base := regs[in.a].P
+			if base.IsNull() {
+				panic(trap{"gep on null pointer"})
+			}
+			regs[in.dst] = m.load(kindTypes[in.kind], Ptr{R: base.R, Off: base.Off + in.imm})
 		case opCast:
 			regs[in.dst] = castOp(ir.CastKind(in.sub), kindTypes[in.kind], regs[in.a])
 		case opSelect:

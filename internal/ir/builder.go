@@ -99,6 +99,13 @@ func (b *Builder) Barrier(scope int) *Instr {
 	return b.emit(&Instr{Op: OpBarrier, Ty: VoidT, Scope: scope})
 }
 
+// Phi emits an empty phi of the given type at the insertion point; arms
+// are added with AddIncoming. Phis are only valid at a block's head,
+// with exactly one arm per predecessor.
+func (b *Builder) Phi(ty *Type) *Instr {
+	return b.emit(&Instr{Op: OpPhi, Ty: ty})
+}
+
 // Br emits an unconditional branch.
 func (b *Builder) Br(dst *Block) *Instr {
 	return b.emit(&Instr{Op: OpBr, Ty: VoidT, Then: dst})

@@ -79,6 +79,12 @@ func CloneFunction(f *Function) *Function {
 			if in.Else != nil {
 				ni.Else = blockMap[in.Else]
 			}
+			if len(in.Incoming) > 0 {
+				ni.Incoming = make([]*Block, len(in.Incoming))
+				for i, ib := range in.Incoming {
+					ni.Incoming[i] = blockMap[ib]
+				}
+			}
 		}
 	}
 	return nf

@@ -19,6 +19,7 @@ const (
 	OpBr                    // unconditional branch to Then
 	OpCondBr                // conditional branch on Args[0] to Then / Else
 	OpRet                   // return Args[0] (or void if none)
+	OpPhi                   // SSA phi: Args[i] flows in from Incoming[i]
 )
 
 // BinKind identifies a binary arithmetic operation.
@@ -137,6 +138,13 @@ type Instr struct {
 	Then *Block // OpBr / OpCondBr true target
 	Else *Block // OpCondBr false target
 
+	// Incoming parallels Args for OpPhi: Args[i] is the value the phi
+	// takes when control enters through an edge from Incoming[i]. Phis
+	// appear only at the head of a block, one incoming per predecessor;
+	// all of a block's phis read their sources simultaneously on edge
+	// entry (parallel-copy semantics).
+	Incoming []*Block
+
 	name string // printable SSA name, assigned by the numbering pass
 	blk  *Block
 }
@@ -176,4 +184,21 @@ func (in *Instr) IsTerminator() bool {
 // HasResult reports whether the instruction produces a value.
 func (in *Instr) HasResult() bool {
 	return in.Ty != nil && in.Ty.Kind != Void
+}
+
+// AddIncoming appends one (value, predecessor) pair to an OpPhi.
+func (in *Instr) AddIncoming(v Value, from *Block) {
+	in.Args = append(in.Args, v)
+	in.Incoming = append(in.Incoming, from)
+}
+
+// IncomingFor returns the phi operand flowing in from pred, or nil if
+// the phi has no entry for that block.
+func (in *Instr) IncomingFor(pred *Block) Value {
+	for i, b := range in.Incoming {
+		if b == pred {
+			return in.Args[i]
+		}
+	}
+	return nil
 }

@@ -324,3 +324,109 @@ func TestCloneIsDeepProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// buildDiamondPhi constructs entry -> (then|else) -> merge with a phi in
+// merge selecting 1 or 2.
+func buildDiamondPhi(m *Module) *Function {
+	f := m.NewFunction("dia", I32T, &Param{Nam: "c", Ty: BoolT, Idx: 0})
+	b := NewBuilder(f)
+	thenB := b.NewBlock("then")
+	elseB := b.NewBlock("else")
+	merge := b.NewBlock("merge")
+	b.CondBr(f.Params[0], thenB, elseB)
+	b.SetInsert(thenB)
+	b.Br(merge)
+	b.SetInsert(elseB)
+	b.Br(merge)
+	b.SetInsert(merge)
+	phi := b.Phi(I32T)
+	phi.AddIncoming(CI(1), thenB)
+	phi.AddIncoming(CI(2), elseB)
+	b.Ret(phi)
+	return f
+}
+
+func TestPhiVerifyPrintClone(t *testing.T) {
+	m := NewModule("phi")
+	f := buildDiamondPhi(m)
+	if err := Verify(m); err != nil {
+		t.Fatalf("valid phi rejected: %v", err)
+	}
+	s := f.String()
+	if !strings.Contains(s, "phi i32 [ 1, %then1 ], [ 2, %else2 ]") {
+		t.Errorf("phi printed as:\n%s", s)
+	}
+	// Clone must remap the incoming blocks into the cloned function.
+	cm := CloneModule(m)
+	cf := cm.Lookup("dia")
+	var phi *Instr
+	for _, b := range cf.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpPhi {
+				phi = in
+			}
+		}
+	}
+	if phi == nil {
+		t.Fatal("clone lost the phi")
+	}
+	for _, ib := range phi.Incoming {
+		if ib.Fn != cf {
+			t.Error("cloned phi incoming block points into the original function")
+		}
+	}
+	if err := Verify(cm); err != nil {
+		t.Errorf("cloned phi module fails verify: %v", err)
+	}
+}
+
+func TestPhiVerifyRejects(t *testing.T) {
+	// A phi arm naming a non-predecessor must fail verification.
+	m := NewModule("bad")
+	f := m.NewFunction("f", I32T, &Param{Nam: "c", Ty: BoolT, Idx: 0})
+	b := NewBuilder(f)
+	entry := b.Cur
+	next := b.NewBlock("next")
+	b.Br(next)
+	b.SetInsert(next)
+	phi := b.Phi(I32T)
+	phi.AddIncoming(CI(1), next) // not a predecessor of itself
+	b.Ret(phi)
+	_ = entry
+	if err := Verify(m); err == nil {
+		t.Fatal("phi with non-predecessor incoming verified")
+	}
+	// A phi below a non-phi instruction must fail verification.
+	m2 := NewModule("bad2")
+	f2 := m2.NewFunction("f", I32T, &Param{Nam: "c", Ty: BoolT, Idx: 0})
+	b2 := NewBuilder(f2)
+	head := b2.Cur
+	loop := b2.NewBlock("loop")
+	b2.Br(loop)
+	b2.SetInsert(loop)
+	add := b2.Bin(Add, CI(1), CI(2))
+	phi2 := b2.Phi(I32T)
+	phi2.AddIncoming(CI(0), head)
+	phi2.AddIncoming(add, loop)
+	b2.Br(loop)
+	if err := Verify(m2); err == nil {
+		t.Fatal("mid-block phi verified")
+	}
+}
+
+func TestBlockSuccsAndPhis(t *testing.T) {
+	m := NewModule("s")
+	f := buildDiamondPhi(m)
+	entry := f.Entry()
+	succs := entry.Succs()
+	if len(succs) != 2 {
+		t.Fatalf("entry has %d successors, want 2", len(succs))
+	}
+	merge := f.Blocks[3]
+	if got := len(merge.Phis()); got != 1 {
+		t.Errorf("merge has %d leading phis, want 1", got)
+	}
+	if got := len(entry.Phis()); got != 0 {
+		t.Errorf("entry has %d leading phis, want 0", got)
+	}
+}

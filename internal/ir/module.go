@@ -33,6 +33,34 @@ func (b *Block) Terminator() *Instr {
 // Terminated reports whether the block ends in a terminator.
 func (b *Block) Terminated() bool { return b.Terminator() != nil }
 
+// Succs returns the block's unique successors in Then/Else order.
+func (b *Block) Succs() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	var s []*Block
+	if t.Then != nil {
+		s = append(s, t.Then)
+	}
+	if t.Else != nil && t.Else != t.Then {
+		s = append(s, t.Else)
+	}
+	return s
+}
+
+// Phis returns the block's leading run of OpPhi instructions.
+func (b *Block) Phis() []*Instr {
+	n := 0
+	for _, in := range b.Instrs {
+		if in.Op != OpPhi {
+			break
+		}
+		n++
+	}
+	return b.Instrs[:n]
+}
+
 // Function is an IR function: a signature plus (for definitions) a list of
 // basic blocks. A function with no blocks is an external declaration.
 type Function struct {

@@ -111,6 +111,12 @@ func (in *Instr) String() string {
 			return "ret void"
 		}
 		return fmt.Sprintf("ret %s", typedIdent(in.Args[0]))
+	case OpPhi:
+		var arms []string
+		for i, a := range in.Args {
+			arms = append(arms, fmt.Sprintf("[ %s, %%%s ]", a.Ident(), in.Incoming[i].Name))
+		}
+		return fmt.Sprintf("%sphi %s %s", res, in.Ty, strings.Join(arms, ", "))
 	}
 	return "<bad instr>"
 }

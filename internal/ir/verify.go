@@ -44,15 +44,32 @@ func verifyFunc(m *Module, f *Function) error {
 		}
 		return &VerifyError{Fn: f.Name, Blk: name, Msg: fmt.Sprintf(format, args...)}
 	}
+	preds := make(map[*Block][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
 	for _, b := range f.Blocks {
 		if len(b.Instrs) == 0 || !b.Instrs[len(b.Instrs)-1].IsTerminator() {
 			return errf(b, "block not terminated")
 		}
+		phiHead := true
 		for i, in := range b.Instrs {
 			if in.IsTerminator() && i != len(b.Instrs)-1 {
 				return errf(b, "terminator %v in middle of block", in.Op)
 			}
+			if in.Op != OpPhi {
+				phiHead = false
+			}
 			switch in.Op {
+			case OpPhi:
+				if !phiHead {
+					return errf(b, "phi not at block head")
+				}
+				if err := verifyPhi(b, in, preds[b], errf); err != nil {
+					return err
+				}
 			case OpLoad:
 				pt := in.Args[0].Type()
 				if !pt.IsPointer() || !pt.Elem.Equal(in.Ty) {
@@ -141,6 +158,41 @@ func verifyFunc(m *Module, f *Function) error {
 				}
 			}
 		}
+	}
+	return nil
+}
+
+// verifyPhi checks one phi: parallel Args/Incoming lists with exactly one
+// entry per predecessor edge, every arm typed like the result.
+func verifyPhi(b *Block, in *Instr, preds []*Block, errf func(*Block, string, ...interface{}) error) error {
+	if len(in.Args) != len(in.Incoming) || len(in.Args) == 0 {
+		return errf(b, "phi with %d values for %d incoming blocks", len(in.Args), len(in.Incoming))
+	}
+	if len(preds) == 0 {
+		return errf(b, "phi in block with no predecessors")
+	}
+	seen := make(map[*Block]bool, len(in.Incoming))
+	for i, ib := range in.Incoming {
+		if seen[ib] {
+			return errf(b, "phi lists incoming block %s twice", ib.Name)
+		}
+		seen[ib] = true
+		found := false
+		for _, p := range preds {
+			if p == ib {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return errf(b, "phi incoming block %s is not a predecessor", ib.Name)
+		}
+		if !in.Args[i].Type().Equal(in.Ty) {
+			return errf(b, "phi arm %d has type %s, want %s", i, in.Args[i].Type(), in.Ty)
+		}
+	}
+	if len(in.Incoming) != len(preds) {
+		return errf(b, "phi has %d incoming arms for %d predecessors", len(in.Incoming), len(preds))
 	}
 	return nil
 }

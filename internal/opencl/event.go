@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // This file is the event half of the asynchronous host API: every
@@ -71,12 +72,19 @@ type Event struct {
 	cbs    []func(*Event)
 	deps   []*Event // recorded wait-list edges; cleared on completion
 	user   bool
+
+	// times stamps each status transition (indexed by EventStatus;
+	// terminal statuses share the EventComplete slot). The
+	// clGetEventProfilingInfo analogue — see ProfilingInfo.
+	times [4]time.Time
 }
 
 // newEvent returns a queued event with the given dependency edges
 // recorded for cycle detection.
 func newEvent(deps []*Event) *Event {
-	return &Event{done: make(chan struct{}), deps: deps}
+	e := &Event{done: make(chan struct{}), deps: deps}
+	e.times[EventQueued] = time.Now()
+	return e
 }
 
 // NewUserEvent returns an event completed by host code rather than by a
@@ -157,14 +165,64 @@ func (e *Event) OnComplete(fn func(*Event)) {
 }
 
 // transition advances an incomplete event's status (Queued → Submitted →
-// Running). Terminal events ignore it: a dependency failure may have
-// finished the event while its command was being released.
+// Running), stamping the transition time. Terminal events ignore it: a
+// dependency failure may have finished the event while its command was
+// being released.
 func (e *Event) transition(s EventStatus) {
 	e.mu.Lock()
-	if !e.status.Terminal() && s > e.status {
+	if !e.status.Terminal() && s > e.status && s < EventComplete {
 		e.status = s
+		e.times[s] = time.Now()
 	}
 	e.mu.Unlock()
+}
+
+// EventProfile carries the wall-clock timestamps of an event's status
+// transitions — the clGetEventProfilingInfo analogue
+// (CL_PROFILING_COMMAND_QUEUED / SUBMIT / START / END). A zero
+// timestamp means the event skipped that state (user events complete
+// without ever being submitted; failed dependencies finish commands
+// that never ran).
+type EventProfile struct {
+	Queued    time.Time // enqueue time
+	Submitted time.Time // wait list satisfied, released to the runtime
+	Running   time.Time // command body started executing
+	Complete  time.Time // terminal (success or failure)
+}
+
+func span(from, to time.Time) time.Duration {
+	if from.IsZero() || to.IsZero() {
+		return 0
+	}
+	return to.Sub(from)
+}
+
+// QueueDelay is the time spent waiting on the wait list.
+func (p EventProfile) QueueDelay() time.Duration { return span(p.Queued, p.Submitted) }
+
+// LaunchDelay is the gap between release and execution start.
+func (p EventProfile) LaunchDelay() time.Duration { return span(p.Submitted, p.Running) }
+
+// Duration is the command body's execution time.
+func (p EventProfile) Duration() time.Duration { return span(p.Running, p.Complete) }
+
+// Total is enqueue-to-terminal wall time.
+func (p EventProfile) Total() time.Duration { return span(p.Queued, p.Complete) }
+
+// ProfilingInfo returns the event's status-transition timestamps.
+// Pipelines tune overlap from these measured spans instead of host-side
+// wall-clock deltas: summing Duration over a chain's events against the
+// chain's Total shows exactly how much transfer and kernel time the
+// wait-list edges managed to overlap.
+func (e *Event) ProfilingInfo() EventProfile {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EventProfile{
+		Queued:    e.times[EventQueued],
+		Submitted: e.times[EventSubmitted],
+		Running:   e.times[EventRunning],
+		Complete:  e.times[EventComplete],
+	}
 }
 
 // MarkSubmitted records that the command left its queue for the runtime.
@@ -189,6 +247,7 @@ func (e *Event) finish(err error) {
 	} else {
 		e.status = EventComplete
 	}
+	e.times[EventComplete] = time.Now()
 	cbs := e.cbs
 	e.cbs = nil
 	e.deps = nil // completed events cannot take part in cycles

@@ -17,6 +17,9 @@ import (
 type MachinePool struct {
 	mu   sync.Mutex
 	free map[*ir.Module][]*interp.Machine
+
+	workersOnce sync.Once
+	workers     *interp.WorkerPool
 }
 
 // maxPooledMachines bounds the idle machines retained per module; bursts
@@ -35,9 +38,19 @@ func NewMachinePool() *MachinePool {
 	return &MachinePool{free: make(map[*ir.Module][]*interp.Machine)}
 }
 
+// Workers returns the pool's persistent worker set (started on first
+// use): a long-lived group of goroutines that all VM launches on this
+// pool's machines borrow parallel group runners from, instead of
+// spawning up to GOMAXPROCS goroutines per launch.
+func (p *MachinePool) Workers() *interp.WorkerPool {
+	p.workersOnce.Do(func() { p.workers = interp.NewWorkerPool(0) })
+	return p.workers
+}
+
 // Acquire returns a machine for the module, reusing an idle one when
-// available.
+// available. Machines are seeded with the pool's persistent worker set.
 func (p *MachinePool) Acquire(mod *ir.Module) *interp.Machine {
+	w := p.Workers()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	ms := p.free[mod]
@@ -51,7 +64,9 @@ func (p *MachinePool) Acquire(mod *ir.Module) *interp.Machine {
 		}
 		return m
 	}
-	return interp.NewMachine(mod)
+	m := interp.NewMachine(mod)
+	m.Workers = w
+	return m
 }
 
 // Release resets the machine and returns it to the pool. Machines for
@@ -180,6 +195,17 @@ func (h *LaunchHandle) setPlan(phys, chunk int64) {
 		chunk = 1
 	}
 	h.phys, h.chunk = phys, chunk
+}
+
+// UseProgram overrides the compiled bytecode the handle's machine
+// executes (the parity suite pins O0/O1 compile variants of the same
+// module with it). No-op once the execution finished.
+func (h *LaunchHandle) UseProgram(p *interp.Prog) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.done {
+		h.mach.UseProgram(p)
+	}
 }
 
 // UpdatePlan installs a new physical work-group allocation and chunk

@@ -152,6 +152,28 @@ func (k *Kernel) RunNativeEngine(eng interp.Engine) ([][]byte, error) {
 	return runSpecEngine(mod, k.Name, k.Setup(), nil, 0, eng)
 }
 
+// RunNativeVM runs the verification launch on the bytecode VM compiled
+// with explicit optimization settings — the O0/O1 axes of the
+// differential parity suite.
+func (k *Kernel) RunNativeVM(opts interp.CompileOpts) ([][]byte, error) {
+	mod, err := clc.Compile(k.Source, k.Name)
+	if err != nil {
+		return nil, err
+	}
+	mach := interp.NewMachine(mod)
+	mach.UseProgram(interp.CompileModuleOpts(mod, opts))
+	spec := k.Setup()
+	args, bufs, err := bindSpecArgs(mach, spec)
+	if err != nil {
+		return nil, err
+	}
+	nd := interp.NDRange{Dims: spec.Dims, Global: spec.Global, Local: spec.Local}
+	if err := mach.Launch(k.Name, args, nd); err != nil {
+		return nil, err
+	}
+	return bufs, nil
+}
+
 // PreparedLaunch is a reusable native verification launch: a machine
 // with the spec's buffers bound, ready to Launch repeatedly over the
 // same memory. Benchmarks use it to time kernel execution in isolation

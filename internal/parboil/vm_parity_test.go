@@ -14,10 +14,16 @@ import (
 	"repro/internal/rtlib"
 )
 
-// TestVMParityNative is the differential suite over the native path:
-// every Parboil kernel runs its verification launch on the tree-walking
-// reference interpreter and on the bytecode VM with identical inputs,
-// and every argument buffer must match byte for byte.
+// vmParityO0 compiles the bytecode exactly as PR 3 shipped it: no O1
+// pipeline, no superinstruction fusion.
+var vmParityO0 = interp.CompileOpts{Disable: []string{"fuse"}}
+
+// TestVMParityNative is the differential suite over the native path,
+// now a three-axis comparison: every Parboil kernel runs its
+// verification launch on (1) the tree-walking reference interpreter,
+// (2) the bytecode VM without any optimization, and (3) the VM behind
+// the full O1 pipeline plus fusion, with identical inputs — and every
+// argument buffer must match byte for byte across all three.
 func TestVMParityNative(t *testing.T) {
 	for _, k := range Kernels() {
 		k := k
@@ -27,14 +33,21 @@ func TestVMParityNative(t *testing.T) {
 			if err != nil {
 				t.Fatalf("tree-walker: %v", err)
 			}
-			vm, err := k.RunNativeEngine(interp.EngineVM)
+			vm0, err := k.RunNativeVM(vmParityO0)
 			if err != nil {
-				t.Fatalf("vm: %v", err)
+				t.Fatalf("vm O0: %v", err)
+			}
+			vm1, err := k.RunNativeVM(interp.DefaultCompileOpts)
+			if err != nil {
+				t.Fatalf("vm O1: %v", err)
 			}
 			spec := k.Setup()
 			for i := range ref {
-				if !bytes.Equal(ref[i], vm[i]) {
-					t.Errorf("buffer %d (%s) differs between tree-walker and VM", i, spec.Args[i].Name)
+				if !bytes.Equal(ref[i], vm0[i]) {
+					t.Errorf("buffer %d (%s) differs between tree-walker and unoptimized VM", i, spec.Args[i].Name)
+				}
+				if !bytes.Equal(ref[i], vm1[i]) {
+					t.Errorf("buffer %d (%s) differs between tree-walker and O1 VM", i, spec.Args[i].Name)
 				}
 			}
 		})
@@ -44,8 +57,9 @@ func TestVMParityNative(t *testing.T) {
 // TestVMParityTransformedSliced is the differential suite over the live
 // execution path: every kernel's JIT-transformed form runs as a
 // multi-slice LaunchHandle execution on the VM (one dequeue round per
-// slice, a reduced physical grid) and must reproduce the tree-walker's
-// native output buffers byte for byte.
+// slice, a reduced physical grid) — once on unoptimized bytecode and
+// once behind the O1 pipeline — and both must reproduce the
+// tree-walker's native output buffers byte for byte.
 func TestVMParityTransformedSliced(t *testing.T) {
 	for _, k := range Kernels() {
 		k := k
@@ -71,35 +85,45 @@ func TestVMParityTransformedSliced(t *testing.T) {
 			}
 
 			spec := k.Setup()
-			cl, bufs, err := clKernelFromSpec(orig, k.Name, spec)
-			if err != nil {
-				t.Fatal(err)
-			}
-			nd := interp.NDRange{Dims: spec.Dims, Global: spec.Global, Local: spec.Local}
-			rtWords := rtlib.BuildRT(nd.Dims, nd.NumGroups(), nd.Local, info.Chunk)
-			h, err := opencl.NewLaunchHandle(nil, tm, cl, nd, rtWords, 2, rtWords[rtlib.RTChunk])
-			if err != nil {
-				t.Fatalf("handle: %v", err)
-			}
-			h.SetSliceRounds(1) // force many slices
-			slices := 0
-			for {
-				done, err := h.Step()
+			for _, variant := range []struct {
+				name string
+				prog *interp.Prog
+			}{
+				{"O1", interp.CompileModuleOpts(tm, interp.DefaultCompileOpts)},
+				{"O0", interp.CompileModuleOpts(tm, vmParityO0)},
+			} {
+				cl, bufs, err := clKernelFromSpec(orig, k.Name, spec)
 				if err != nil {
-					t.Fatalf("slice %d: %v", slices, err)
+					t.Fatal(err)
 				}
-				slices++
-				if done {
-					break
+				nd := interp.NDRange{Dims: spec.Dims, Global: spec.Global, Local: spec.Local}
+				rtWords := rtlib.BuildRT(nd.Dims, nd.NumGroups(), nd.Local, info.Chunk)
+				h, err := opencl.NewLaunchHandle(nil, tm, cl, nd, rtWords, 2, rtWords[rtlib.RTChunk])
+				if err != nil {
+					t.Fatalf("%s handle: %v", variant.name, err)
 				}
-			}
-			if total := nd.TotalGroups(); total > 2 && slices < 2 {
-				t.Fatalf("expected a multi-slice execution, got %d slice(s) for %d virtual groups", slices, total)
-			}
-			for i := range ref {
-				if !bytes.Equal(ref[i], bufs[i]) {
-					t.Errorf("buffer %d (%s) differs between tree-walker native and VM sliced execution",
-						i, spec.Args[i].Name)
+				h.UseProgram(variant.prog)
+				h.SetSliceRounds(1) // force many slices
+				slices := 0
+				for {
+					done, err := h.Step()
+					if err != nil {
+						t.Fatalf("%s slice %d: %v", variant.name, slices, err)
+					}
+					slices++
+					if done {
+						break
+					}
+				}
+				if total := nd.TotalGroups(); total > 2 && slices < 2 {
+					t.Fatalf("%s: expected a multi-slice execution, got %d slice(s) for %d virtual groups",
+						variant.name, slices, total)
+				}
+				for i := range ref {
+					if !bytes.Equal(ref[i], bufs[i]) {
+						t.Errorf("buffer %d (%s) differs between tree-walker native and %s VM sliced execution",
+							i, spec.Args[i].Name, variant.name)
+					}
 				}
 			}
 		})

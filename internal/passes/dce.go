@@ -32,28 +32,14 @@ func (DCE) Run(m *ir.Module) error {
 
 // removeDeadAllocaStores deletes private allocas that are only ever
 // written (never loaded, never escaping as a value), together with the
-// stores into them.
+// stores into them. "Never escaping" is the shared AnalyzeAllocas
+// definition, the same one mem2reg promotes by, so the two passes agree
+// on which memory is private to straight load/store access.
 func removeDeadAllocaStores(f *ir.Function) bool {
-	// escape: any use that is not "store ... INTO this alloca".
 	onlyStoredInto := make(map[*ir.Instr]bool)
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			if in.Op == ir.OpAlloca && in.AllocaSpace == ir.Private {
-				onlyStoredInto[in] = true
-			}
-		}
-	}
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for i, a := range in.Args {
-				al, ok := a.(*ir.Instr)
-				if !ok || !onlyStoredInto[al] {
-					continue
-				}
-				if !(in.Op == ir.OpStore && i == 1) {
-					delete(onlyStoredInto, al)
-				}
-			}
+	for al, u := range AnalyzeAllocas(f) {
+		if u.WriteOnly() {
+			onlyStoredInto[al] = true
 		}
 	}
 	if len(onlyStoredInto) == 0 {
@@ -99,20 +85,40 @@ func sideEffecting(in *ir.Instr) bool {
 	return false
 }
 
+// dceFunc removes result-producing, effect-free instructions that no
+// live instruction uses. Liveness is seeded from side-effecting
+// instructions and propagated through operands (mark and sweep), so a
+// cycle of phis feeding only each other is dead and removed — the
+// one-pass "is it an operand anywhere" test would keep it forever.
 func dceFunc(f *ir.Function) bool {
-	used := make(map[ir.Value]bool)
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for _, a := range in.Args {
-				used[a] = true
+	live := make(map[*ir.Instr]bool)
+	var work []*ir.Instr
+	markArgs := func(in *ir.Instr) {
+		for _, a := range in.Args {
+			if d, ok := a.(*ir.Instr); ok && !live[d] {
+				live[d] = true
+				work = append(work, d)
 			}
 		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if sideEffecting(in) {
+				live[in] = true
+				markArgs(in)
+			}
+		}
+	}
+	for len(work) > 0 {
+		in := work[len(work)-1]
+		work = work[:len(work)-1]
+		markArgs(in)
 	}
 	changed := false
 	for _, b := range f.Blocks {
 		kept := b.Instrs[:0]
 		for _, in := range b.Instrs {
-			if in.HasResult() && !used[in] && !sideEffecting(in) {
+			if in.HasResult() && !live[in] && !sideEffecting(in) {
 				changed = true
 				continue
 			}
@@ -151,4 +157,24 @@ func removeUnreachable(f *ir.Function) {
 		}
 	}
 	f.Blocks = kept
+	prunePhiIncomings(f, reach)
+}
+
+// prunePhiIncomings drops phi arms flowing in from blocks outside the
+// keep set, collapsing phis left with a single arm onto that value.
+func prunePhiIncomings(f *ir.Function, reach map[*ir.Block]bool) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Phis() {
+			args := in.Args[:0]
+			inc := in.Incoming[:0]
+			for i, ib := range in.Incoming {
+				if reach[ib] {
+					args = append(args, in.Args[i])
+					inc = append(inc, ib)
+				}
+			}
+			in.Args, in.Incoming = args, inc
+		}
+	}
+	collapseTrivialPhis(f)
 }

@@ -1,0 +1,108 @@
+package passes
+
+import "repro/internal/ir"
+
+// domInfo is the control-flow and dominance view of one function that
+// SSA construction works over: predecessor lists, a reverse-postorder
+// numbering of the reachable blocks, immediate dominators and dominance
+// frontiers (Cooper/Harvey/Kennedy's iterative formulation).
+type domInfo struct {
+	rpo    []*ir.Block       // reachable blocks in reverse postorder; rpo[0] is the entry
+	num    map[*ir.Block]int // block -> index in rpo
+	preds  map[*ir.Block][]*ir.Block
+	idom   map[*ir.Block]*ir.Block   // entry maps to itself
+	front  map[*ir.Block][]*ir.Block // dominance frontier
+	domkid map[*ir.Block][]*ir.Block // dominator-tree children, rpo order
+}
+
+// computeDom builds the dominance view. Unreachable blocks are absent
+// from every table; callers should drop them first (removeUnreachable).
+func computeDom(f *ir.Function) *domInfo {
+	d := &domInfo{
+		num:    make(map[*ir.Block]int),
+		preds:  make(map[*ir.Block][]*ir.Block),
+		idom:   make(map[*ir.Block]*ir.Block),
+		front:  make(map[*ir.Block][]*ir.Block),
+		domkid: make(map[*ir.Block][]*ir.Block),
+	}
+	entry := f.Entry()
+	if entry == nil {
+		return d
+	}
+	// Depth-first postorder, reversed.
+	seen := make(map[*ir.Block]bool)
+	var post []*ir.Block
+	var visit func(b *ir.Block)
+	visit = func(b *ir.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs() {
+			d.preds[s] = append(d.preds[s], b)
+			visit(s)
+		}
+		post = append(post, b)
+	}
+	visit(entry)
+	d.rpo = make([]*ir.Block, len(post))
+	for i, b := range post {
+		d.rpo[len(post)-1-i] = b
+	}
+	for i, b := range d.rpo {
+		d.num[b] = i
+	}
+
+	// Iterative idom computation over reverse postorder.
+	d.idom[entry] = entry
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for d.num[a] > d.num[b] {
+				a = d.idom[a]
+			}
+			for d.num[b] > d.num[a] {
+				b = d.idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range d.rpo[1:] {
+			var ni *ir.Block
+			for _, p := range d.preds[b] {
+				if d.idom[p] == nil {
+					continue // not yet processed
+				}
+				if ni == nil {
+					ni = p
+				} else {
+					ni = intersect(ni, p)
+				}
+			}
+			if ni != nil && d.idom[b] != ni {
+				d.idom[b] = ni
+				changed = true
+			}
+		}
+	}
+
+	// Dominance frontiers: walk each join point's predecessors up to the
+	// join's idom, adding the join to every block passed on the way.
+	for _, b := range d.rpo {
+		if len(d.preds[b]) < 2 {
+			continue
+		}
+		for _, p := range d.preds[b] {
+			for r := p; r != d.idom[b]; r = d.idom[r] {
+				d.front[r] = append(d.front[r], b)
+			}
+		}
+	}
+
+	// Dominator-tree children (entry is its own idom, not its own child).
+	for _, b := range d.rpo[1:] {
+		d.domkid[d.idom[b]] = append(d.domkid[d.idom[b]], b)
+	}
+	return d
+}

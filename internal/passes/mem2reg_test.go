@@ -1,0 +1,253 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clc"
+	"repro/internal/ir"
+)
+
+// compileAndPromote runs the front end and the full O1 pipeline.
+func compileAndPromote(t *testing.T, src, name string) *ir.Module {
+	t.Helper()
+	mod, err := clc.Compile(src, name)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := RunO1(mod); err != nil {
+		t.Fatalf("O1: %v", err)
+	}
+	return mod
+}
+
+func countOps(f *ir.Function, op ir.Opcode) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// phisByBlock maps block-name prefixes to their phi counts.
+func phisByBlock(f *ir.Function) map[string]int {
+	m := make(map[string]int)
+	for _, b := range f.Blocks {
+		if n := len(b.Phis()); n > 0 {
+			m[b.Name] = n
+		}
+	}
+	return m
+}
+
+// TestMem2RegDiamond: an if/else assigning one variable must promote to
+// exactly one phi at the join, with no allocas left.
+func TestMem2RegDiamond(t *testing.T) {
+	mod := compileAndPromote(t, `
+kernel void dia(global int* out, int c)
+{
+    int x;
+    if (c > 0) x = 1; else x = 2;
+    out[0] = x;
+}
+`, "dia")
+	f := mod.Lookup("dia")
+	if n := countOps(f, ir.OpAlloca); n != 0 {
+		t.Errorf("%d allocas survive promotion, want 0:\n%s", n, f)
+	}
+	if n := countOps(f, ir.OpPhi); n != 1 {
+		t.Errorf("%d phis, want exactly 1 (the diamond join):\n%s", n, f)
+	}
+	for blk, n := range phisByBlock(f) {
+		if !strings.HasPrefix(blk, "if.end") {
+			t.Errorf("phi placed in %s (%d), want the if.end join:\n%s", blk, n, f)
+		}
+	}
+}
+
+// TestMem2RegLoop: a counted accumulation loop carries two variables
+// (induction + accumulator) around the back edge: two phis, all in the
+// loop header, zero allocas and zero loads/stores of locals.
+func TestMem2RegLoop(t *testing.T) {
+	mod := compileAndPromote(t, `
+kernel void loop(global int* out, int n)
+{
+    int acc = 0;
+    int i;
+    for (i = 0; i < n; ++i) acc += i;
+    out[0] = acc;
+}
+`, "loop")
+	f := mod.Lookup("loop")
+	if n := countOps(f, ir.OpAlloca); n != 0 {
+		t.Errorf("%d allocas survive promotion, want 0:\n%s", n, f)
+	}
+	if n := countOps(f, ir.OpPhi); n != 2 {
+		t.Errorf("%d phis, want 2 (i and acc at the header):\n%s", n, f)
+	}
+	for blk := range phisByBlock(f) {
+		if !strings.HasPrefix(blk, "for.cond") {
+			t.Errorf("phi placed in %s, want the loop header:\n%s", blk, f)
+		}
+	}
+	// The loop body must be pure register code: its only memory access
+	// is the final out[0] store after the loop.
+	if n := countOps(f, ir.OpLoad); n != 0 {
+		t.Errorf("%d loads survive, want 0:\n%s", n, f)
+	}
+	if n := countOps(f, ir.OpStore); n != 1 {
+		t.Errorf("%d stores survive, want only the out[0] store:\n%s", n, f)
+	}
+}
+
+// TestMem2RegNestedLoop: both headers get phis for the variables live
+// around their back edges.
+func TestMem2RegNestedLoop(t *testing.T) {
+	mod := compileAndPromote(t, `
+kernel void nest(global int* out, int n)
+{
+    int acc = 0;
+    int i;
+    int j;
+    for (i = 0; i < n; ++i)
+        for (j = 0; j < i; ++j)
+            acc += i * j;
+    out[0] = acc;
+}
+`, "nest")
+	f := mod.Lookup("nest")
+	if n := countOps(f, ir.OpAlloca); n != 0 {
+		t.Errorf("%d allocas survive promotion, want 0:\n%s", n, f)
+	}
+	byBlk := phisByBlock(f)
+	var outer, inner int
+	for blk, n := range byBlk {
+		switch {
+		case strings.HasPrefix(blk, "for.cond1"):
+			outer = n
+		case strings.HasPrefix(blk, "for.cond"):
+			inner = n
+		default:
+			t.Errorf("phi placed outside loop headers, in %s:\n%s", blk, f)
+		}
+	}
+	// Outer header: i and acc (j is re-initialized each outer trip, so
+	// it is not live around the outer back edge... but its alloca-reset
+	// definition may still demand a phi depending on liveness). At
+	// minimum i and acc must be there.
+	if outer < 2 {
+		t.Errorf("outer header has %d phis, want >= 2 (i, acc):\n%s", outer, f)
+	}
+	// Inner header: j and acc.
+	if inner != 2 {
+		t.Errorf("inner header has %d phis, want 2 (j, acc):\n%s", inner, f)
+	}
+}
+
+// TestMem2RegEscape: an alloca whose address is stored (escapes) must
+// not be promoted, while its neighbours are.
+func TestMem2RegEscape(t *testing.T) {
+	m := ir.NewModule("esc")
+	f := m.NewFunction("esc", ir.VoidT,
+		&ir.Param{Nam: "out", Ty: ir.PointerTo(ir.PointerTo(ir.I32T, ir.Private), ir.Global), Idx: 0})
+	f.Kernel = true
+	b := ir.NewBuilder(f)
+	escaping := b.Alloca(ir.I32T, 1, ir.Private)
+	promoted := b.Alloca(ir.I32T, 1, ir.Private)
+	b.Store(ir.CI(7), promoted)
+	ld := b.Load(promoted)
+	b.Store(ld, escaping)
+	b.Store(escaping, f.Params[0]) // address escapes to memory
+	b.Ret(nil)
+	if err := RunO1(m); err != nil {
+		t.Fatalf("O1: %v", err)
+	}
+	nf := m.Lookup("esc")
+	if n := countOps(nf, ir.OpAlloca); n != 1 {
+		t.Errorf("%d allocas remain, want exactly the escaping one:\n%s", n, nf)
+	}
+	remaining := ""
+	for _, blk := range nf.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.OpAlloca {
+				remaining = in.Ident()
+			}
+		}
+	}
+	_ = remaining // identity is positional; the count assertion is the contract
+}
+
+// TestMem2RegUninitializedLoad: a load with no dominating store reads
+// the zero a fresh private region holds — promotion must preserve that.
+func TestMem2RegUninitializedLoad(t *testing.T) {
+	m := ir.NewModule("uninit")
+	f := m.NewFunction("u", ir.I32T)
+	b := ir.NewBuilder(f)
+	x := b.Alloca(ir.I32T, 1, ir.Private)
+	v := b.Load(x)
+	b.Ret(v)
+	if err := RunO1(m); err != nil {
+		t.Fatalf("O1: %v", err)
+	}
+	nf := m.Lookup("u")
+	ret := nf.Entry().Terminator()
+	cv, ok := ir.ConstIntValue(ret.Args[0])
+	if !ok || cv != 0 {
+		t.Errorf("uninitialized load promoted to %v, want constant 0:\n%s", ret.Args[0], nf)
+	}
+}
+
+// TestDCEEscapeAware: the rewritten removeDeadAllocaStores must keep an
+// alloca whose address escapes even though it is never loaded, and
+// still delete genuinely write-only allocas.
+func TestDCEEscapeAware(t *testing.T) {
+	m := ir.NewModule("dce")
+	f := m.NewFunction("f", ir.VoidT,
+		&ir.Param{Nam: "sink", Ty: ir.PointerTo(ir.PointerTo(ir.I32T, ir.Private), ir.Global), Idx: 0})
+	b := ir.NewBuilder(f)
+	escaped := b.Alloca(ir.I32T, 1, ir.Private)
+	deadOnly := b.Alloca(ir.I32T, 1, ir.Private)
+	b.Store(ir.CI(1), escaped)
+	b.Store(ir.CI(2), deadOnly)
+	b.Store(escaped, f.Params[0]) // address observable: stores into it are not dead
+	b.Ret(nil)
+	if err := (DCE{}).Run(m); err != nil {
+		t.Fatal(err)
+	}
+	nf := m.Lookup("f")
+	if n := countOps(nf, ir.OpAlloca); n != 1 {
+		t.Fatalf("%d allocas after DCE, want 1 (the escaping one):\n%s", n, nf)
+	}
+	if nf.Entry().Instrs[0] != escaped {
+		t.Errorf("DCE removed the escaping alloca instead of the write-only one:\n%s", nf)
+	}
+}
+
+// TestSimplifyCFGMerge: straight-line pairs merge, and phi incomings in
+// successors are retargeted to the surviving block.
+func TestSimplifyCFGMerge(t *testing.T) {
+	mod := compileAndPromote(t, `
+kernel void m(global int* out, int n)
+{
+    int i;
+    int acc = 0;
+    for (i = 0; i < n; ++i) acc += i;
+    out[0] = acc;
+}
+`, "m")
+	f := mod.Lookup("m")
+	// The front end emits for.cond/for.body/for.post/for.end; after
+	// promotion the body and post are straight-line and must merge.
+	for _, b := range f.Blocks {
+		if strings.HasPrefix(b.Name, "for.post") {
+			t.Errorf("for.post survived simplifycfg:\n%s", f)
+		}
+	}
+	if err := ir.Verify(mod); err != nil {
+		t.Errorf("merged module fails verify: %v", err)
+	}
+}

@@ -28,6 +28,31 @@ func NewManager(ps ...Pass) *Manager {
 	return &Manager{Passes: ps, Verify: true}
 }
 
+// O1 returns the optimization pipeline the bytecode VM compiles behind:
+// mem2reg (allocas to SSA values with phis), constant folding, dead
+// code elimination, and straight-line block merging, in that order.
+// Passes named in disable are skipped — the per-pass knob the parity
+// suite and the accelsim -dump-ir tool use to isolate one pass.
+func O1(disable ...string) *Manager {
+	skip := make(map[string]bool, len(disable))
+	for _, n := range disable {
+		skip[n] = true
+	}
+	all := []Pass{Mem2Reg{}, ConstFold{}, DCE{}, SimplifyCFG{}}
+	var ps []Pass
+	for _, p := range all {
+		if !skip[p.Name()] {
+			ps = append(ps, p)
+		}
+	}
+	return NewManager(ps...)
+}
+
+// RunO1 runs the O1 pipeline over the module in place.
+func RunO1(m *ir.Module, disable ...string) error {
+	return O1(disable...).Run(m)
+}
+
 // Run executes the pipeline.
 func (pm *Manager) Run(m *ir.Module) error {
 	for _, p := range pm.Passes {

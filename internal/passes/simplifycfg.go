@@ -1,0 +1,70 @@
+package passes
+
+import "repro/internal/ir"
+
+// SimplifyCFG merges straight-line block pairs: a block ending in an
+// unconditional branch to a block with no other predecessor (and no
+// phis) absorbs it. The clc front end emits a separate for.post block
+// per loop and mem2reg's store elimination leaves such pairs pure
+// straight-line code, so merging them removes one dispatched jump per
+// loop iteration in the bytecode VM.
+type SimplifyCFG struct{}
+
+// Name implements Pass.
+func (SimplifyCFG) Name() string { return "simplifycfg" }
+
+// Run implements Pass.
+func (SimplifyCFG) Run(m *ir.Module) error {
+	for _, f := range m.Funcs {
+		if f.IsDecl() {
+			continue
+		}
+		removeUnreachable(f)
+		for mergeOnce(f) {
+		}
+	}
+	return nil
+}
+
+func mergeOnce(f *ir.Function) bool {
+	npreds := make(map[*ir.Block]int)
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			npreds[s]++
+		}
+	}
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		c := t.Then
+		if c == b || c == f.Entry() || npreds[c] != 1 || len(c.Phis()) > 0 {
+			continue
+		}
+		// Absorb c: drop b's branch, re-append c's instructions (keeping
+		// their block back-pointers consistent), and retarget any phi in
+		// c's successors that named c as the incoming edge.
+		b.Instrs = b.Instrs[:len(b.Instrs)-1]
+		for _, in := range c.Instrs {
+			b.Append(in)
+		}
+		for _, s := range c.Succs() {
+			for _, phi := range s.Phis() {
+				for i, ib := range phi.Incoming {
+					if ib == c {
+						phi.Incoming[i] = b
+					}
+				}
+			}
+		}
+		for i, blk := range f.Blocks {
+			if blk == c {
+				f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+				break
+			}
+		}
+		return true
+	}
+	return false
+}
