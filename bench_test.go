@@ -273,6 +273,26 @@ kernel void spin(global int* out)
 			}
 		})
 	}
+	// vm-traced is the telemetry overhead guard: the same VM dispatch
+	// with a live profiler at the default sampling rate. CI's
+	// bench-telemetry job requires it within 3% of the untraced vm run
+	// (the sampling check is the only hot-loop cost most launches pay).
+	b.Run("vm-traced", func(b *testing.B) {
+		m := interp.NewMachine(mod)
+		m.Engine = interp.EngineVM
+		m.UseProgram(interp.CompileModuleOpts(mod, interp.DefaultCompileOpts))
+		m.Profiler = interp.NewProfiler(interp.ProfileOptions{PerOpcode: true, PerBlock: true})
+		out := m.NewRegion(4, ir.Global)
+		args := []interp.Value{{K: ir.Pointer, P: interp.Ptr{R: out}}}
+		nd := interp.ND1(1, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.Launch("spin", args, nd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSimBaseline measures the discrete-event simulator on an

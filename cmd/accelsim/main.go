@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/accelos"
@@ -37,11 +38,13 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/device"
 	"repro/internal/experiments"
+	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/metrics"
 	"repro/internal/opencl"
 	"repro/internal/parboil"
 	"repro/internal/passes"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -57,12 +60,21 @@ func main() {
 	tenants := flag.Int("tenants", 3, "cluster experiment: concurrent applications")
 	perTenant := flag.Int("per-tenant", 4, "cluster experiment: kernel requests per application")
 	chains := flag.Int("chains", 8, "live experiment: independent kernel+transfer pipelines")
+	trace := flag.String("trace", "", "run a live multi-tenant workload and write its Chrome trace_event JSON here (load in chrome://tracing or Perfetto)")
+	profile := flag.Bool("profile", false, "collect and dump sampled VM execution profiles for the live run")
 	dumpIR := flag.String("dump-ir", "", "print a named Parboil kernel's IR before and after the O1 pipeline, then exit (e.g. -dump-ir sad/larger_sad_calc_8)")
 	disable := flag.String("disable-pass", "", "comma-separated O1 passes to skip with -dump-ir (mem2reg, constfold, dce, simplifycfg)")
 	flag.Parse()
 
 	if *dumpIR != "" {
 		if err := runDumpIR(*dumpIR, *disable); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+	if *trace != "" {
+		if err := runTraced(*tenants, *perTenant, *trace, *profile); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -76,7 +88,7 @@ func main() {
 		return
 	}
 	if *exp == "live" {
-		if err := runLive(*chains); err != nil {
+		if err := runLive(*chains, *profile); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -233,13 +245,18 @@ func runCluster(devices int, policy string, tenants, perTenant int) error {
 // blocking wrappers, then asynchronously with wait-list edges only —
 // and reports the throughput the out-of-order window buys by
 // overlapping transfers with in-flight kernels.
-func runLive(chains int) error {
+func runLive(chains int, profile bool) error {
 	if chains < 1 {
 		chains = 1
 	}
 	rt := accelos.NewRuntime(opencl.GetPlatforms()[0])
 	defer rt.Shutdown()
 	rt.Ctx.SetDMAModel(true)
+	var prof *interp.Profiler
+	if profile {
+		prof = interp.NewProfiler(interp.ProfileOptions{PerOpcode: true, PerBlock: true, SampleEvery: 1})
+		rt.SetProfiler(prof)
+	}
 	app := rt.Connect("live")
 	defer app.Close()
 	prog, err := app.CreateProgram(`
@@ -334,7 +351,10 @@ kernel void strided(global float* d, int n, int stride, int iters)
 	// anything above is work the wait-list window genuinely overlapped.
 	var busy, queued time.Duration
 	for _, ev := range events {
-		p := ev.ProfilingInfo()
+		p, err := ev.ProfilingInfo()
+		if err != nil {
+			return fmt.Errorf("profiling info: %w", err)
+		}
 		busy += p.Duration()
 		queued += p.QueueDelay()
 	}
@@ -348,6 +368,129 @@ kernel void strided(global float* d, int n, int stride, int iters)
 	fmt.Printf("mean wait-list queue delay:   %12v\n", (queued / time.Duration(len(events))).Round(time.Microsecond))
 	fmt.Printf("runtime: %d launches, %d re-plans, %d wait-deferred\n",
 		st.KernelsLaunched, st.Replans, st.WaitDeferred)
+	if prof != nil {
+		fmt.Println("\n--- VM execution profiles ---")
+		prof.Dump(os.Stdout)
+	}
+	return nil
+}
+
+// runTraced drives a fully instrumented live multi-tenant workload —
+// every tenant pipelines write→kernel→read chains through the runtime
+// concurrently — and exports what the telemetry layer saw: a Chrome
+// trace_event JSON of every kernel lifecycle, slice, replan and DMA
+// transfer; a Prometheus-style metrics snapshot; the live §7.4
+// scorecard; and (with -profile) the sampled VM execution profiles.
+func runTraced(tenants, perTenant int, tracePath string, profile bool) error {
+	if tenants < 1 {
+		tenants = 1
+	}
+	if perTenant < 1 {
+		perTenant = 1
+	}
+	rt := accelos.NewRuntime(opencl.GetPlatforms()[0])
+	defer rt.Shutdown()
+	rt.Ctx.SetDMAModel(true)
+	tr := telemetry.New(0)
+	reg := telemetry.NewRegistry()
+	score := metrics.NewLiveScorecard()
+	rt.SetTelemetry(tr, reg, score)
+	var prof *interp.Profiler
+	if profile {
+		prof = interp.NewProfiler(interp.ProfileOptions{PerOpcode: true, PerBlock: true, SampleEvery: 1})
+		rt.SetProfiler(prof)
+	}
+
+	const elems, n, stride = 1 << 18, 256, 1 << 10
+	nd := opencl.ND1(n, 64)
+	var wg sync.WaitGroup
+	errCh := make(chan error, tenants)
+	for ti := 0; ti < tenants; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			errCh <- func() error {
+				app := rt.Connect(fmt.Sprintf("app%d", ti))
+				defer app.Close()
+				prog, err := app.CreateProgram(`
+kernel void strided(global float* d, int n, int stride, int iters)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) {
+        float acc = d[i * stride];
+        int it;
+        for (it = 0; it < iters; ++it) acc = acc * 1.000001f + 0.5f;
+        d[i * stride] = acc;
+    }
+}
+`)
+				if err != nil {
+					return err
+				}
+				host := make([]byte, elems*4)
+				var tails []*opencl.Event
+				for c := 0; c < perTenant; c++ {
+					buf, err := app.CreateBuffer(elems * 4)
+					if err != nil {
+						return err
+					}
+					k, err := prog.CreateKernel("strided")
+					if err != nil {
+						return err
+					}
+					_ = k.SetArgBuffer(0, buf)
+					_ = k.SetArgInt32(1, n)
+					_ = k.SetArgInt32(2, stride)
+					_ = k.SetArgInt32(3, int32(16*(ti+1)))
+					wev, err := buf.WriteAsync(0, host)
+					if err != nil {
+						return err
+					}
+					kev, err := app.EnqueueKernelAsync(k, nd, wev)
+					if err != nil {
+						return err
+					}
+					rev, err := buf.ReadAsync(0, host, kev)
+					if err != nil {
+						return err
+					}
+					tails = append(tails, rev)
+				}
+				app.Finish()
+				return opencl.WaitAll(tails...)
+			}()
+		}(ti)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("--- traced live run: %d tenants x %d chains ---\n", tenants, perTenant)
+	fmt.Printf("wrote %d spans to %s (%d dropped)\n\n", tr.Len(), tracePath, tr.Dropped())
+	if err := reg.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println(score.Compute().String())
+	if prof != nil {
+		fmt.Println("\n--- VM execution profiles ---")
+		prof.Dump(os.Stdout)
+	}
 	return nil
 }
 

@@ -16,7 +16,9 @@ import (
 	"sync"
 
 	"repro/internal/accelos"
+	"repro/internal/metrics"
 	"repro/internal/opencl"
+	"repro/internal/telemetry"
 )
 
 const (
@@ -109,6 +111,12 @@ func tenant(rt *accelos.Runtime, id int, wg *sync.WaitGroup, report chan<- strin
 func main() {
 	rt := accelos.NewRuntime(opencl.GetPlatforms()[0])
 	defer rt.Shutdown()
+	// Live telemetry: every completed kernel contributes its measured
+	// shared (enqueue→retire) and alone (summed slice) times, so the run
+	// ends with the paper's §7.4 scorecard computed from real span data.
+	reg := telemetry.NewRegistry()
+	score := metrics.NewLiveScorecard()
+	rt.SetTelemetry(nil, reg, score)
 
 	fmt.Printf("starting %d tenants on %s (device memory %d MB)\n\n",
 		tenants, rt.Plat.Dev.Name, rt.Plat.Dev.GlobalMemMB)
@@ -132,19 +140,11 @@ func main() {
 		rt.Memory().TotalPauses())
 
 	// The sliced engine re-plans every launch on each arrival and
-	// completion; the plan log shows shares shrinking as tenants pile
-	// on and regrowing as they leave.
+	// completion; the live scorecard below shows what the contention cost
+	// each tenant, in the paper's §7.4 multi-tenancy metrics.
 	fmt.Printf("scheduler: %d dynamic re-plans (%d scheduler re-entries)\n",
 		st.Replans, rt.Monitor().Reschedules())
-	hist := rt.PlanHistory()
-	perApp := make(map[string][]int64)
-	for _, s := range hist {
-		perApp[s.App] = append(perApp[s.App], s.PhysWGs)
-	}
-	for id := 0; id < tenants; id++ {
-		name := fmt.Sprintf("tenant-%d", id)
-		if plans := perApp[name]; len(plans) > 0 {
-			fmt.Printf("  %s physical work-group trajectory: %v\n", name, plans)
-		}
-	}
+
+	fmt.Println("\nlive §7.4 scorecard (shared = enqueue→retire, alone = summed slice time):")
+	fmt.Println(score.Compute().String())
 }

@@ -44,7 +44,11 @@ func (rt *Runtime) Connect(name string) *App {
 	rt.nextApp++
 	id := rt.nextApp
 	rt.mu.Unlock()
-	return &App{rt: rt, ID: id, Name: name, q: rt.Ctx.CreateOutOfOrderQueue()}
+	q := rt.Ctx.CreateOutOfOrderQueue()
+	// The queue reports telemetry (DMA spans and byte counts) under the
+	// tenant's name.
+	q.SetLabel(name)
+	return &App{rt: rt, ID: id, Name: name, q: q}
 }
 
 // Close releases everything the application holds.

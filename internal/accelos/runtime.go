@@ -1,8 +1,11 @@
 package accelos
 
 import (
+	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/accelpass"
 	"repro/internal/clc"
@@ -10,10 +13,12 @@ import (
 	"repro/internal/device"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/metrics"
 	"repro/internal/opencl"
 	"repro/internal/passes"
 	"repro/internal/rtlib"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Runtime is the accelOS background system process (level 1 of Fig. 5):
@@ -61,6 +66,13 @@ type Runtime struct {
 
 	statsMu sync.Mutex
 	stats   Stats
+
+	// Telemetry sinks, installed once by SetTelemetry before any work is
+	// scheduled and read without locks afterwards (every accessor is
+	// nil-safe, so disabled telemetry costs a nil check per site).
+	tracer *telemetry.Tracer
+	reg    *telemetry.Registry
+	score  *metrics.LiveScorecard
 }
 
 // launchRec tracks one kernel execution from interception to
@@ -82,6 +94,14 @@ type launchRec struct {
 	h       *opencl.LaunchHandle
 	ev      *opencl.Event
 	started bool // reached startLaunch (pending → running)
+
+	// root pre-allocates the execution's trace-span ID at schedule time so
+	// slice spans can parent to it before the root span itself is emitted
+	// (at completion, from the event's profiling stamps). busy accumulates
+	// slice wall time — the scorecard's "alone" estimate; only the slice
+	// goroutine writes it.
+	root int64
+	busy time.Duration
 }
 
 // PlanSample is one allocation pushed to an in-flight execution by the
@@ -111,6 +131,10 @@ type Stats struct {
 	// incomplete wait list: the scheduler saw them as its pending window
 	// before their dependencies released them.
 	WaitDeferred int
+	// Rejected counts executions refused at admission because the target
+	// device's run queue was at its bound (cluster runtimes with
+	// SetMaxQueued only); their events fail with ErrAdmissionRejected.
+	Rejected int
 	// DeviceLaunches counts launches per pool member (cluster runtimes
 	// only; nil for single-device runtimes).
 	DeviceLaunches []int
@@ -193,6 +217,41 @@ func NewBoundedClusterRuntime(plats []*opencl.Platform, pol cluster.Policy, maxR
 
 // Pool exposes the device pool of a cluster runtime (nil otherwise).
 func (rt *Runtime) Pool() *cluster.Pool { return rt.pool }
+
+// ErrAdmissionRejected fails a kernel execution's event when the
+// admission controller refused it outright: the placement policy's
+// device had both a full resident set and a full run queue (see
+// cluster.Pool.SetMaxQueued). The tenant's overflow is counted, not
+// silently queued without bound.
+var ErrAdmissionRejected = errors.New("accelos: admission rejected: device run queue full")
+
+// SetTelemetry installs the runtime's observability sinks: tr receives
+// kernel-lifecycle/slice/replan trace spans, reg the per-tenant and
+// per-device metrics, and score one shared/alone sample per completed
+// kernel for the live §7.4 scorecard. Any may be nil. The sinks also
+// cover the runtime's OpenCL context, so application transfer queues
+// report DMA spans and byte counts. Call once, before connecting
+// applications — the fields are read without locks from then on.
+func (rt *Runtime) SetTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry, score *metrics.LiveScorecard) {
+	rt.tracer = tr
+	rt.reg = reg
+	rt.score = score
+	rt.Ctx.SetTracer(tr)
+	rt.Ctx.SetMetrics(reg)
+}
+
+// SetProfiler installs a VM execution profiler on every platform the
+// runtime launches kernels on (nil removes it). Sampled per-opcode and
+// per-block profiles then accumulate for each kernel the interpreter
+// runs; see interp.NewProfiler for the sampling knobs.
+func (rt *Runtime) SetProfiler(p *interp.Profiler) {
+	rt.Plat.Machines().SetProfiler(p)
+	for _, plat := range rt.plats {
+		if plat != rt.Plat {
+			plat.Machines().SetProfiler(p)
+		}
+	}
+}
 
 // Shutdown stops the daemon after draining pending requests.
 func (rt *Runtime) Shutdown() {
@@ -359,6 +418,7 @@ func (rt *Runtime) scheduleKernel(req *Request) error {
 		rtWords: rtlib.BuildRT(nd.Dims, nd.NumGroups(), nd.Local, info.Chunk),
 		bufs:    req.Bufs,
 		ev:      ev,
+		root:    rt.tracer.NewID(),
 	}
 
 	deferred := false
@@ -378,7 +438,7 @@ func (rt *Runtime) scheduleKernel(req *Request) error {
 	// execution and propagates the cause to its event.
 	opencl.WhenAll(req.Waits, func(depErr error) {
 		if depErr != nil {
-			rt.abandon(rec, fmt.Errorf("accelos: kernel %q: wait-list dependency failed: %w", rec.kern, depErr))
+			rt.abandon(rec, fmt.Errorf("accelos: kernel %q: wait-list dependency failed: %w", rec.kern, depErr), "wait-failed")
 			return
 		}
 		rt.admit(rec)
@@ -386,14 +446,16 @@ func (rt *Runtime) scheduleKernel(req *Request) error {
 	return nil
 }
 
-// abandon retires a never-launched execution (failed wait list) and
-// fails its event.
-func (rt *Runtime) abandon(rec *launchRec, err error) {
+// abandon retires a never-launched execution (failed wait list or
+// refused admission) and fails its event with the cause; status labels
+// the kernel in the metrics registry.
+func (rt *Runtime) abandon(rec *launchRec, err error, status string) {
 	rt.activeMu.Lock()
 	delete(rt.active, rec.id)
 	rt.activeMu.Unlock()
 	rt.mon.KernelRetired(false)
 	rec.ev.Fail(err)
+	rt.recordKernel(rec, status)
 }
 
 // admit hands a wait-released execution to a device: on a cluster
@@ -416,10 +478,24 @@ func (rt *Runtime) admit(rec *launchRec) {
 		rt.launchMu.Lock()
 		rt.pending[rec.ce] = rec
 		rt.launchMu.Unlock()
-		if _, admitted := rt.pool.Submit(rec.ce); !admitted {
+		switch _, kind := rt.pool.Submit(rec.ce); kind {
+		case cluster.EvQueued:
 			rt.statsMu.Lock()
 			rt.stats.QueuedAdmissions++
 			rt.statsMu.Unlock()
+			rt.reg.Counter("admission_queued_total", telemetry.L("tenant", rec.app)).Add(1)
+		case cluster.EvRejected:
+			// The request never joined the pool: un-park it here (the
+			// synchronous return is the only signal; no membership event
+			// will claim it) and fail the application's event.
+			rt.launchMu.Lock()
+			delete(rt.pending, rec.ce)
+			rt.launchMu.Unlock()
+			rt.statsMu.Lock()
+			rt.stats.Rejected++
+			rt.statsMu.Unlock()
+			rt.reg.Counter("admission_rejections_total", telemetry.L("tenant", rec.app)).Add(1)
+			rt.abandon(rec, fmt.Errorf("accelos: kernel %q: %w", rec.kern, ErrAdmissionRejected), "rejected")
 		}
 		return
 	}
@@ -450,6 +526,9 @@ func (rt *Runtime) onPoolEvent(ev cluster.PoolEvent) {
 		}
 	case cluster.EvQueued:
 		// Nothing to do: the request waits for the admission event.
+	case cluster.EvRejected:
+		// Handled synchronously by admit on Submit's return value; the
+		// event exists for external pool observers.
 	}
 }
 
@@ -463,6 +542,7 @@ func (rt *Runtime) startLaunch(rec *launchRec) {
 	if err := rec.releasedArg(); err != nil {
 		rt.retire(rec)
 		rec.ev.Fail(err)
+		rt.recordKernel(rec, "failed")
 		return
 	}
 	plat := rt.Plat
@@ -473,6 +553,7 @@ func (rt *Runtime) startLaunch(rec *launchRec) {
 	if err != nil {
 		rt.retire(rec)
 		rec.ev.Fail(err)
+		rt.recordKernel(rec, "failed")
 		return
 	}
 	rt.mu.Lock()
@@ -498,13 +579,24 @@ func (rt *Runtime) startLaunch(rec *launchRec) {
 	rt.replan(rec.devIdx)
 	go func() {
 		var lerr error
+		traced := rt.tracer != nil || rt.reg != nil
+		slice := 0
 		for {
 			// A buffer released mid-execution cancels the launch at the
 			// next slice boundary instead of racing on the bytes.
 			if rerr := rec.releasedArg(); rerr != nil {
 				h.Cancel(rerr)
 			}
+			start := time.Now()
 			done, serr := h.Step()
+			// Slice wall time approximates the kernel's isolated machine
+			// share: it accumulates into "alone" for the live scorecard.
+			d := time.Since(start)
+			rec.busy += d
+			if traced {
+				rt.recordSlice(rec, h.MachineName(), slice, start, d)
+			}
+			slice++
 			if done {
 				lerr = serr
 				break
@@ -513,10 +605,84 @@ func (rt *Runtime) startLaunch(rec *launchRec) {
 		rt.retire(rec)
 		if lerr != nil {
 			rec.ev.Fail(lerr)
+			rt.recordKernel(rec, "failed")
 		} else {
 			rec.ev.Complete()
+			rt.recordKernel(rec, "ok")
 		}
 	}()
+}
+
+// devLabel renders the execution's device index for metric labels
+// (single-device runtimes launch everything on device 0).
+func (rec *launchRec) devLabel() string {
+	if rec.devIdx >= 0 {
+		return strconv.Itoa(rec.devIdx)
+	}
+	return "0"
+}
+
+// recordSlice emits one slice-execution span on the machine's trace
+// thread, parented to the kernel's root span, plus the slice-duration
+// histogram sample.
+func (rt *Runtime) recordSlice(rec *launchRec, mach string, slice int, start time.Time, d time.Duration) {
+	if mach == "" {
+		mach = "mach"
+	}
+	rt.tracer.Complete(rec.root, "devices", mach, "slice", rec.kern,
+		start, start.Add(d),
+		telemetry.Arg{Key: "tenant", Val: rec.app},
+		telemetry.Arg{Key: "slice", Val: strconv.Itoa(slice)},
+		telemetry.Arg{Key: "dev", Val: rec.devLabel()})
+	rt.reg.Histogram("slice_ns",
+		telemetry.L("tenant", rec.app), telemetry.L("dev", rec.devLabel())).Observe(int64(d))
+}
+
+// recordKernel emits the execution's lifecycle telemetry once its event
+// is terminal: the root kernel span (enqueue→retire) with wait-list /
+// schedule / execute children derived from the event's profiling
+// stamps, the per-tenant latency histograms and kernel counter, and —
+// for successful kernels — the shared/alone sample feeding the live
+// §7.4 scorecard.
+func (rt *Runtime) recordKernel(rec *launchRec, status string) {
+	tr, reg, sc := rt.tracer, rt.reg, rt.score
+	if tr == nil && reg == nil && sc == nil {
+		return
+	}
+	p, err := rec.ev.ProfilingInfo()
+	if err != nil {
+		return // event not terminal: nothing trustworthy to record
+	}
+	dev := rec.devLabel()
+	if tr != nil {
+		thread := "exec-" + strconv.Itoa(rec.id)
+		tr.CompleteAs(rec.root, 0, rec.app, thread, "kernel", rec.kern, p.Queued, p.Complete,
+			telemetry.Arg{Key: "dev", Val: dev},
+			telemetry.Arg{Key: "status", Val: status})
+		// Children cover the phases the execution actually reached; an
+		// abandoned kernel (failed wait list, rejected admission) has no
+		// running stamp and gets only the phases before the cut.
+		if !p.Submitted.IsZero() {
+			tr.Complete(rec.root, rec.app, thread, "kernel", "wait-list", p.Queued, p.Submitted)
+		}
+		if !p.Running.IsZero() {
+			tr.Complete(rec.root, rec.app, thread, "kernel", "schedule", p.Submitted, p.Running)
+			tr.Complete(rec.root, rec.app, thread, "kernel", "execute", p.Running, p.Complete)
+		}
+	}
+	if reg != nil {
+		reg.Counter("kernels_total",
+			telemetry.L("tenant", rec.app), telemetry.L("dev", dev), telemetry.L("status", status)).Inc()
+		if !p.Running.IsZero() {
+			reg.Histogram("enqueue_latency_ns", telemetry.L("tenant", rec.app)).
+				Observe(int64(p.Running.Sub(p.Queued)))
+			reg.Histogram("queue_delay_ns", telemetry.L("tenant", rec.app)).
+				Observe(int64(p.LaunchDelay()))
+		}
+	}
+	if sc != nil && status == "ok" {
+		sc.AddKernel(rec.app, p.Total(), rec.busy)
+	}
 }
 
 // releasedArg reports the first of the execution's argument buffers the
@@ -598,6 +764,10 @@ func (rt *Runtime) replan(devIdx int) {
 	rt.statsMu.Lock()
 	rt.stats.Replans++
 	rt.statsMu.Unlock()
+	rt.tracer.Instant(0, "runtime", "scheduler", "replan", "replan", time.Now(),
+		telemetry.Arg{Key: "dev", Val: strconv.Itoa(devIdx)},
+		telemetry.Arg{Key: "launches", Val: strconv.Itoa(len(launches))})
+	rt.reg.Counter("replans_total").Inc()
 }
 
 // PlanHistory returns every allocation the dynamic re-planner pushed to

@@ -1,0 +1,219 @@
+package accelos
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/interp"
+	"repro/internal/metrics"
+	"repro/internal/opencl"
+	"repro/internal/telemetry"
+)
+
+// TestRuntimeTelemetryEndToEnd drives a kernel + transfers through a
+// fully instrumented runtime and checks every telemetry surface saw it:
+// the kernel lifecycle span tree, slice spans on a named machine, DMA
+// metrics under the tenant's queue label, the live scorecard, the VM
+// execution profile, and a loadable Chrome trace export.
+func TestRuntimeTelemetryEndToEnd(t *testing.T) {
+	rt := NewRuntime(opencl.GetPlatforms()[0])
+	defer rt.Shutdown()
+	tr := telemetry.New(0)
+	reg := telemetry.NewRegistry()
+	score := metrics.NewLiveScorecard()
+	rt.SetTelemetry(tr, reg, score)
+	prof := interp.NewProfiler(interp.ProfileOptions{PerOpcode: true, SampleEvery: 1})
+	rt.SetProfiler(prof)
+
+	app := rt.Connect("tenant-a")
+	defer app.Close()
+	const n = 64 * 32
+	k, buf := setupIntKernel(t, app, peerSrc, "peer", n)
+	defer buf.Release()
+	if err := buf.Write(0, make([]byte, n*4)); err != nil {
+		t.Fatal(err)
+	}
+	nd := opencl.NDRange{Dims: 1, Global: [3]int64{n, 1, 1}, Local: [3]int64{32, 1, 1}}
+	if err := app.EnqueueKernel(k, nd); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, n*4)
+	if err := buf.Read(0, out); err != nil {
+		t.Fatal(err)
+	}
+	app.Finish()
+
+	spans := tr.Spans()
+	var root *telemetry.Span
+	byName := map[string]int{}
+	for i := range spans {
+		byName[spans[i].Name]++
+		if spans[i].Cat == "kernel" && spans[i].Name == "peer" {
+			root = &spans[i]
+		}
+	}
+	if root == nil {
+		t.Fatalf("no kernel root span; spans: %v", byName)
+	}
+	if root.Proc != "tenant-a" {
+		t.Errorf("root span proc = %q, want tenant-a", root.Proc)
+	}
+	for _, child := range []string{"wait-list", "schedule", "execute"} {
+		found := false
+		for _, s := range spans {
+			if s.Name == child && s.Parent == root.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no %q child of the kernel root span", child)
+		}
+	}
+	sliceSpans := 0
+	for _, s := range spans {
+		if s.Cat == "slice" {
+			sliceSpans++
+			if s.Parent != root.ID {
+				t.Errorf("slice span parented to %d, want root %d", s.Parent, root.ID)
+			}
+			if !strings.HasPrefix(s.Thread, "mach-") {
+				t.Errorf("slice span thread = %q, want a mach-N machine name", s.Thread)
+			}
+		}
+	}
+	if sliceSpans == 0 {
+		t.Error("no slice spans recorded")
+	}
+	// The app's write and read ran on its labeled transfer queue.
+	if byName["write"] == 0 || byName["read"] == 0 {
+		t.Errorf("missing transfer command spans: %v", byName)
+	}
+
+	var text bytes.Buffer
+	if err := reg.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`kernels_total{dev="0",status="ok",tenant="tenant-a"} 1`,
+		`dma_bytes_total{queue="tenant-a"}`,
+		`enqueue_latency_ns`,
+		`slice_ns`,
+		`replans_total`,
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("metrics snapshot missing %q:\n%s", want, text.String())
+		}
+	}
+
+	sc := score.Compute()
+	if len(sc.Tenants) != 1 || sc.Tenants[0].Tenant != "tenant-a" || sc.Tenants[0].Kernels != 1 {
+		t.Errorf("scorecard = %+v, want one kernel for tenant-a", sc)
+	}
+	if sc.Tenants[0].Slowdown < 1 {
+		t.Errorf("individual slowdown %f < 1", sc.Tenants[0].Slowdown)
+	}
+
+	snaps := prof.Snapshot()
+	if len(snaps) == 0 || snaps[0].Instrs == 0 {
+		t.Fatalf("profiler saw nothing: %+v", snaps)
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := tr.WriteChromeTrace(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(jsonBuf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < len(spans) {
+		t.Errorf("Chrome trace has %d events for %d spans", len(doc.TraceEvents), len(spans))
+	}
+}
+
+// TestRuntimeAdmissionRejection checks the bounded cluster runtime's
+// backpressure: with one resident slot and a one-deep run queue, a
+// third concurrent execution is refused — its event fails with
+// ErrAdmissionRejected, the rejection is counted per tenant, and the
+// accepted executions still complete.
+func TestRuntimeAdmissionRejection(t *testing.T) {
+	rt := NewBoundedClusterRuntime(opencl.GetPlatforms()[:1], cluster.LeastLoaded(), 1)
+	defer rt.Shutdown()
+	rt.Pool().SetMaxQueued(1)
+	rt.SetSliceRounds(1)
+	reg := telemetry.NewRegistry()
+	rt.SetTelemetry(nil, reg, nil)
+
+	const longN, shortN = 256 * 32, 32 * 32
+	app := rt.Connect("greedy")
+	defer app.Close()
+	kL, bufL := setupIntKernel(t, app, churnSrc, "churn", longN)
+	defer bufL.Release()
+	kQ, bufQ := setupIntKernel(t, app, peerSrc, "peer", shortN)
+	defer bufQ.Release()
+
+	ndL := opencl.NDRange{Dims: 1, Global: [3]int64{longN, 1, 1}, Local: [3]int64{32, 1, 1}}
+	ndS := opencl.NDRange{Dims: 1, Global: [3]int64{shortN, 1, 1}, Local: [3]int64{32, 1, 1}}
+	evL, err := app.EnqueueKernelAsync(kL, ndL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the long kernel to hold the device slot, so the next two
+	// submissions hit the queue and then the bound deterministically.
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Stats().KernelsLaunched == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first kernel never launched")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	evQ, err := app.EnqueueKernelAsync(kQ, ndS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rt.Stats().QueuedAdmissions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second kernel never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	evR, err := app.EnqueueKernelAsync(kQ, ndS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := evR.Wait(); !errors.Is(werr, ErrAdmissionRejected) {
+		t.Fatalf("rejected execution's event error = %v, want ErrAdmissionRejected", werr)
+	}
+	if err := evL.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := evQ.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := rt.Stats()
+	if st.Rejected != 1 {
+		t.Errorf("Stats.Rejected = %d, want 1", st.Rejected)
+	}
+	if st.KernelsLaunched != 2 {
+		t.Errorf("KernelsLaunched = %d, want 2", st.KernelsLaunched)
+	}
+	if got := reg.Counter("admission_rejections_total", telemetry.L("tenant", "greedy")).Value(); got != 1 {
+		t.Errorf("admission_rejections_total{tenant=greedy} = %d, want 1", got)
+	}
+	var text bytes.Buffer
+	if err := reg.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), `kernels_total{dev="0",status="rejected",tenant="greedy"} 1`) {
+		t.Errorf("metrics snapshot missing rejected kernel count:\n%s", text.String())
+	}
+}

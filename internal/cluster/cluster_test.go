@@ -244,14 +244,14 @@ func TestPoolAdmissionAndSteal(t *testing.T) {
 	a := exec(0, "t", 64, 1000)
 	b := exec(1, "t", 64, 1000)
 	c := exec(2, "t", 64, 1000)
-	if _, admitted := p.Submit(a); !admitted {
+	if _, kind := p.Submit(a); kind != cluster.EvAdmitted {
 		t.Fatal("first request on an empty device should be admitted")
 	}
-	if _, admitted := p.Submit(b); !admitted {
+	if _, kind := p.Submit(b); kind != cluster.EvAdmitted {
 		t.Fatal("second request lands on the other empty device")
 	}
-	di, admitted := p.Submit(c)
-	if admitted {
+	di, kind := p.Submit(c)
+	if kind != cluster.EvQueued {
 		t.Fatal("third request should queue behind the admission limit")
 	}
 	loads := p.Loads()

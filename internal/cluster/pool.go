@@ -21,6 +21,11 @@ type Pool struct {
 	// 0 means unbounded (the live runtime blocks callers instead of
 	// queueing, so admission happens at placement time).
 	maxResident int
+	// maxQueued bounds each device's run queue; 0 means unbounded. A
+	// Submit that would exceed it is rejected outright — the multi-tenant
+	// backpressure signal, so an aggressive tenant's overflow is refused
+	// (and counted) instead of growing queues without bound.
+	maxQueued int
 
 	resident [][]*sim.ClusterExec
 	queued   [][]*sim.ClusterExec
@@ -45,6 +50,10 @@ const (
 	// EvMigrated: Rebalance moved the queued request to drained Dev and
 	// admitted it there.
 	EvMigrated
+	// EvRejected: Submit refused the request because Dev's run queue was
+	// at its MaxQueued bound. The request never joins the pool; the event
+	// exists so telemetry can count rejections per tenant.
+	EvRejected
 )
 
 // PoolEvent is one membership change: the event source for
@@ -101,6 +110,16 @@ func (p *Pool) Devices() []*device.Platform { return p.devs }
 // limit (and can therefore ever hold queued requests).
 func (p *Pool) Bounded() bool { return p.maxResident > 0 }
 
+// SetMaxQueued bounds each device's run queue to n waiting requests;
+// 0 (the default) restores unbounded queueing. Only meaningful on a
+// bounded pool — an unbounded pool admits everything immediately and
+// never queues.
+func (p *Pool) SetMaxQueued(n int) {
+	p.mu.Lock()
+	p.maxQueued = n
+	p.mu.Unlock()
+}
+
 // Loads snapshots the pool for placement decisions.
 func (p *Pool) Loads() []sim.DeviceLoad {
 	p.mu.Lock()
@@ -122,27 +141,35 @@ func (p *Pool) loadsLocked() []sim.DeviceLoad {
 	return out
 }
 
-// Submit places a request on a device. It returns the device index and
-// whether the request was admitted immediately; when false, the request
-// waits in that device's run queue until Complete frees a slot (or
-// Rebalance migrates it).
-func (p *Pool) Submit(e *sim.ClusterExec) (devIdx int, admitted bool) {
+// Submit places a request on a device. It returns the device index the
+// policy picked and what happened there: EvAdmitted (resident now,
+// launch it), EvQueued (waiting in that device's run queue until
+// Complete frees a slot or Rebalance migrates it), or EvRejected (the
+// queue was at its SetMaxQueued bound; the request is NOT in the pool
+// and must not be launched or Completed).
+func (p *Pool) Submit(e *sim.ClusterExec) (devIdx int, kind PoolEventKind) {
 	p.mu.Lock()
 	di := p.pol.Pick(e, p.loadsLocked())
 	if di < 0 || di >= len(p.devs) {
 		di = 0
 	}
-	p.work[di] += e.K.TotalWork() * e.K.NumIters()
-	kind := EvQueued
 	if p.maxResident <= 0 || len(p.resident[di]) < p.maxResident {
 		p.resident[di] = append(p.resident[di], e)
 		kind = EvAdmitted
+	} else if p.maxQueued > 0 && len(p.queued[di]) >= p.maxQueued {
+		// Rejected requests contribute no work: load snapshots must not
+		// count demand the pool refused to carry.
+		p.mu.Unlock()
+		p.notify([]PoolEvent{{Kind: EvRejected, Dev: di, Exec: e}})
+		return di, EvRejected
 	} else {
 		p.queued[di] = append(p.queued[di], e)
+		kind = EvQueued
 	}
+	p.work[di] += e.K.TotalWork() * e.K.NumIters()
 	p.mu.Unlock()
 	p.notify([]PoolEvent{{Kind: kind, Dev: di, Exec: e}})
-	return di, kind == EvAdmitted
+	return di, kind
 }
 
 // Complete retires a request from a device and admits the head of its

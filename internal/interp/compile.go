@@ -153,6 +153,15 @@ type compiledFn struct {
 	nregs     int
 	consts    []Value
 
+	// blockStarts/blockNames map bytecode pcs back to the source basic
+	// blocks for execution profiling: blockStarts is ascending (blocks
+	// are emitted in order and each emits at least its terminator), so
+	// the block containing any pc — including a jump-threaded landing
+	// mid-block — is a binary search away. A final "(edge-copies)" entry
+	// covers the synthesized edge-stub region after the last block.
+	blockStarts []int32
+	blockNames  []string
+
 	// regPool recycles register files across frames and launches; files
 	// are cleared on Get so stale values (and the regions they pin) do
 	// not leak between activations.
@@ -365,6 +374,14 @@ func (p *Prog) compileFn(cf *compiledFn, fuse bool) {
 		if !b.Terminated() {
 			c.code = append(c.code, instr{op: opTrap, msg: fmt.Sprintf("fell off unterminated block in %s", fn.Name)})
 		}
+	}
+	for _, b := range fn.Blocks {
+		cf.blockStarts = append(cf.blockStarts, c.blockPC[b])
+		cf.blockNames = append(cf.blockNames, b.Name)
+	}
+	if len(c.stubs) > 0 {
+		cf.blockStarts = append(cf.blockStarts, int32(len(c.code)))
+		cf.blockNames = append(cf.blockNames, "(edge-copies)")
 	}
 	// Edge stubs go after the straight-line code; conditional branches
 	// into phi-bearing blocks land here, run the edge's copies, and jump

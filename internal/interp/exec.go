@@ -106,6 +106,11 @@ type launchCtx struct {
 	prog *Prog
 	kcf  *compiledFn
 
+	// Execution profiling (VM engine only): the machine's profiler and
+	// this kernel's aggregate, resolved once per launch.
+	prof *Profiler
+	kp   *KernelProfile
+
 	steps    atomic.Int64
 	maxSteps int64
 }

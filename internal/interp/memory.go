@@ -127,6 +127,17 @@ type Machine struct {
 	// shared program cache. Machines are owned by one launch at a time
 	// (the pool hands them out exclusively), so no lock is needed.
 	prog *Prog
+
+	// Profiler, when set, collects sampled execution profiles for VM
+	// launches on this machine (see NewProfiler; the tree-walking engine
+	// ignores it). Like prog, the field is unlocked because a machine is
+	// owned by one launch at a time; the profiler itself is safe to share
+	// across machines.
+	Profiler *Profiler
+
+	// Name labels the machine in trace output (opencl.MachinePool assigns
+	// "mach-N"); empty for anonymous machines.
+	Name string
 }
 
 // Program returns the machine's compiled bytecode, compiling the module

@@ -104,6 +104,10 @@ type vmGroup struct {
 	group  [3]int64
 	locals []*Region
 	ar     *arena
+
+	// prof is non-nil when this group was sampled for execution
+	// profiling: exec defers to the counting loop in vm_profile.go.
+	prof *groupProfile
 }
 
 // stepBatch is how many instructions a work-item executes between
@@ -125,6 +129,10 @@ func (m *Machine) launchVM(fn *ir.Function, args []Value, locals []localArg, nd 
 		return fmt.Errorf("interp: kernel %q not compiled", fn.Name)
 	}
 	l := &launchCtx{m: m, fn: fn, args: args, locals: locals, nd: nd, ng: nd.NumGroups(), prog: prog, kcf: kcf, maxSteps: m.maxSteps()}
+	if p := m.Profiler; p != nil {
+		l.prof = p
+		l.kp = p.kernel(fn.Name)
+	}
 	total := l.ng[0] * l.ng[1] * l.ng[2]
 	workers := int64(runtime.GOMAXPROCS(0))
 	if workers > total {
@@ -291,6 +299,13 @@ func (l *launchCtx) runGroupVM(gr *groupRunner, group [3]int64) error {
 	gr.locals = gr.locals[:nslots]
 	clear(gr.locals)
 	g := &vmGroup{l: l, group: group, locals: gr.locals, ar: &gr.ar}
+	if p := l.prof; p != nil {
+		// Sample 1 in every groups: the first sample lands at group
+		// `every`, so short launches on a sparse profiler pay nothing.
+		if n := l.kp.groupsSeen.Add(1); n%p.every == 0 {
+			g.prof = p.newGroupProfile()
+		}
+	}
 
 	// Materialize host-declared local arguments: one region per group,
 	// patched over the LocalArgV placeholder in every item's registers.
@@ -334,12 +349,23 @@ func (l *launchCtx) runGroupVM(gr *groupRunner, group [3]int64) error {
 					group[2]*nd.Local[2] + wi.lid[2],
 				}
 				g.release(gr)
+				if l.kp != nil {
+					// Faults are counted on every group, sampled or not;
+					// a sampled group's partial counts still flush.
+					l.kp.faults.Add(1)
+					if g.prof != nil {
+						l.kp.flush(g.prof)
+					}
+				}
 				return fmt.Errorf("interp: work-item global id (%d,%d,%d): %w", gid[0], gid[1], gid[2], err)
 			}
 			if wi.status == wiDone {
 				live--
 			}
 		}
+	}
+	if g.prof != nil {
+		l.kp.flush(g.prof)
 	}
 	return nil
 }
@@ -374,8 +400,14 @@ func (g *vmGroup) resume(wi *wiState) (err error) {
 }
 
 // exec is the dispatch loop. It caches the top frame in locals and only
-// touches the frame stack on call, return and barrier.
+// touches the frame stack on call, return and barrier. Sampled groups
+// divert to the counting twin in vm_profile.go here — one branch per
+// resume, not per instruction, so the unprofiled hot loop is untouched.
 func (g *vmGroup) exec(wi *wiState) {
+	if g.prof != nil {
+		g.execProf(wi)
+		return
+	}
 	l := g.l
 	m := l.m
 	top := len(wi.frames) - 1

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LiveScorecard accumulates the §7.4 metrics from real execution spans
+// instead of fluid-sim output. For every completed kernel the runtime
+// reports the tenant, the shared wall time (the event's enqueue-to-
+// complete span, i.e. what the tenant actually experienced under
+// co-running load) and an estimate of the alone time (the kernel's
+// accumulated slice busy time — the machine-occupancy portion of the
+// wall time, which is what the kernel would have cost with the device to
+// itself). IS_i = T(shared)/T(alone) then feeds the standard
+// unfairness/STP/ANTT formulas.
+//
+// All methods are safe for concurrent use and on a nil receiver (a nil
+// scorecard records nothing).
+type LiveScorecard struct {
+	mu      sync.Mutex
+	tenants map[string]*tenantAcc
+}
+
+type tenantAcc struct {
+	kernels int
+	shared  time.Duration
+	alone   time.Duration
+}
+
+// NewLiveScorecard returns an empty scorecard.
+func NewLiveScorecard() *LiveScorecard {
+	return &LiveScorecard{tenants: make(map[string]*tenantAcc)}
+}
+
+// AddKernel records one completed kernel execution for the tenant.
+// Non-positive alone times clamp to 1ns so a degenerate sample cannot
+// produce an infinite slowdown.
+func (s *LiveScorecard) AddKernel(tenant string, shared, alone time.Duration) {
+	if s == nil {
+		return
+	}
+	if alone <= 0 {
+		alone = 1
+	}
+	if shared < alone {
+		// Busy time is a lower bound on wall time; clock skew between the
+		// two measurements must not yield IS < 1.
+		shared = alone
+	}
+	s.mu.Lock()
+	acc := s.tenants[tenant]
+	if acc == nil {
+		acc = &tenantAcc{}
+		s.tenants[tenant] = acc
+	}
+	acc.kernels++
+	acc.shared += shared
+	acc.alone += alone
+	s.mu.Unlock()
+}
+
+// TenantScore is one tenant's accumulated measurement.
+type TenantScore struct {
+	Tenant   string
+	Kernels  int
+	Shared   time.Duration // Σ enqueue-to-complete wall time
+	Alone    time.Duration // Σ estimated alone (slice busy) time
+	Slowdown float64       // IS_i = Shared/Alone
+}
+
+// Scorecard is a computed §7.4 snapshot.
+type Scorecard struct {
+	Tenants    []TenantScore // sorted by tenant name
+	Unfairness float64
+	STP        float64
+	ANTT       float64
+	WorstANTT  float64
+}
+
+// Compute derives the §7.4 metrics from the accumulated samples.
+func (s *LiveScorecard) Compute() Scorecard {
+	var sc Scorecard
+	if s == nil {
+		sc.Unfairness = 1
+		return sc
+	}
+	s.mu.Lock()
+	for name, acc := range s.tenants {
+		sc.Tenants = append(sc.Tenants, TenantScore{
+			Tenant:   name,
+			Kernels:  acc.kernels,
+			Shared:   acc.shared,
+			Alone:    acc.alone,
+			Slowdown: IndividualSlowdown(int64(acc.shared), int64(acc.alone)),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(sc.Tenants, func(i, j int) bool { return sc.Tenants[i].Tenant < sc.Tenants[j].Tenant })
+	iss := make([]float64, len(sc.Tenants))
+	for i, t := range sc.Tenants {
+		iss[i] = t.Slowdown
+	}
+	sc.Unfairness = Unfairness(iss)
+	sc.STP = STP(iss)
+	sc.ANTT = ANTT(iss)
+	sc.WorstANTT = WorstANTT(iss)
+	return sc
+}
+
+// String renders the scorecard as the paper's §7.4 table shape: one row
+// per tenant plus the aggregate unfairness/STP/ANTT line.
+func (sc Scorecard) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %12s %12s %8s\n", "tenant", "kernels", "shared", "alone", "IS")
+	for _, t := range sc.Tenants {
+		fmt.Fprintf(&b, "%-12s %8d %12s %12s %8.2f\n",
+			t.Tenant, t.Kernels, t.Shared.Round(time.Microsecond), t.Alone.Round(time.Microsecond), t.Slowdown)
+	}
+	fmt.Fprintf(&b, "unfairness %.2f   STP %.2f   ANTT %.2f   worst ANTT %.2f",
+		sc.Unfairness, sc.STP, sc.ANTT, sc.WorstANTT)
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLiveScorecardCompute(t *testing.T) {
+	s := NewLiveScorecard()
+	// Tenant a: 2 kernels, each 2x slowdown. Tenant b: 1 kernel, 4x.
+	s.AddKernel("a", 20*time.Millisecond, 10*time.Millisecond)
+	s.AddKernel("a", 40*time.Millisecond, 20*time.Millisecond)
+	s.AddKernel("b", 40*time.Millisecond, 10*time.Millisecond)
+
+	sc := s.Compute()
+	if len(sc.Tenants) != 2 {
+		t.Fatalf("got %d tenants, want 2", len(sc.Tenants))
+	}
+	if sc.Tenants[0].Tenant != "a" || sc.Tenants[1].Tenant != "b" {
+		t.Fatalf("tenants not sorted: %+v", sc.Tenants)
+	}
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+	if !approx(sc.Tenants[0].Slowdown, 2) || !approx(sc.Tenants[1].Slowdown, 4) {
+		t.Fatalf("slowdowns = %g, %g; want 2, 4", sc.Tenants[0].Slowdown, sc.Tenants[1].Slowdown)
+	}
+	if !approx(sc.Unfairness, 2) {
+		t.Errorf("unfairness = %g, want 2", sc.Unfairness)
+	}
+	if !approx(sc.STP, 0.5+0.25) {
+		t.Errorf("STP = %g, want 0.75", sc.STP)
+	}
+	if !approx(sc.ANTT, 3) {
+		t.Errorf("ANTT = %g, want 3", sc.ANTT)
+	}
+	if !approx(sc.WorstANTT, 4) {
+		t.Errorf("worst ANTT = %g, want 4", sc.WorstANTT)
+	}
+	out := sc.String()
+	for _, want := range []string{"tenant", "unfairness 2.00", "STP 0.75", "ANTT 3.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLiveScorecardClamps(t *testing.T) {
+	s := NewLiveScorecard()
+	// Degenerate samples: zero alone time, and busy time exceeding wall
+	// time (clock skew) must clamp to IS >= 1, never Inf or < 1.
+	s.AddKernel("z", 5*time.Millisecond, 0)
+	s.AddKernel("w", 1*time.Millisecond, 2*time.Millisecond)
+	sc := s.Compute()
+	for _, ts := range sc.Tenants {
+		if math.IsInf(ts.Slowdown, 0) || ts.Slowdown < 1 {
+			t.Errorf("tenant %s slowdown %g out of range", ts.Tenant, ts.Slowdown)
+		}
+	}
+}
+
+func TestLiveScorecardConcurrentAndNil(t *testing.T) {
+	s := NewLiveScorecard()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.AddKernel("t", 2*time.Millisecond, time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	sc := s.Compute()
+	if sc.Tenants[0].Kernels != 1600 {
+		t.Fatalf("kernels = %d, want 1600", sc.Tenants[0].Kernels)
+	}
+
+	var nils *LiveScorecard
+	nils.AddKernel("x", 1, 1)
+	if got := nils.Compute(); len(got.Tenants) != 0 {
+		t.Fatal("nil scorecard recorded samples")
+	}
+}

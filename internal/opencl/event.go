@@ -209,20 +209,37 @@ func (p EventProfile) Duration() time.Duration { return span(p.Running, p.Comple
 // Total is enqueue-to-terminal wall time.
 func (p EventProfile) Total() time.Duration { return span(p.Queued, p.Complete) }
 
+// ErrProfilingNotAvailable is returned by ProfilingInfo while the event
+// has not reached a terminal status — the CL_PROFILING_INFO_NOT_AVAILABLE
+// analogue. An in-flight event has not accumulated its full transition
+// record, and handing out a partial profile made every consumer treat
+// zero stamps as zero durations.
+var ErrProfilingNotAvailable = errors.New("opencl: profiling info not available until the event completes")
+
 // ProfilingInfo returns the event's status-transition timestamps.
 // Pipelines tune overlap from these measured spans instead of host-side
 // wall-clock deltas: summing Duration over a chain's events against the
 // chain's Total shows exactly how much transfer and kernel time the
 // wait-list edges managed to overlap.
-func (e *Event) ProfilingInfo() EventProfile {
+//
+// The contract mirrors clGetEventProfilingInfo: querying before the
+// event completes returns ErrProfilingNotAvailable and a zero profile.
+// After completion every transition the event went through is stamped;
+// states it legitimately skipped (a user event is never submitted or
+// run, a command whose dependency failed never ran) keep zero stamps,
+// and the EventProfile span helpers report zero durations across them.
+func (e *Event) ProfilingInfo() (EventProfile, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if !e.status.Terminal() {
+		return EventProfile{}, ErrProfilingNotAvailable
+	}
 	return EventProfile{
 		Queued:    e.times[EventQueued],
 		Submitted: e.times[EventSubmitted],
 		Running:   e.times[EventRunning],
 		Complete:  e.times[EventComplete],
-	}
+	}, nil
 }
 
 // MarkSubmitted records that the command left its queue for the runtime.

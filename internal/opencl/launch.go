@@ -17,6 +17,12 @@ import (
 type MachinePool struct {
 	mu   sync.Mutex
 	free map[*ir.Module][]*interp.Machine
+	// prof, when set, is installed on every machine the pool hands out
+	// (new or reused), so one SetProfiler call covers launches already
+	// drawing on parked machines. nextMach names machines "mach-N" in
+	// construction order for trace output.
+	prof     *interp.Profiler
+	nextMach int
 
 	workersOnce sync.Once
 	workers     *interp.WorkerPool
@@ -47,6 +53,16 @@ func (p *MachinePool) Workers() *interp.WorkerPool {
 	return p.workers
 }
 
+// SetProfiler installs (or, with nil, removes) a VM execution profiler
+// on every machine the pool subsequently hands out, including reused
+// ones. The profiler itself is concurrency-safe, so all of the pool's
+// machines share it.
+func (p *MachinePool) SetProfiler(prof *interp.Profiler) {
+	p.mu.Lock()
+	p.prof = prof
+	p.mu.Unlock()
+}
+
 // Acquire returns a machine for the module, reusing an idle one when
 // available. Machines are seeded with the pool's persistent worker set.
 func (p *MachinePool) Acquire(mod *ir.Module) *interp.Machine {
@@ -62,10 +78,14 @@ func (p *MachinePool) Acquire(mod *ir.Module) *interp.Machine {
 		} else {
 			p.free[mod] = ms[:n-1]
 		}
+		m.Profiler = p.prof
 		return m
 	}
 	m := interp.NewMachine(mod)
 	m.Workers = w
+	m.Profiler = p.prof
+	m.Name = fmt.Sprintf("mach-%d", p.nextMach)
+	p.nextMach++
 	return m
 }
 
@@ -119,10 +139,13 @@ const DefaultSliceRounds = 8
 type LaunchHandle struct {
 	pool *MachinePool
 	mach *interp.Machine
-	name string
-	args []interp.Value
-	nd   NDRange // virtual (original) geometry
-	rt   []byte  // RT descriptor image, bound as a machine region
+	// machName is kept past finishLocked (which drops mach) so trace
+	// consumers can still name the machine the execution ran on.
+	machName string
+	name     string
+	args     []interp.Value
+	nd       NDRange // virtual (original) geometry
+	rt       []byte  // RT descriptor image, bound as a machine region
 
 	mu       sync.Mutex
 	phys     int64
@@ -174,14 +197,15 @@ func NewLaunchHandle(plat *Platform, mod *ir.Module, k *Kernel, nd NDRange, rtWo
 	args = append(args, interp.Value{K: ir.Pointer, P: interp.Ptr{R: r}})
 
 	h := &LaunchHandle{
-		pool:   pool,
-		mach:   mach,
-		name:   k.Name,
-		args:   args,
-		nd:     nd,
-		rt:     img,
-		rounds: DefaultSliceRounds,
-		total:  rtWords[rtlib.RTTotal],
+		pool:     pool,
+		mach:     mach,
+		machName: mach.Name,
+		name:     k.Name,
+		args:     args,
+		nd:       nd,
+		rt:       img,
+		rounds:   DefaultSliceRounds,
+		total:    rtWords[rtlib.RTTotal],
 	}
 	h.setPlan(phys, chunk)
 	return h, nil
@@ -230,6 +254,11 @@ func (h *LaunchHandle) SetSliceRounds(n int64) {
 	h.rounds = n
 	h.mu.Unlock()
 }
+
+// MachineName names the pooled interpreter machine serving (or, after
+// completion, having served) this execution — the trace "thread" slice
+// spans land on. Empty for machines constructed outside a pool.
+func (h *LaunchHandle) MachineName() string { return h.machName }
 
 // Plan returns the currently installed physical allocation.
 func (h *LaunchHandle) Plan() (phys, chunk int64) {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/rtlib"
+	"repro/internal/telemetry"
 )
 
 // Platform pairs the API with a modeled device.
@@ -54,6 +55,34 @@ type Context struct {
 	mu        sync.Mutex
 	allocated int64
 	modelDMA  bool
+	tracer    *telemetry.Tracer
+	metrics   *telemetry.Registry
+}
+
+// SetTracer installs a trace-span sink on the context: every command
+// its queues complete then emits a span from the event's profiling
+// stamps. Nil removes it; with no tracer the hot path pays one mutex
+// peek per enqueue. Install before enqueuing work.
+func (c *Context) SetTracer(t *telemetry.Tracer) {
+	c.mu.Lock()
+	c.tracer = t
+	c.mu.Unlock()
+}
+
+// SetMetrics installs a metrics registry on the context: transfer
+// commands then count DMA bytes and wall time per queue label. Nil
+// removes it. Install before enqueuing work.
+func (c *Context) SetMetrics(r *telemetry.Registry) {
+	c.mu.Lock()
+	c.metrics = r
+	c.mu.Unlock()
+}
+
+// telemetrySinks snapshots the installed sinks for one enqueue.
+func (c *Context) telemetrySinks() (*telemetry.Tracer, *telemetry.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tracer, c.metrics
 }
 
 // CreateContext returns a context on the platform.

@@ -21,20 +21,23 @@ func TestEventProfilingTimestamps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// While gated, the event sits queued with only the enqueue stamp.
-	p := ev.ProfilingInfo()
-	if p.Queued.IsZero() {
-		t.Fatal("no queued timestamp at enqueue")
-	}
-	if !p.Submitted.IsZero() || !p.Running.IsZero() || !p.Complete.IsZero() {
-		t.Fatalf("gated event already has later stamps: %+v", p)
+	// While gated, the event is not terminal: profiling data is withheld
+	// behind the sentinel, mirroring CL_PROFILING_INFO_NOT_AVAILABLE.
+	if _, perr := ev.ProfilingInfo(); perr != ErrProfilingNotAvailable {
+		t.Fatalf("gated event ProfilingInfo error = %v, want ErrProfilingNotAvailable", perr)
 	}
 	time.Sleep(2 * time.Millisecond)
 	gate.Complete()
 	if err := ev.Wait(); err != nil {
 		t.Fatal(err)
 	}
-	p = ev.ProfilingInfo()
+	p, perr := ev.ProfilingInfo()
+	if perr != nil {
+		t.Fatalf("ProfilingInfo after Wait: %v", perr)
+	}
+	if p.Queued.IsZero() {
+		t.Fatal("no queued timestamp recorded at enqueue")
+	}
 	for name, ts := range map[string]time.Time{
 		"submitted": p.Submitted, "running": p.Running, "complete": p.Complete,
 	} {
@@ -62,8 +65,14 @@ func TestEventProfilingTimestamps(t *testing.T) {
 // than go negative.
 func TestEventProfilingUserEvent(t *testing.T) {
 	u := NewUserEvent()
+	if _, perr := u.ProfilingInfo(); perr != ErrProfilingNotAvailable {
+		t.Fatalf("incomplete user event ProfilingInfo error = %v, want ErrProfilingNotAvailable", perr)
+	}
 	u.Complete()
-	p := u.ProfilingInfo()
+	p, perr := u.ProfilingInfo()
+	if perr != nil {
+		t.Fatalf("ProfilingInfo after Complete: %v", perr)
+	}
 	if p.Queued.IsZero() || p.Complete.IsZero() {
 		t.Fatalf("user event missing terminal stamps: %+v", p)
 	}

@@ -2,11 +2,13 @@ package opencl
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/telemetry"
 )
 
 // CommandQueue is the command half of the asynchronous host API. Every
@@ -31,8 +33,28 @@ type CommandQueue struct {
 	outOfOrder bool
 
 	mu    sync.Mutex
+	label string // telemetry identity ("" renders as "queue")
 	chain *Event // in-order queues: last enqueued command's event
 	group EventGroup
+}
+
+// SetLabel names the queue in telemetry output: command spans carry it
+// as their process and DMA metrics as their queue label. The accelOS
+// runtime sets it to the owning tenant's name.
+func (q *CommandQueue) SetLabel(name string) {
+	q.mu.Lock()
+	q.label = name
+	q.mu.Unlock()
+}
+
+// Label returns the telemetry name ("queue" when never set).
+func (q *CommandQueue) Label() string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.label == "" {
+		return "queue"
+	}
+	return q.label
 }
 
 // CreateCommandQueue returns an in-order queue.
@@ -56,7 +78,12 @@ func (q *CommandQueue) OutOfOrder() bool { return q.outOfOrder }
 // cyclic wait lists, pins the buffers the command touches, and releases
 // the command body to a background goroutine once every dependency has
 // completed. It returns the command's event without blocking.
-func (q *CommandQueue) enqueue(what string, bufs []*Buffer, waits []*Event, run func() error) (*Event, error) {
+//
+// op and nbytes describe the command for telemetry: when the context
+// carries a tracer/registry, completion emits a span from the event's
+// profiling stamps, and transfer commands (nbytes > 0) count DMA bytes
+// and wall time under the queue's label.
+func (q *CommandQueue) enqueue(what, op string, nbytes int, bufs []*Buffer, waits []*Event, run func() error) (*Event, error) {
 	deps := compactWaits(waits)
 	q.mu.Lock()
 	if !q.outOfOrder && q.chain != nil {
@@ -90,6 +117,36 @@ func (q *CommandQueue) enqueue(what string, bufs []*Buffer, waits []*Event, run 
 		}
 	})
 
+	if tr, reg := q.Ctx.telemetrySinks(); tr != nil || reg != nil {
+		label := q.Label()
+		ev.OnComplete(func(e *Event) {
+			p, perr := e.ProfilingInfo()
+			if perr != nil {
+				return
+			}
+			status := "ok"
+			if e.Err() != nil {
+				status = "failed"
+			}
+			if tr != nil {
+				args := []telemetry.Arg{{Key: "status", Val: status}}
+				if nbytes > 0 {
+					args = append(args, telemetry.Arg{Key: "bytes", Val: strconv.Itoa(nbytes)})
+				}
+				// Command spans cover the running body; commands that
+				// never ran (failed dependency) have no running stamp and
+				// emit nothing.
+				if !p.Running.IsZero() {
+					tr.Complete(0, label, "commands", "command", op, p.Running, p.Complete, args...)
+				}
+			}
+			if reg != nil && nbytes > 0 && status == "ok" {
+				reg.Counter("dma_bytes_total", telemetry.L("queue", label)).Add(int64(nbytes))
+				reg.Histogram("dma_ns", telemetry.L("queue", label)).Observe(int64(p.Duration()))
+			}
+		})
+	}
+
 	WhenAll(deps, func(depErr error) {
 		if depErr != nil {
 			ev.finish(fmt.Errorf("%s: wait-list dependency failed: %w", what, depErr))
@@ -122,7 +179,7 @@ func (q *CommandQueue) EnqueueWrite(b *Buffer, off int64, data []byte, waits ...
 	if off < 0 || off+int64(len(data)) > b.Size {
 		return nil, fmt.Errorf("opencl: write outside buffer bounds")
 	}
-	return q.enqueue("opencl: write", []*Buffer{b}, waits, func() error {
+	return q.enqueue("opencl: write", "write", len(data), []*Buffer{b}, waits, func() error {
 		if d := q.Ctx.dmaDelay(len(data)); d > 0 {
 			time.Sleep(d)
 		}
@@ -137,7 +194,7 @@ func (q *CommandQueue) EnqueueRead(b *Buffer, off int64, out []byte, waits ...*E
 	if off < 0 || off+int64(len(out)) > b.Size {
 		return nil, fmt.Errorf("opencl: read outside buffer bounds")
 	}
-	return q.enqueue("opencl: read", []*Buffer{b}, waits, func() error {
+	return q.enqueue("opencl: read", "read", len(out), []*Buffer{b}, waits, func() error {
 		if d := q.Ctx.dmaDelay(len(out)); d > 0 {
 			time.Sleep(d)
 		}
@@ -170,7 +227,7 @@ func (q *CommandQueue) EnqueueKernel(k *Kernel, nd NDRange, waits ...*Event) (*E
 		pool = k.Prog.Ctx.Plat.Machines()
 	}
 	mod, name, prog := k.Prog.Module, k.Name, k.Prog.Compiled()
-	return q.enqueue(fmt.Sprintf("opencl: kernel %q", name), bufs, waits, func() error {
+	return q.enqueue(fmt.Sprintf("opencl: kernel %q", name), "kernel "+name, 0, bufs, waits, func() error {
 		mach := pool.Acquire(mod)
 		defer pool.Release(mach)
 		mach.UseProgram(prog)
@@ -194,7 +251,7 @@ func (q *CommandQueue) EnqueueKernel(k *Kernel, nd NDRange, waits ...*Event) (*E
 // wait list has completed (on an in-order queue, also every previously
 // enqueued command) — a join point for fan-in dependency graphs.
 func (q *CommandQueue) EnqueueMarker(waits ...*Event) (*Event, error) {
-	return q.enqueue("opencl: marker", nil, waits, func() error { return nil })
+	return q.enqueue("opencl: marker", "marker", 0, nil, waits, func() error { return nil })
 }
 
 // Flush returns once every enqueued command has been issued to the

@@ -1,0 +1,404 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the metrics half of the subsystem: a registry of named,
+// labeled collectors. Counters and gauges are single atomics; histograms
+// are lock-free fixed-size exponential bucket arrays, so the observe
+// path never blocks a worker. Collector lookups take the registry lock,
+// so hot paths should resolve their collectors once and hold them.
+
+// Label is one dimension of a metric series (e.g. tenant="app3",
+// dev="1").
+type Label struct {
+	Key string
+	Val string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, val string) Label { return Label{Key: key, Val: val} }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (nil-safe).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one (nil-safe).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable atomic value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v (nil-safe).
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by n (nil-safe).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count of a Histogram: bucket 0 holds
+// non-positive observations and bucket b >= 1 holds [2^(b-1), 2^b), so
+// 64 buckets cover the whole non-negative int64 range (nanosecond
+// durations, byte counts) with bounded memory and no resizing — the
+// observe path is three atomic adds.
+const histBuckets = 64
+
+// Histogram is a lock-free bounded histogram over non-negative int64
+// observations with power-of-two buckets. Quantiles are estimated by
+// bucket scan with linear interpolation inside the located bucket, then
+// clamped to the observed min/max.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid once count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one value (negative values clamp to zero; nil-safe).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution: the bucket holding the target rank is located by
+// cumulative scan, the value interpolated linearly inside its
+// [2^(b-1), 2^b) range, and the estimate clamped to the observed
+// min/max. The error is bounded by the bucket width (a factor of two).
+// Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(h.min.Load())
+	}
+	if q >= 1 {
+		return float64(h.max.Load())
+	}
+	// Target rank in [1, total], matching the nearest-rank definition.
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b := 0; b < histBuckets; b++ {
+		n := h.buckets[b].Load()
+		if n == 0 {
+			continue
+		}
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		var lo, hi float64
+		if b == 0 {
+			lo, hi = 0, 1
+		} else {
+			lo = float64(int64(1) << (b - 1))
+			hi = lo * 2
+		}
+		// Position of the target rank inside this bucket, in (0, 1].
+		frac := float64(rank-cum) / float64(n)
+		est := lo + (hi-lo)*frac
+		if mn := float64(h.min.Load()); est < mn {
+			est = mn
+		}
+		if mx := float64(h.max.Load()); est > mx {
+			est = mx
+		}
+		return est
+	}
+	return float64(h.max.Load())
+}
+
+// Registry is a process-wide store of named collectors. Series are keyed
+// by metric name plus the sorted label set; the getter methods create on
+// first use. All methods are nil-safe: a nil *Registry hands out nil
+// collectors, whose methods are no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	kinds    map[string]string // metric name -> "counter"|"gauge"|"histogram"
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds:    make(map[string]string),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// seriesKey renders name{k1="v1",k2="v2"} with labels sorted by key.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Val)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns (creating on first use) the counter series for the
+// name and label set.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[key]
+	if c == nil {
+		c = &Counter{}
+		r.counters[key] = c
+		r.kinds[name] = "counter"
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge series for the name
+// and label set.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[key]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[key] = g
+		r.kinds[name] = "gauge"
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the histogram series for the
+// name and label set.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[key]
+	if h == nil {
+		h = newHistogram()
+		r.hists[key] = h
+		r.kinds[name] = "histogram"
+	}
+	return h
+}
+
+// quantiles exported per histogram series by WriteText.
+var textQuantiles = []float64{0.5, 0.9, 0.99}
+
+// WriteText writes a Prometheus-style text snapshot of every series:
+// "# TYPE" headers per metric family, one line per series (histograms
+// expand to quantile/_count/_sum lines), sorted so output is
+// deterministic. Nil-safe (writes nothing).
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	families := make(map[string][]string)
+	addLine := func(name, text string) {
+		families[name] = append(families[name], text)
+	}
+	for key, c := range r.counters {
+		addLine(baseName(key), fmt.Sprintf("%s %d", key, c.Value()))
+	}
+	for key, g := range r.gauges {
+		addLine(baseName(key), fmt.Sprintf("%s %d", key, g.Value()))
+	}
+	for key, h := range r.hists {
+		name := baseName(key)
+		for _, q := range textQuantiles {
+			addLine(name, fmt.Sprintf("%s %g", withLabel(key, "quantile", fmt.Sprintf("%g", q)), h.Quantile(q)))
+		}
+		addLine(name, fmt.Sprintf("%s %d", suffixed(key, "_count"), h.Count()))
+		addLine(name, fmt.Sprintf("%s %d", suffixed(key, "_sum"), h.Sum()))
+	}
+	kinds := make(map[string]string, len(r.kinds))
+	for k, v := range r.kinds {
+		kinds[k] = v
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", n, kinds[n]); err != nil {
+			return err
+		}
+		ls := families[n]
+		sort.Strings(ls)
+		for _, l := range ls {
+			if _, err := fmt.Fprintln(w, l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// baseName strips the label set from a series key.
+func baseName(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// withLabel appends one label to a series key's label set.
+func withLabel(key, k, v string) string {
+	if strings.IndexByte(key, '{') >= 0 {
+		return fmt.Sprintf("%s,%s=%q}", key[:len(key)-1], k, v)
+	}
+	return fmt.Sprintf("%s{%s=%q}", key, k, v)
+}
+
+// suffixed appends a name suffix before the label set.
+func suffixed(key, suffix string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i] + suffix + key[i:]
+	}
+	return key + suffix
+}

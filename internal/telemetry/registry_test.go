@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramQuantilesAgainstSortedReference checks the bucketed
+// estimator against exact quantiles from the sorted sample: estimates
+// must land within the power-of-two bucket of the true value (a factor
+// of two), and exactly on it for the extremes.
+func TestHistogramQuantilesAgainstSortedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := newHistogram()
+	n := 10000
+	xs := make([]int64, n)
+	for i := range xs {
+		// Log-uniform over ~6 decades, like latency samples.
+		xs[i] = int64(1 << uint(rng.Intn(20)))
+		xs[i] += rng.Int63n(xs[i] + 1)
+		h.Observe(xs[i])
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+
+	exact := func(q float64) int64 {
+		rank := int(q*float64(n)) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= n {
+			rank = n - 1
+		}
+		return xs[rank]
+	}
+	for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99, 0.999} {
+		got := h.Quantile(q)
+		want := float64(exact(q))
+		if got < want/2 || got > want*2 {
+			t.Errorf("q=%g: estimate %g outside factor-2 band of exact %g", q, got, want)
+		}
+	}
+	if got, want := h.Quantile(0), float64(xs[0]); got != want {
+		t.Errorf("q=0: got %g, want observed min %g", got, want)
+	}
+	if got, want := h.Quantile(1), float64(xs[n-1]); got != want {
+		t.Errorf("q=1: got %g, want observed max %g", got, want)
+	}
+	if h.Count() != int64(n) {
+		t.Errorf("count = %d, want %d", h.Count(), n)
+	}
+	var sum int64
+	for _, x := range xs {
+		sum += x
+	}
+	if h.Sum() != sum {
+		t.Errorf("sum = %d, want %d", h.Sum(), sum)
+	}
+}
+
+// TestHistogramSingleValue checks a degenerate distribution reports
+// exact quantiles through the min/max clamp.
+func TestHistogramSingleValue(t *testing.T) {
+	h := newHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 1000 {
+			t.Fatalf("q=%g: got %g, want 1000", q, got)
+		}
+	}
+	if h.Min() != 1000 || h.Max() != 1000 || h.Mean() != 1000 {
+		t.Fatalf("min/max/mean = %d/%d/%g, want 1000", h.Min(), h.Max(), h.Mean())
+	}
+}
+
+// TestHistogramConcurrent exercises the lock-free observe path from
+// parallel writers (the -race gate for the metrics path).
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := r.Histogram("lat_ns", L("tenant", "t0"))
+			c := r.Counter("ops_total", L("tenant", "t0"))
+			for i := 1; i <= 1000; i++ {
+				h.Observe(int64(i * (w + 1)))
+				c.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Histogram("lat_ns", L("tenant", "t0")).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	if got := r.Counter("ops_total", L("tenant", "t0")).Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+// TestRegistryWriteText checks the exposition: TYPE headers, label
+// ordering, histogram expansion, determinism.
+func TestRegistryWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dma_bytes_total", L("queue", "app1")).Add(4096)
+	r.Counter("dma_bytes_total", L("queue", "app0")).Add(1024)
+	r.Gauge("resident", L("dev", "0")).Set(3)
+	h := r.Histogram("slice_ns", L("tenant", "app0"), L("dev", "0"))
+	h.Observe(100)
+	h.Observe(200)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE dma_bytes_total counter",
+		`dma_bytes_total{queue="app0"} 1024`,
+		`dma_bytes_total{queue="app1"} 4096`,
+		"# TYPE resident gauge",
+		`resident{dev="0"} 3`,
+		"# TYPE slice_ns histogram",
+		`slice_ns_count{dev="0",tenant="app0"} 2`,
+		`slice_ns_sum{dev="0",tenant="app0"} 300`,
+		`quantile="0.99"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+
+	var b2 strings.Builder
+	if err := r.WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if out != b2.String() {
+		t.Error("WriteText output not deterministic across calls")
+	}
+
+	// Nil registry and collectors must be inert.
+	var nr *Registry
+	nr.Counter("x").Inc()
+	nr.Gauge("x").Set(1)
+	nr.Histogram("x").Observe(1)
+	if err := nr.WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+}

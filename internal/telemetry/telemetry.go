@@ -1,0 +1,164 @@
+// Package telemetry is the runtime-wide instrumentation subsystem: trace
+// spans with parent/child links (exportable as Chrome trace_event JSON,
+// see trace_json.go) and a metrics registry of atomic counters, gauges
+// and lock-free bounded histograms (registry.go).
+//
+// Every entry point is safe on a nil receiver and returns immediately,
+// so instrumented hot paths pay one predictable branch when telemetry is
+// disabled — callers hold a possibly-nil *Tracer/*Registry and call
+// through it unconditionally. The package depends only on the standard
+// library; every layer of the runtime (interp, opencl, cluster, accelos)
+// can import it without cycles.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Arg is one key/value annotation on a span (rendered under "args" in
+// the Chrome trace export).
+type Arg struct {
+	Key string
+	Val string
+}
+
+// Span is one recorded interval (or instant) of runtime activity. Proc
+// and Thread name the track the span renders on — Chrome groups spans by
+// process, then by thread — and Parent links a child span to the ID of
+// its enclosing one (0: a root span).
+type Span struct {
+	ID     int64
+	Parent int64
+	Proc   string // track group: tenant, device, subsystem
+	Thread string // track within the group: execution, machine, queue
+	Cat    string // Chrome event category (filterable in the viewer)
+	Name   string
+	Start  time.Time
+	End    time.Time // == Start for instant events
+	Args   []Arg
+
+	// Instant marks a zero-duration marker event (Chrome "i" phase)
+	// rather than a complete interval.
+	Instant bool
+}
+
+// Duration is the span's wall-clock extent (zero for instants).
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// DefaultMaxSpans bounds the span buffer when New is given no explicit
+// capacity. At ~130 spans per kernel-free command and a handful per
+// kernel, 64k spans cover minutes of a busy multi-tenant run.
+const DefaultMaxSpans = 1 << 16
+
+// Tracer records spans into a bounded in-memory buffer. All methods are
+// safe for concurrent use and for nil receivers (a nil *Tracer records
+// nothing and costs one branch).
+type Tracer struct {
+	maxSpans int
+	nextID   atomic.Int64
+	dropped  atomic.Int64
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// New returns a tracer retaining at most maxSpans spans (<= 0 uses
+// DefaultMaxSpans). Spans past the cap are counted in Dropped and
+// discarded, so a runaway run degrades to a truncated trace instead of
+// unbounded memory.
+func New(maxSpans int) *Tracer {
+	if maxSpans <= 0 {
+		maxSpans = DefaultMaxSpans
+	}
+	return &Tracer{maxSpans: maxSpans}
+}
+
+// NewID pre-allocates a span ID so children recorded earlier can point
+// at a parent recorded later (the runtime completes a kernel's root span
+// after its slice spans). Returns 0 on a nil tracer.
+func (t *Tracer) NewID() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.nextID.Add(1)
+}
+
+// Complete records a finished interval and returns its span ID (0 when
+// the tracer is nil or the buffer is full).
+func (t *Tracer) Complete(parent int64, proc, thread, cat, name string, start, end time.Time, args ...Arg) int64 {
+	if t == nil {
+		return 0
+	}
+	return t.record(Span{
+		ID: t.nextID.Add(1), Parent: parent,
+		Proc: proc, Thread: thread, Cat: cat, Name: name,
+		Start: start, End: end, Args: args,
+	})
+}
+
+// CompleteAs is Complete with a caller-allocated ID (see NewID).
+func (t *Tracer) CompleteAs(id, parent int64, proc, thread, cat, name string, start, end time.Time, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.record(Span{
+		ID: id, Parent: parent,
+		Proc: proc, Thread: thread, Cat: cat, Name: name,
+		Start: start, End: end, Args: args,
+	})
+}
+
+// Instant records a zero-duration marker event (e.g. a re-plan) and
+// returns its span ID.
+func (t *Tracer) Instant(parent int64, proc, thread, cat, name string, at time.Time, args ...Arg) int64 {
+	if t == nil {
+		return 0
+	}
+	return t.record(Span{
+		ID: t.nextID.Add(1), Parent: parent,
+		Proc: proc, Thread: thread, Cat: cat, Name: name,
+		Start: at, End: at, Args: args, Instant: true,
+	})
+}
+
+func (t *Tracer) record(s Span) int64 {
+	t.mu.Lock()
+	if len(t.spans) >= t.maxSpans {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+		return 0
+	}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s.ID
+}
+
+// Spans returns a snapshot of the recorded spans in record order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Len reports how many spans are buffered.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped reports how many spans were discarded at the buffer cap.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}

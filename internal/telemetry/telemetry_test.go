@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestConcurrentSpanEmission hammers one tracer from parallel emitters —
+// the shape of parallel work-group workers all completing slice spans —
+// and checks nothing is lost below the cap and IDs stay unique. Run
+// under -race this is the data-race gate for the span path.
+func TestConcurrentSpanEmission(t *testing.T) {
+	const (
+		workers = 8
+		each    = 500
+	)
+	tr := New(workers * each * 2)
+	base := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			proc := fmt.Sprintf("proc%d", w%2)
+			for i := 0; i < each; i++ {
+				start := base.Add(time.Duration(i) * time.Microsecond)
+				id := tr.Complete(0, proc, "worker", "test", "span", start, start.Add(time.Microsecond),
+					Arg{"i", fmt.Sprint(i)})
+				if id == 0 {
+					t.Errorf("span dropped below cap")
+					return
+				}
+				tr.Instant(id, proc, "worker", "test", "marker", start)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	spans := tr.Spans()
+	if got, want := len(spans), workers*each*2; got != want {
+		t.Fatalf("got %d spans, want %d", got, want)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped %d spans below the cap", tr.Dropped())
+	}
+	seen := make(map[int64]bool)
+	for _, s := range spans {
+		if s.ID == 0 || seen[s.ID] {
+			t.Fatalf("duplicate or zero span ID %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+// TestTracerBounded checks the buffer cap drops (and counts) overflow
+// instead of growing.
+func TestTracerBounded(t *testing.T) {
+	tr := New(4)
+	at := time.Now()
+	for i := 0; i < 10; i++ {
+		tr.Complete(0, "p", "t", "c", "n", at, at)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("buffer holds %d spans, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+// TestNilTracer checks the disabled path is inert on every method.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	at := time.Now()
+	if id := tr.Complete(0, "p", "t", "c", "n", at, at); id != 0 {
+		t.Fatalf("nil tracer returned span ID %d", id)
+	}
+	tr.CompleteAs(1, 0, "p", "t", "c", "n", at, at)
+	tr.Instant(0, "p", "t", "c", "n", at)
+	if tr.NewID() != 0 || tr.Len() != 0 || tr.Dropped() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil tracer export: %v", err)
+	}
+}
+
+// TestChromeTraceGolden pins the exported JSON byte-for-byte against
+// testdata/chrome_trace.json (regenerate with -update) and validates it
+// parses as a trace_event document.
+func TestChromeTraceGolden(t *testing.T) {
+	tr := New(0)
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	ms := func(n int) time.Time { return base.Add(time.Duration(n) * time.Millisecond) }
+
+	kern := tr.Complete(0, "tenant0", "exec-1", "kernel", "scale", ms(0), ms(10),
+		Arg{"dev", "0"}, Arg{"status", "complete"})
+	tr.Complete(kern, "tenant0", "exec-1", "kernel", "wait-list", ms(0), ms(2))
+	tr.Complete(kern, "tenant0", "exec-1", "kernel", "execute", ms(2), ms(10))
+	tr.Complete(kern, "devices", "mach-0", "slice", "scale", ms(2), ms(6),
+		Arg{"progress", "32/64"})
+	tr.Complete(kern, "devices", "mach-0", "slice", "scale", ms(6), ms(10),
+		Arg{"progress", "64/64"})
+	tr.Instant(0, "accelos", "scheduler", "sched", "replan", ms(6), Arg{"dev", "0"})
+	tr.Complete(0, "tenant1", "queue", "command", "opencl: write", ms(1), ms(3),
+		Arg{"bytes", "4096"})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("export differs from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// Independent of the golden bytes, the document must be a valid
+	// trace_event JSON object with the expected event population.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var xEvents, iEvents, mEvents int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			xEvents++
+		case "i":
+			iEvents++
+		case "M":
+			mEvents++
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Fatalf("event missing integer pid: %v", ev)
+		}
+	}
+	if xEvents != 6 || iEvents != 1 {
+		t.Fatalf("got %d X and %d i events, want 6 and 1", xEvents, iEvents)
+	}
+	if mEvents == 0 {
+		t.Fatal("no metadata (track name) events emitted")
+	}
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// This file exports the tracer's span buffer in the Chrome trace_event
+// JSON format (the "Trace Event Format" consumed by chrome://tracing and
+// Perfetto): one "X" complete event per span, "i" instant events for
+// markers, and "M" metadata events naming the process/thread tracks.
+// Span Proc/Thread strings are interned to integer pid/tid as the format
+// requires; the export is deterministic for a given span set (spans sort
+// by start time then ID, track numbering follows that order).
+
+// traceEvent is one trace_event record. Field order here is the field
+// order in the output.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// usSince returns microseconds (the format's time unit) since epoch.
+func usSince(epoch, t time.Time) float64 {
+	return float64(t.Sub(epoch).Nanoseconds()) / 1e3
+}
+
+// WriteChromeTrace writes the buffered spans as a Chrome trace_event
+// JSON document. Timestamps are microseconds relative to the earliest
+// span start, so the trace opens at t=0 regardless of wall-clock time.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return writeChromeTrace(w, t.Spans())
+}
+
+// WriteChromeTraceSpans is the span-slice form of WriteChromeTrace, for
+// callers that filter or merge span sets before export.
+func WriteChromeTraceSpans(w io.Writer, spans []Span) error {
+	return writeChromeTrace(w, append([]Span(nil), spans...))
+}
+
+func writeChromeTrace(w io.Writer, spans []Span) error {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[i].ID < spans[j].ID
+	})
+
+	var epoch time.Time
+	if len(spans) > 0 {
+		epoch = spans[0].Start
+	}
+
+	// Intern process and thread names in sorted-span order.
+	type track struct{ pid, tid int }
+	pids := map[string]int{}
+	tids := map[[2]string]track{}
+	nextTid := map[int]int{}
+	var events []traceEvent
+	for _, s := range spans {
+		pid, ok := pids[s.Proc]
+		if !ok {
+			pid = len(pids) + 1
+			pids[s.Proc] = pid
+			events = append(events, traceEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]string{"name": s.Proc},
+			})
+		}
+		key := [2]string{s.Proc, s.Thread}
+		tk, ok := tids[key]
+		if !ok {
+			nextTid[pid]++
+			tk = track{pid: pid, tid: nextTid[pid]}
+			tids[key] = tk
+			events = append(events, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tk.tid,
+				Args: map[string]string{"name": s.Thread},
+			})
+		}
+
+		args := make(map[string]string, len(s.Args)+2)
+		for _, a := range s.Args {
+			args[a.Key] = a.Val
+		}
+		args["span_id"] = strconv.FormatInt(s.ID, 10)
+		if s.Parent != 0 {
+			args["parent"] = strconv.FormatInt(s.Parent, 10)
+		}
+		ev := traceEvent{
+			Name: s.Name, Cat: s.Cat, TS: usSince(epoch, s.Start),
+			Pid: tk.pid, Tid: tk.tid, Args: args,
+		}
+		if s.Instant {
+			ev.Ph, ev.S = "i", "t"
+		} else {
+			d := usSince(s.Start, s.End)
+			ev.Ph, ev.Dur = "X", &d
+		}
+		events = append(events, ev)
+	}
+
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "],\"displayTimeUnit\":\"ms\"}\n")
+	return err
+}
