@@ -238,6 +238,32 @@ func (rt *Runtime) SetTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry, s
 	rt.score = score
 	rt.Ctx.SetTracer(tr)
 	rt.Ctx.SetMetrics(reg)
+	// Warp execution stats flow from the VM through the machine pools
+	// into per-kernel metrics: occupancy (percent of warp lanes filled)
+	// and divergence fallbacks onto the scalar path.
+	var sink interp.WarpStatsSink
+	if reg != nil {
+		sink = warpTelemetry{reg}
+	}
+	rt.Plat.Machines().SetWarpStats(sink)
+	for _, plat := range rt.plats {
+		if plat != rt.Plat {
+			plat.Machines().SetWarpStats(sink)
+		}
+	}
+}
+
+// warpTelemetry adapts interp warp-launch stats onto the telemetry
+// registry: a warp_occupancy histogram (percent, one observation per
+// launch) and a divergence_fallbacks_total counter, labeled by kernel.
+type warpTelemetry struct{ reg *telemetry.Registry }
+
+func (w warpTelemetry) ObserveWarpLaunch(st interp.WarpLaunchStats) {
+	if st.Warps > 0 && st.Width > 0 {
+		pct := 100 * st.Lanes / (st.Warps * int64(st.Width))
+		w.reg.Histogram("warp_occupancy", telemetry.L("kernel", st.Kernel)).Observe(pct)
+	}
+	w.reg.Counter("divergence_fallbacks_total", telemetry.L("kernel", st.Kernel)).Add(st.Spills)
 }
 
 // SetProfiler installs a VM execution profiler on every platform the
@@ -345,8 +371,10 @@ func (rt *Runtime) jitProgram(req *Request) error {
 	if opt := ir.CloneModule(p.trans); passes.RunO1(opt) == nil {
 		p.trans = opt
 		// Bytecode lowering would re-run the pipeline on a private
-		// clone; the module is already in optimized form, so skip it.
-		interp.ShareProgram(interp.CompileModuleOpts(p.trans, interp.CompileOpts{}))
+		// clone; the module is already in optimized form, so skip it —
+		// but keep warp dispatch tables, which Opt does not imply.
+		interp.ShareProgram(interp.CompileModuleOpts(p.trans,
+			interp.CompileOpts{WarpWidth: interp.DefaultWarpWidth}))
 	} else {
 		interp.SharedProgram(p.trans)
 	}

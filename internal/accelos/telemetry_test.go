@@ -105,6 +105,8 @@ func TestRuntimeTelemetryEndToEnd(t *testing.T) {
 		`enqueue_latency_ns`,
 		`slice_ns`,
 		`replans_total`,
+		`warp_occupancy`,
+		`divergence_fallbacks_total`,
 	} {
 		if !strings.Contains(text.String(), want) {
 			t.Errorf("metrics snapshot missing %q:\n%s", want, text.String())

@@ -166,6 +166,18 @@ type compiledFn struct {
 	// are cleared on Get so stale values (and the regions they pin) do
 	// not leak between activations.
 	regPool sync.Pool
+
+	// Warp execution tables (kernels compiled with WarpWidth > 0; nil
+	// otherwise). wmode holds one dispatch-mode byte per instruction;
+	// uniform marks the registers whose value is warp-invariant (their
+	// home is the warp's shared file in vector mode); uniformRegs lists
+	// them for the spill/re-form copies; reformPC marks the resume pcs
+	// (instruction after a barrier in a control-uniform block) where a
+	// spilled warp may re-enter vector dispatch.
+	wmode       []uint8
+	uniform     []bool
+	uniformRegs []int32
+	reformPC    map[int32]bool
 }
 
 // getRegs returns a cleared register file with the constant tail
@@ -193,12 +205,22 @@ type CompileOpts struct {
 	// ("mem2reg", "constfold", "dce", "simplifycfg") and "fuse" for
 	// superinstruction fusion.
 	Disable []string
+	// WarpWidth enables warp-style batched execution: the work-items
+	// of a group run in fixed-width batches with one fetch/decode per
+	// instruction per warp, driven by a per-kernel uniformity analysis
+	// (passes.AnalyzeUniformity). 0 disables warp execution entirely
+	// (the zero value keeps plain per-item dispatch).
+	WarpWidth int
 }
+
+// DefaultWarpWidth is the warp width DefaultCompileOpts enables:
+// 64 lanes, the warp/wavefront size of the simulated AMD hardware.
+const DefaultWarpWidth = 64
 
 // DefaultCompileOpts is what CompileModule (and therefore SharedProgram
 // and every host-layer cache) compiles with: the full O1 pipeline plus
-// fusion.
-var DefaultCompileOpts = CompileOpts{Opt: true}
+// fusion and warp-batched dispatch.
+var DefaultCompileOpts = CompileOpts{Opt: true, WarpWidth: DefaultWarpWidth}
 
 func (o CompileOpts) disabled(name string) bool {
 	for _, n := range o.Disable {
@@ -225,7 +247,15 @@ type Prog struct {
 	// work-group slot; sizes are static (element size × count), so a
 	// group's local regions are carved without locks.
 	localSizes []int64
+
+	// warpWidth is the lane count of warp-batched execution (0: the
+	// program runs work-items one at a time).
+	warpWidth int
 }
+
+// WarpWidth returns the warp lane width the program was compiled with
+// (0: warp execution disabled).
+func (p *Prog) WarpWidth() int { return p.warpWidth }
 
 // CompileModule lowers every defined function of the module to bytecode
 // with the default optimization pipeline (see DefaultCompileOpts). The
@@ -249,6 +279,9 @@ func CompileModuleOpts(mod *ir.Module, opts CompileOpts) *Prog {
 		}
 	}
 	p := &Prog{Mod: mod, src: src, fns: make(map[string]*compiledFn)}
+	if opts.WarpWidth > 0 {
+		p.warpWidth = opts.WarpWidth
+	}
 	fuse := !opts.disabled("fuse")
 	// Two phases so calls can reference functions defined later.
 	for _, f := range src.Funcs {
@@ -259,6 +292,15 @@ func CompileModuleOpts(mod *ir.Module, opts CompileOpts) *Prog {
 	for _, f := range src.Funcs {
 		if !f.IsDecl() {
 			p.compileFn(p.fns[f.Name], fuse)
+		}
+	}
+	if p.warpWidth > 0 {
+		// The warp stream drives only kernel top frames (calls spill to
+		// the scalar path), so only kernels get dispatch-mode tables.
+		for _, f := range src.Funcs {
+			if f.Kernel && !f.IsDecl() {
+				p.fns[f.Name].buildWarpTables()
+			}
 		}
 	}
 	return p

@@ -107,9 +107,20 @@ type launchCtx struct {
 	kcf  *compiledFn
 
 	// Execution profiling (VM engine only): the machine's profiler and
-	// this kernel's aggregate, resolved once per launch.
-	prof *Profiler
-	kp   *KernelProfile
+	// this kernel's aggregate, resolved once per launch. profPhase
+	// offsets group sampling so identical launches rotate which group of
+	// the grid gets profiled.
+	prof      *Profiler
+	kp        *KernelProfile
+	profPhase int64
+
+	// Warp execution stats (VM engine with WarpWidth > 0): warps formed,
+	// lanes across them (occupancy numerator), divergence spills to the
+	// scalar path, and barrier re-formations.
+	warps       atomic.Int64
+	warpLanes   atomic.Int64
+	warpSpills  atomic.Int64
+	warpReforms atomic.Int64
 
 	steps    atomic.Int64
 	maxSteps int64

@@ -135,6 +135,13 @@ type Machine struct {
 	// across machines.
 	Profiler *Profiler
 
+	// WarpStats, when set, receives per-launch warp execution statistics
+	// (warps formed, lane occupancy, divergence spills) from VM launches
+	// that ran in warp mode. Like Profiler, it is per-launch-exclusive on
+	// the machine and may be shared across machines if the sink itself is
+	// thread-safe.
+	WarpStats WarpStatsSink
+
 	// Name labels the machine in trace output (opencl.MachinePool assigns
 	// "mach-N"); empty for anonymous machines.
 	Name string

@@ -116,7 +116,16 @@ func (p *Profiler) kernel(name string) *KernelProfile {
 type KernelProfile struct {
 	name       string
 	groupsSeen atomic.Int64
+	launches   atomic.Int64 // seeds the per-launch sampling phase
 	faults     atomic.Int64
+
+	// Warp execution stats, aggregated per retired launch (every launch,
+	// not only sampled groups): warps formed, lanes across them,
+	// divergence spills and barrier re-formations.
+	warps       atomic.Int64
+	warpLanes   atomic.Int64
+	warpSpills  atomic.Int64
+	warpReforms atomic.Int64
 
 	mu            sync.Mutex
 	groupsSampled int64
@@ -166,6 +175,26 @@ func (gp *groupProfile) enterBlock(cf *compiledFn, pc int32) {
 		gp.blocks[cf] = hits
 	}
 	hits[i]++
+}
+
+// enterBlockN is enterBlock weighted by the live-lane count: the warp
+// dispatch loop (warp.go) attributes one entry per lane so sampled
+// block counts stay engine-invariant.
+func (gp *groupProfile) enterBlockN(cf *compiledFn, pc int32, n int64) {
+	starts := cf.blockStarts
+	if len(starts) == 0 {
+		return
+	}
+	i := sort.Search(len(starts), func(i int) bool { return starts[i] > pc }) - 1
+	if i < 0 {
+		return
+	}
+	hits := gp.blocks[cf]
+	if hits == nil {
+		hits = make([]int64, len(starts))
+		gp.blocks[cf] = hits
+	}
+	hits[i] += n
 }
 
 // flush merges one retired sampled group into the kernel aggregate.
@@ -219,6 +248,10 @@ type KernelProfileSnapshot struct {
 	Instrs      int64         // instructions in sampled groups
 	Barriers    int64         // barrier suspensions in sampled groups
 	Faults      int64         // faulting groups (counted unsampled)
+	Warps       int64         // warps formed (all groups, warp mode only)
+	WarpLanes   int64         // lanes across formed warps (occupancy numerator)
+	WarpSpills  int64         // divergence fallbacks onto the scalar path
+	WarpReforms int64         // barrier re-formations back into vector dispatch
 	Opcodes     []OpcodeCount // nonzero counts, descending
 	Blocks      []BlockCount  // nonzero entry counts, descending
 }
@@ -243,6 +276,10 @@ func (p *Profiler) Snapshot() []KernelProfileSnapshot {
 			SampleEvery: p.every,
 			Groups:      kp.groupsSeen.Load(),
 			Faults:      kp.faults.Load(),
+			Warps:       kp.warps.Load(),
+			WarpLanes:   kp.warpLanes.Load(),
+			WarpSpills:  kp.warpSpills.Load(),
+			WarpReforms: kp.warpReforms.Load(),
 		}
 		kp.mu.Lock()
 		s.Sampled = kp.groupsSampled
@@ -286,6 +323,10 @@ func (p *Profiler) Dump(w io.Writer) {
 	for _, s := range snaps {
 		fmt.Fprintf(w, "kernel %s: groups %d (sampled %d, 1 in %d), instrs %d, barriers %d, faults %d\n",
 			s.Kernel, s.Groups, s.Sampled, s.SampleEvery, s.Instrs, s.Barriers, s.Faults)
+		if s.Warps > 0 {
+			fmt.Fprintf(w, "  warps: %d (avg %.1f lanes), divergence fallbacks %d, re-forms %d\n",
+				s.Warps, float64(s.WarpLanes)/float64(s.Warps), s.WarpSpills, s.WarpReforms)
+		}
 		if len(s.Opcodes) > 0 {
 			fmt.Fprintf(w, "  opcodes:\n")
 			for _, oc := range s.Opcodes {

@@ -108,6 +108,10 @@ type vmGroup struct {
 	// prof is non-nil when this group was sampled for execution
 	// profiling: exec defers to the counting loop in vm_profile.go.
 	prof *groupProfile
+
+	// faultWI is the work-item a warp-mode fault is attributed to
+	// (warp.go); the scalar round loop tracks its own current item.
+	faultWI *wiState
 }
 
 // stepBatch is how many instructions a work-item executes between
@@ -129,11 +133,20 @@ func (m *Machine) launchVM(fn *ir.Function, args []Value, locals []localArg, nd 
 		return fmt.Errorf("interp: kernel %q not compiled", fn.Name)
 	}
 	l := &launchCtx{m: m, fn: fn, args: args, locals: locals, nd: nd, ng: nd.NumGroups(), prog: prog, kcf: kcf, maxSteps: m.maxSteps()}
+	total := l.ng[0] * l.ng[1] * l.ng[2]
 	if p := m.Profiler; p != nil {
 		l.prof = p
 		l.kp = p.kernel(fn.Name)
+		// Rotate which group of the grid gets sampled: the cumulative
+		// group counter advances by the same amount per launch, so
+		// launches whose group count divides the sampling period would
+		// always profile the same groups of the grid. The phase is
+		// seeded from the launch ordinal and the launch's group count,
+		// walking the sample point across the grid over repeats.
+		c := l.kp.launches.Add(1) - 1
+		l.profPhase = (c * (total/2 + 1)) % p.every
 	}
-	total := l.ng[0] * l.ng[1] * l.ng[2]
+	defer l.flushWarpStats()
 	workers := int64(runtime.GOMAXPROCS(0))
 	if workers > total {
 		workers = total
@@ -300,9 +313,11 @@ func (l *launchCtx) runGroupVM(gr *groupRunner, group [3]int64) error {
 	clear(gr.locals)
 	g := &vmGroup{l: l, group: group, locals: gr.locals, ar: &gr.ar}
 	if p := l.prof; p != nil {
-		// Sample 1 in every groups: the first sample lands at group
-		// `every`, so short launches on a sparse profiler pay nothing.
-		if n := l.kp.groupsSeen.Add(1); n%p.every == 0 {
+		// Sample 1 in every groups. The phase is seeded from the launch
+		// geometry (see launchVM), so repeated identical launches do not
+		// keep profiling the same group of the grid; short launches on a
+		// sparse profiler still pay nothing.
+		if n := l.kp.groupsSeen.Add(1); (n+l.profPhase)%p.every == 0 {
 			g.prof = p.newGroupProfile()
 		}
 	}
@@ -333,6 +348,10 @@ func (l *launchCtx) runGroupVM(gr *groupRunner, group [3]int64) error {
 				wi.frames = append(wi.frames[:0], vmFrame{cf: l.kcf, regp: regp, pc: 0, dst: -1})
 			}
 		}
+	}
+
+	if ww := l.prog.warpWidth; ww > 1 && size > 1 && len(l.kcf.wmode) > 0 {
+		return l.runGroupWarp(gr, g, size, ww, argPatch)
 	}
 
 	live := size

@@ -1,0 +1,159 @@
+package interp
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/passes"
+)
+
+// Warp dispatch modes: one byte per bytecode instruction of a kernel,
+// telling the warp execution loop (warp.go) how to run it while the
+// warp's control flow is still uniform.
+const (
+	// wmSpill leaves vector mode: the warp's live lanes materialize
+	// scalar work-item state at this pc and re-execute the instruction
+	// on the per-item path (divergent branches, calls, traps).
+	wmSpill uint8 = iota
+	// wmOnce executes the instruction once per warp: its destination
+	// (if any) is a uniform register homed in the warp's shared file,
+	// and uniform operands read from there (the rare divergent-homed
+	// operand — the phi-cycle scratch — reads lane 0, whose value is
+	// warp-invariant whenever the analysis proved the result uniform).
+	wmOnce
+	// wmLane executes the instruction once per live lane, reading
+	// uniform operands from the shared file and divergent ones from
+	// the lane's own register file.
+	wmLane
+	// wmBarrier suspends the whole warp at a work-group barrier —
+	// arrival is counted once per warp, not once per lane.
+	wmBarrier
+	// wmRet retires every live lane of the warp (kernel top-frame
+	// return; calls never run in vector mode, so there is no caller).
+	wmRet
+)
+
+// buildWarpTables derives the warp execution tables of a compiled
+// kernel from the uniformity analysis: the per-register uniformity
+// (register homes), the per-instruction dispatch mode, and the barrier
+// resume pcs where a spilled warp may re-form. Register numbering is
+// repeatable (ir.NumberFunction is deterministic), so the analysis maps
+// onto the already-lowered code.
+func (cf *compiledFn) buildWarpTables() {
+	fn := cf.fn
+	u := passes.AnalyzeUniformity(fn)
+	nb := ir.NumberFunction(fn)
+
+	uniform := make([]bool, cf.nregs)
+	for _, p := range fn.Params {
+		if i, ok := nb.IndexOf(p); ok {
+			uniform[i] = true
+		}
+	}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.HasResult() {
+				if i, ok := nb.IndexOf(in); ok {
+					uniform[i] = u.ValueUniform(in)
+				}
+			}
+		}
+	}
+	for i := cf.constBase; i < cf.constBase+len(cf.consts); i++ {
+		uniform[i] = true
+	}
+	// A phi-cycle scratch slot (past the constant tail) stays divergent:
+	// it shuttles both uniform and divergent edge copies.
+
+	// Per-block control-uniformity, aligned with blockStarts. The edge
+	// stub region holds only moves and jumps for edges out of branches;
+	// divergent branches spill before reaching their stubs, so the
+	// region counts as uniform.
+	blkU := make([]bool, len(cf.blockStarts))
+	for i, b := range fn.Blocks {
+		if i < len(blkU) {
+			blkU[i] = u.BlockUniform(b)
+		}
+	}
+	if len(blkU) > len(fn.Blocks) {
+		blkU[len(fn.Blocks)] = true
+	}
+	pcUniform := func(pc int32) bool {
+		i := sort.Search(len(cf.blockStarts), func(i int) bool { return cf.blockStarts[i] > pc }) - 1
+		return i >= 0 && blkU[i]
+	}
+
+	wmode := make([]uint8, len(cf.code))
+	ru := func(r int32) bool { return r >= 0 && uniform[r] }
+	for pc := range cf.code {
+		in := &cf.code[pc]
+		var m uint8
+		switch in.op {
+		case opCall, opTrap:
+			m = wmSpill
+		case opRet:
+			m = wmRet
+		case opBarrier:
+			m = wmBarrier
+			if !pcUniform(int32(pc)) {
+				m = wmSpill
+			}
+		case opJump:
+			m = wmOnce
+		case opCondJump:
+			m = wmOnce
+			if !ru(in.a) {
+				m = wmSpill
+			}
+		case opCmpJump:
+			m = wmOnce
+			if !ru(in.a) || !ru(in.b) {
+				m = wmSpill
+			}
+		case opStore:
+			// A store of a uniform value through a uniform pointer in a
+			// control-uniform block: every lane writes the same bytes to
+			// the same place, so one write is byte-equivalent.
+			m = wmLane
+			if ru(in.a) && ru(in.b) && pcUniform(int32(pc)) {
+				m = wmOnce
+			}
+		case opBinStore:
+			m = wmLane
+			if ru(in.a) && ru(in.b) && ru(in.c) && pcUniform(int32(pc)) {
+				m = wmOnce
+			}
+		case opLoadBinStore, opAtomic:
+			// The loaded/old value is per-lane by definition.
+			m = wmLane
+		default:
+			// Value-producing instructions follow their destination's
+			// home: uniform results compute once on the shared file.
+			m = wmLane
+			if ru(in.dst) {
+				m = wmOnce
+			}
+		}
+		wmode[pc] = m
+	}
+
+	// Spilled warps re-form at barriers in control-uniform blocks: all
+	// lanes arrive with a single frame at the same resume pc.
+	reform := make(map[int32]bool)
+	for pc := range cf.code {
+		if cf.code[pc].op == opBarrier && wmode[pc] == wmBarrier {
+			reform[int32(pc)+1] = true
+		}
+	}
+
+	var uregs []int32
+	for i, ok := range uniform {
+		if ok && i < cf.constBase {
+			uregs = append(uregs, int32(i))
+		}
+	}
+	cf.wmode = wmode
+	cf.uniform = uniform
+	cf.uniformRegs = uregs
+	cf.reformPC = reform
+}

@@ -1,0 +1,288 @@
+package interp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/clc"
+	"repro/internal/ir"
+)
+
+// scalarO1 is DefaultCompileOpts minus warp execution: the per-item
+// reference the warp engine must match byte for byte.
+var scalarO1 = CompileOpts{Opt: true}
+
+// runWarpKernel compiles src, launches kernel "k" once under opts with
+// one int32 output buffer of n elements and one int32 input buffer of n
+// elements (seeded deterministically), and returns the output bytes.
+func runWarpKernel(t *testing.T, src string, opts CompileOpts, nd NDRange, n int) []byte {
+	t.Helper()
+	mod, err := clc.Compile(src, "k")
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	m := NewMachine(mod)
+	m.UseProgram(CompileModuleOpts(mod, opts))
+	in := m.NewRegion(int64(n)*4, ir.Global)
+	out := m.NewRegion(int64(n)*4, ir.Global)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(in.Bytes[i*4:], uint32(i*2654435761+12345))
+	}
+	args := []Value{
+		{K: ir.Pointer, P: Ptr{R: out}},
+		{K: ir.Pointer, P: Ptr{R: in}},
+		IntV(int64(n)),
+	}
+	if err := m.Launch("k", args, nd); err != nil {
+		t.Fatalf("launch: %v\n%s", err, src)
+	}
+	return out.Bytes
+}
+
+// TestWarpScalarParityFuzz randomizes branch conditions on the local id
+// (the divergence source the uniformity analysis must classify) inside
+// a loop with loads, stores and a barrier, and requires the warp engine
+// — at several widths, including widths that leave partial warps — to
+// reproduce the scalar engine's output bytes exactly.
+func TestWarpScalarParityFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5EED))
+	for trial := 0; trial < 12; trial++ {
+		src := fmt.Sprintf(`
+kernel void k(global int* out, global const int* in, int n)
+{
+    int lid = (int)get_local_id(0);
+    int gid = (int)get_global_id(0);
+    int acc = %d;
+    int i;
+    for (i = 0; i < %d; ++i) {
+        if (((lid >> %d) ^ (i * %d)) & %d) acc += in[(gid + i) %% n] * %d;
+        else acc -= (i + lid) & %d;
+        if ((i & 3) == %d) acc ^= lid << 1;
+    }
+    barrier(1);
+    if ((lid & %d) == 0) acc += gid * %d;
+    out[gid] = acc;
+}
+`,
+			rng.Intn(100), 8+rng.Intn(24), rng.Intn(3), 1+rng.Intn(7), rng.Intn(4),
+			1+rng.Intn(5), rng.Intn(8), rng.Intn(4), rng.Intn(4), 1+rng.Intn(3))
+		nd := ND1(128, 64)
+		want := runWarpKernel(t, src, scalarO1, nd, 128)
+		for _, width := range []int{64, 24, 7} {
+			got := runWarpKernel(t, src, CompileOpts{Opt: true, WarpWidth: width}, nd, 128)
+			if !bytes.Equal(want, got) {
+				t.Fatalf("trial %d: warp width %d diverges from scalar output\n%s", trial, width, src)
+			}
+		}
+	}
+}
+
+// TestWarpStatsReform drives a kernel whose control flow is uniform,
+// then divergent (spill), then uniform again after a barrier (re-form),
+// and checks the warp statistics end to end: warps formed with full
+// occupancy, at least one divergence fallback, at least one barrier
+// re-formation — through both the profiler snapshot and a custom
+// Machine.WarpStats sink.
+func TestWarpStatsReform(t *testing.T) {
+	const src = `
+kernel void k(global int* out, global const int* in, int n)
+{
+    int lid = (int)get_local_id(0);
+    int acc = 0;
+    int i;
+    for (i = 0; i < 16; ++i) acc += i & 7;
+    if (lid > 5) acc += in[lid];
+    barrier(1);
+    for (i = 0; i < 16; ++i) acc += i & 3;
+    out[lid] = acc;
+}
+`
+	mod, err := clc.Compile(src, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(mod)
+	m.UseProgram(CompileModuleOpts(mod, DefaultCompileOpts))
+	m.Profiler = NewProfiler(ProfileOptions{SampleEvery: 1})
+	var sunk []WarpLaunchStats
+	m.WarpStats = warpSinkFunc(func(st WarpLaunchStats) { sunk = append(sunk, st) })
+
+	const n = 128
+	in := m.NewRegion(n*4, ir.Global)
+	out := m.NewRegion(n*4, ir.Global)
+	args := []Value{
+		{K: ir.Pointer, P: Ptr{R: out}},
+		{K: ir.Pointer, P: Ptr{R: in}},
+		IntV(n),
+	}
+	if err := m.Launch("k", args, ND1(n, 64)); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps := m.Profiler.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("got %d kernel snapshots, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.Warps != 2 {
+		t.Errorf("Warps = %d, want 2 (two 64-item groups, one warp each)", s.Warps)
+	}
+	if s.WarpLanes != 128 {
+		t.Errorf("WarpLanes = %d, want 128 (full occupancy)", s.WarpLanes)
+	}
+	if s.WarpSpills < 2 {
+		t.Errorf("WarpSpills = %d, want >= 2 (the local-id branch spills every warp)", s.WarpSpills)
+	}
+	if s.WarpReforms < 2 {
+		t.Errorf("WarpReforms = %d, want >= 2 (every warp re-forms at the barrier)", s.WarpReforms)
+	}
+
+	if len(sunk) != 1 {
+		t.Fatalf("sink observed %d launches, want 1", len(sunk))
+	}
+	st := sunk[0]
+	if st.Kernel != "k" || st.Width != DefaultWarpWidth {
+		t.Errorf("sink stats = %+v, want kernel k at width %d", st, DefaultWarpWidth)
+	}
+	if st.Warps != s.Warps || st.Spills != s.WarpSpills || st.Reforms != s.WarpReforms {
+		t.Errorf("sink stats %+v disagree with profiler snapshot %+v", st, s)
+	}
+
+	var buf bytes.Buffer
+	m.Profiler.Dump(&buf)
+	if !strings.Contains(buf.String(), "warps: 2") || !strings.Contains(buf.String(), "divergence fallbacks") {
+		t.Errorf("Dump lacks warp stats:\n%s", buf.String())
+	}
+}
+
+type warpSinkFunc func(WarpLaunchStats)
+
+func (f warpSinkFunc) ObserveWarpLaunch(st WarpLaunchStats) { f(st) }
+
+// TestWarpPartialOccupancy: a group smaller than the warp width forms
+// one partial warp and still computes correct results.
+func TestWarpPartialOccupancy(t *testing.T) {
+	const src = `
+kernel void k(global int* out, global const int* in, int n)
+{
+    int lid = (int)get_local_id(0);
+    int acc = 0;
+    int i;
+    for (i = 0; i < 32; ++i) acc += i & 7;
+    out[get_global_id(0)] = acc + in[lid] + lid;
+}
+`
+	mod, err := clc.Compile(src, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(mod)
+	m.UseProgram(CompileModuleOpts(mod, DefaultCompileOpts))
+	m.Profiler = NewProfiler(ProfileOptions{SampleEvery: 1})
+	const n = 20 // two groups of 10: partial warps at width 64
+	in := m.NewRegion(n*4, ir.Global)
+	out := m.NewRegion(n*4, ir.Global)
+	args := []Value{
+		{K: ir.Pointer, P: Ptr{R: out}},
+		{K: ir.Pointer, P: Ptr{R: in}},
+		IntV(n),
+	}
+	if err := m.Launch("k", args, ND1(n, 10)); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Profiler.Snapshot()[0]
+	if s.Warps != 2 || s.WarpLanes != 20 {
+		t.Errorf("Warps/WarpLanes = %d/%d, want 2/20 (two partial warps)", s.Warps, s.WarpLanes)
+	}
+	for i := 0; i < n; i++ {
+		lid := i % 10
+		got := int32(binary.LittleEndian.Uint32(out.Bytes[i*4:]))
+		// sum over 32 iterations of (i & 7) = 4 * (0+1+...+7) = 112.
+		if exp := int32(112 + lid); got != exp {
+			t.Fatalf("out[%d] = %d, want %d", i, got, exp)
+		}
+	}
+}
+
+// TestWarpFaultAttribution: a fault on one specific lane must be
+// attributed to the same work-item global id under the warp engine as
+// under the scalar engine, with the same error text.
+func TestWarpFaultAttribution(t *testing.T) {
+	const src = `
+kernel void k(global int* out, global const int* in, int n)
+{
+    int lid = (int)get_local_id(0);
+    out[lid] = n / (lid - 5);
+}
+`
+	fault := func(opts CompileOpts) string {
+		mod, err := clc.Compile(src, "k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMachine(mod)
+		m.UseProgram(CompileModuleOpts(mod, opts))
+		in := m.NewRegion(64*4, ir.Global)
+		out := m.NewRegion(64*4, ir.Global)
+		args := []Value{
+			{K: ir.Pointer, P: Ptr{R: out}},
+			{K: ir.Pointer, P: Ptr{R: in}},
+			IntV(64),
+		}
+		err = m.Launch("k", args, ND1(64, 64))
+		if err == nil {
+			t.Fatal("launch did not fault")
+		}
+		return err.Error()
+	}
+	scalar := fault(scalarO1)
+	warp := fault(DefaultCompileOpts)
+	if scalar != warp {
+		t.Errorf("fault attribution differs:\n  scalar: %s\n  warp:   %s", scalar, warp)
+	}
+	if !strings.Contains(warp, "(5,0,0)") {
+		t.Errorf("fault not attributed to lane 5: %s", warp)
+	}
+}
+
+// TestWarpWidthKnob: WarpWidth is per-program — width 0 disables warp
+// execution entirely (no warps reported), and Prog exposes the width.
+func TestWarpWidthKnob(t *testing.T) {
+	const src = `
+kernel void k(global int* out, global const int* in, int n)
+{
+    out[get_local_id(0)] = n;
+}
+`
+	mod, err := clc.Compile(src, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := CompileModuleOpts(mod, scalarO1).WarpWidth(); w != 0 {
+		t.Errorf("scalar program WarpWidth = %d, want 0", w)
+	}
+	if w := CompileModuleOpts(mod, DefaultCompileOpts).WarpWidth(); w != DefaultWarpWidth {
+		t.Errorf("default program WarpWidth = %d, want %d", w, DefaultWarpWidth)
+	}
+
+	m := NewMachine(mod)
+	m.UseProgram(CompileModuleOpts(mod, scalarO1))
+	m.Profiler = NewProfiler(ProfileOptions{SampleEvery: 1})
+	in := m.NewRegion(64*4, ir.Global)
+	out := m.NewRegion(64*4, ir.Global)
+	args := []Value{
+		{K: ir.Pointer, P: Ptr{R: out}},
+		{K: ir.Pointer, P: Ptr{R: in}},
+		IntV(64),
+	}
+	if err := m.Launch("k", args, ND1(64, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Profiler.Snapshot()[0]; s.Warps != 0 {
+		t.Errorf("scalar program formed %d warps, want 0", s.Warps)
+	}
+}

@@ -21,7 +21,10 @@ type MachinePool struct {
 	// (new or reused), so one SetProfiler call covers launches already
 	// drawing on parked machines. nextMach names machines "mach-N" in
 	// construction order for trace output.
-	prof     *interp.Profiler
+	prof *interp.Profiler
+	// warp, when set, receives per-launch warp execution stats from
+	// every machine the pool hands out (see interp.WarpStatsSink).
+	warp     interp.WarpStatsSink
 	nextMach int
 
 	workersOnce sync.Once
@@ -63,6 +66,15 @@ func (p *MachinePool) SetProfiler(prof *interp.Profiler) {
 	p.mu.Unlock()
 }
 
+// SetWarpStats installs (or, with nil, removes) a warp-statistics sink
+// on every machine the pool subsequently hands out, including reused
+// ones. The sink must be concurrency-safe.
+func (p *MachinePool) SetWarpStats(s interp.WarpStatsSink) {
+	p.mu.Lock()
+	p.warp = s
+	p.mu.Unlock()
+}
+
 // Acquire returns a machine for the module, reusing an idle one when
 // available. Machines are seeded with the pool's persistent worker set.
 func (p *MachinePool) Acquire(mod *ir.Module) *interp.Machine {
@@ -79,11 +91,13 @@ func (p *MachinePool) Acquire(mod *ir.Module) *interp.Machine {
 			p.free[mod] = ms[:n-1]
 		}
 		m.Profiler = p.prof
+		m.WarpStats = p.warp
 		return m
 	}
 	m := interp.NewMachine(mod)
 	m.Workers = w
 	m.Profiler = p.prof
+	m.WarpStats = p.warp
 	m.Name = fmt.Sprintf("mach-%d", p.nextMach)
 	p.nextMach++
 	return m

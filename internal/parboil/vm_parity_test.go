@@ -15,15 +15,21 @@ import (
 )
 
 // vmParityO0 compiles the bytecode exactly as PR 3 shipped it: no O1
-// pipeline, no superinstruction fusion.
+// pipeline, no superinstruction fusion (WarpWidth zero: scalar).
 var vmParityO0 = interp.CompileOpts{Disable: []string{"fuse"}}
 
+// vmParityO1 is the O1 pipeline plus fusion on the scalar per-item
+// engine — DefaultCompileOpts minus warp execution.
+var vmParityO1 = interp.CompileOpts{Opt: true}
+
 // TestVMParityNative is the differential suite over the native path,
-// now a three-axis comparison: every Parboil kernel runs its
+// now a four-axis comparison: every Parboil kernel runs its
 // verification launch on (1) the tree-walking reference interpreter,
-// (2) the bytecode VM without any optimization, and (3) the VM behind
-// the full O1 pipeline plus fusion, with identical inputs — and every
-// argument buffer must match byte for byte across all three.
+// (2) the bytecode VM without any optimization, (3) the scalar VM
+// behind the full O1 pipeline plus fusion, and (4) the warp-batched
+// engine (DefaultCompileOpts, 64-lane warps with divergence spill),
+// with identical inputs — and every argument buffer must match byte
+// for byte across all four.
 func TestVMParityNative(t *testing.T) {
 	for _, k := range Kernels() {
 		k := k
@@ -37,9 +43,13 @@ func TestVMParityNative(t *testing.T) {
 			if err != nil {
 				t.Fatalf("vm O0: %v", err)
 			}
-			vm1, err := k.RunNativeVM(interp.DefaultCompileOpts)
+			vm1, err := k.RunNativeVM(vmParityO1)
 			if err != nil {
 				t.Fatalf("vm O1: %v", err)
+			}
+			vmw, err := k.RunNativeVM(interp.DefaultCompileOpts)
+			if err != nil {
+				t.Fatalf("vm warp: %v", err)
 			}
 			spec := k.Setup()
 			for i := range ref {
@@ -48,6 +58,9 @@ func TestVMParityNative(t *testing.T) {
 				}
 				if !bytes.Equal(ref[i], vm1[i]) {
 					t.Errorf("buffer %d (%s) differs between tree-walker and O1 VM", i, spec.Args[i].Name)
+				}
+				if !bytes.Equal(ref[i], vmw[i]) {
+					t.Errorf("buffer %d (%s) differs between tree-walker and warp VM", i, spec.Args[i].Name)
 				}
 			}
 		})
@@ -89,7 +102,8 @@ func TestVMParityTransformedSliced(t *testing.T) {
 				name string
 				prog *interp.Prog
 			}{
-				{"O1", interp.CompileModuleOpts(tm, interp.DefaultCompileOpts)},
+				{"warp", interp.CompileModuleOpts(tm, interp.DefaultCompileOpts)},
+				{"O1", interp.CompileModuleOpts(tm, vmParityO1)},
 				{"O0", interp.CompileModuleOpts(tm, vmParityO0)},
 			} {
 				cl, bufs, err := clKernelFromSpec(orig, k.Name, spec)

@@ -1,0 +1,206 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// analyzeKernel compiles, optimizes and analyzes one kernel.
+func analyzeKernel(t *testing.T, src, name string) (*ir.Function, *Uniformity) {
+	t.Helper()
+	mod := compileAndPromote(t, src, name)
+	f := mod.Lookup(name)
+	if f == nil {
+		t.Fatalf("kernel %s lost", name)
+	}
+	return f, AnalyzeUniformity(f)
+}
+
+// blockByPrefix returns the unique block whose name starts with prefix.
+func blockByPrefix(t *testing.T, f *ir.Function, prefix string) *ir.Block {
+	t.Helper()
+	var hit *ir.Block
+	for _, b := range f.Blocks {
+		if strings.HasPrefix(b.Name, prefix) {
+			if hit != nil {
+				t.Fatalf("multiple blocks match %q:\n%s", prefix, f)
+			}
+			hit = b
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no block matches %q:\n%s", prefix, f)
+	}
+	return hit
+}
+
+// TestUniformityDiamondUniform: branching on a kernel argument keeps
+// every block control-uniform and the join phi uniform.
+func TestUniformityDiamondUniform(t *testing.T) {
+	f, u := analyzeKernel(t, `
+kernel void dia(global int* out, int c)
+{
+    int x;
+    if (c > 0) x = 1; else x = 2;
+    out[get_global_id(0)] = x;
+}
+`, "dia")
+	for _, b := range f.Blocks {
+		if !u.BlockUniform(b) {
+			t.Errorf("block %s divergent, want uniform (branch condition is a kernel arg):\n%s", b.Name, f)
+		}
+	}
+	join := blockByPrefix(t, f, "if.end")
+	phis := join.Phis()
+	if len(phis) != 1 {
+		t.Fatalf("join has %d phis, want 1:\n%s", len(phis), f)
+	}
+	if !u.ValueUniform(phis[0]) {
+		t.Errorf("join phi divergent, want uniform (both incomings are constants over a uniform branch)")
+	}
+}
+
+// TestUniformityDiamondDivergent: branching on get_local_id makes the
+// arms divergent, while the join — the branch block's postdominator —
+// stays control-uniform; the join phi still turns divergent because
+// lanes arrive over different edges.
+func TestUniformityDiamondDivergent(t *testing.T) {
+	f, u := analyzeKernel(t, `
+kernel void ddia(global int* out)
+{
+    int x;
+    if ((int)get_local_id(0) > 3) x = 1; else x = 2;
+    out[get_global_id(0)] = x;
+}
+`, "ddia")
+	for _, prefix := range []string{"if.then", "if.else"} {
+		if b := blockByPrefix(t, f, prefix); u.BlockUniform(b) {
+			t.Errorf("block %s uniform, want divergent (guarded by a local-id branch):\n%s", b.Name, f)
+		}
+	}
+	join := blockByPrefix(t, f, "if.end")
+	if !u.BlockUniform(join) {
+		t.Errorf("join %s divergent, want uniform (it postdominates the branch):\n%s", join.Name, f)
+	}
+	phis := join.Phis()
+	if len(phis) != 1 {
+		t.Fatalf("join has %d phis, want 1:\n%s", len(phis), f)
+	}
+	if u.ValueUniform(phis[0]) {
+		t.Errorf("join phi uniform, want divergent (its predecessors are divergent)")
+	}
+}
+
+// TestUniformityLoop: a loop with an argument-bounded trip count is
+// fully control-uniform and its induction phi is uniform; a value
+// loaded from memory inside the loop is divergent.
+func TestUniformityLoop(t *testing.T) {
+	f, u := analyzeKernel(t, `
+kernel void loop(global int* out, global const int* in, int n)
+{
+    int acc = 0;
+    int i;
+    for (i = 0; i < n; ++i) acc += in[i];
+    out[get_global_id(0)] = acc;
+}
+`, "loop")
+	for _, b := range f.Blocks {
+		if !u.BlockUniform(b) {
+			t.Errorf("block %s divergent, want uniform (trip count is a kernel arg):\n%s", b.Name, f)
+		}
+	}
+	var sawInduction, sawLoad bool
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpPhi:
+				// Both loop-carried phis: i is uniform; acc accumulates
+				// loaded values, hence divergent.
+				if len(b.Phis()) > 0 && u.ValueUniform(in) {
+					sawInduction = true
+				}
+			case ir.OpLoad:
+				sawLoad = true
+				if u.ValueUniform(in) {
+					t.Errorf("loaded value uniform, want divergent (loads are divergence seeds)")
+				}
+			}
+		}
+	}
+	if !sawInduction {
+		t.Errorf("no uniform loop-carried phi found, want the induction variable:\n%s", f)
+	}
+	if !sawLoad {
+		t.Fatalf("fixture lost its load:\n%s", f)
+	}
+}
+
+// TestUniformityNestedDivergence: an argument-conditioned branch NESTED
+// inside a local-id-conditioned region is still divergent — control
+// dependence widens through the enclosing divergent branch — and so is
+// everything it guards.
+func TestUniformityNestedDivergence(t *testing.T) {
+	f, u := analyzeKernel(t, `
+kernel void nest(global int* out, int c)
+{
+    int x = 0;
+    if ((int)get_local_id(0) > 3) {
+        if (c > 0) x = 1; else x = 2;
+        x += 5;
+    }
+    out[get_global_id(0)] = x;
+}
+`, "nest")
+	divergent := 0
+	for _, b := range f.Blocks {
+		if !u.BlockUniform(b) {
+			divergent++
+		}
+	}
+	// The outer then-region holds the inner diamond (then/else/join)
+	// plus its own continuation: at least 4 divergent blocks.
+	if divergent < 4 {
+		t.Errorf("%d divergent blocks, want the whole nested region (>= 4):\n%s", divergent, f)
+	}
+	entry := f.Entry()
+	if !u.BlockUniform(entry) {
+		t.Errorf("entry divergent, want uniform:\n%s", f)
+	}
+	// The outer join postdominates the local-id branch: uniform again.
+	last := f.Blocks[len(f.Blocks)-1]
+	if t2 := last.Terminator(); t2 != nil && t2.Op == ir.OpRet && !u.BlockUniform(last) {
+		t.Errorf("exit block divergent, want uniform (postdominates the divergence):\n%s", f)
+	}
+}
+
+// TestUniformityGroupBuiltins: group-level builtins are uniform,
+// item-level ones divergent.
+func TestUniformityGroupBuiltins(t *testing.T) {
+	f, u := analyzeKernel(t, `
+kernel void ids(global long* out)
+{
+    long g = get_group_id(0) * get_local_size(0) + get_num_groups(0);
+    long l = get_local_id(0) + get_global_id(0);
+    out[l] = g + l;
+}
+`, "ids")
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpCall || !in.HasResult() {
+				continue
+			}
+			switch in.Callee {
+			case "get_group_id", "get_local_size", "get_num_groups":
+				if !u.ValueUniform(in) {
+					t.Errorf("%s divergent, want uniform (group-level builtin)", in.Callee)
+				}
+			case "get_local_id", "get_global_id":
+				if u.ValueUniform(in) {
+					t.Errorf("%s uniform, want divergent (item-level builtin)", in.Callee)
+				}
+			}
+		}
+	}
+}
