@@ -73,6 +73,12 @@ type Runtime struct {
 	tracer *telemetry.Tracer
 	reg    *telemetry.Registry
 	score  *metrics.LiveScorecard
+
+	// tier, when set (EnableTiering, before any work is scheduled), is
+	// the tiered-execution controller shared by every machine pool: JIT
+	// skips the eager O1 compile, first launches run the cheap tier-0
+	// form, and hot kernels are recompiled in the background.
+	tier *interp.TierController
 }
 
 // launchRec tracks one kernel execution from interception to
@@ -251,6 +257,67 @@ func (rt *Runtime) SetTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry, s
 			plat.Machines().SetWarpStats(sink)
 		}
 	}
+	// Shared-program-cache hits and misses, labeled with the cached
+	// program's tier, make tier promotions and cold compiles observable.
+	if reg != nil {
+		interp.SetCacheMetrics(cacheTelemetry{reg})
+	} else {
+		interp.SetCacheMetrics(nil)
+	}
+	rt.wireTierTelemetry()
+}
+
+// cacheTelemetry adapts interp shared-program-cache events onto the
+// telemetry registry.
+type cacheTelemetry struct{ reg *telemetry.Registry }
+
+func (c cacheTelemetry) ProgramCacheHit(tier int) {
+	c.reg.Counter("program_cache_hits_total", telemetry.L("tier", strconv.Itoa(tier))).Inc()
+}
+
+func (c cacheTelemetry) ProgramCacheMiss(tier int) {
+	c.reg.Counter("program_cache_misses_total", telemetry.L("tier", strconv.Itoa(tier))).Inc()
+}
+
+// EnableTiering switches the runtime to tiered execution: JIT stops
+// optimizing eagerly, first launches run a cheap tier-0 compile, and
+// the returned controller recompiles hot kernels in the background
+// (see interp.TierOptions for the knobs). Call once, before connecting
+// applications, and Close the controller after Shutdown. Order with
+// SetTelemetry is immaterial — whichever comes second wires the
+// promotion metrics.
+func (rt *Runtime) EnableTiering(opts interp.TierOptions) *interp.TierController {
+	tc := interp.NewTierController(opts)
+	rt.tier = tc
+	rt.Plat.Machines().SetTierController(tc)
+	for _, plat := range rt.plats {
+		if plat != rt.Plat {
+			plat.Machines().SetTierController(tc)
+		}
+	}
+	rt.wireTierTelemetry()
+	return tc
+}
+
+// Tiering returns the controller installed by EnableTiering (nil
+// without one).
+func (rt *Runtime) Tiering() *interp.TierController { return rt.tier }
+
+// wireTierTelemetry connects the tier controller's promotion events to
+// the metrics registry; a no-op until both exist.
+func (rt *Runtime) wireTierTelemetry() {
+	tc, reg := rt.tier, rt.reg
+	if tc == nil || reg == nil {
+		return
+	}
+	tc.SetEventSink(func(ev interp.TierEvent) {
+		tier := strconv.Itoa(ev.Tier)
+		for _, k := range ev.Kernels {
+			reg.Counter("tier_promotions_total",
+				telemetry.L("kernel", k), telemetry.L("tier", tier)).Inc()
+		}
+		reg.Histogram("tier_compile_ns", telemetry.L("tier", tier)).Observe(ev.CompileNs)
+	})
 }
 
 // warpTelemetry adapts interp warp-launch stats onto the telemetry
@@ -368,7 +435,12 @@ func (rt *Runtime) jitProgram(req *Request) error {
 	// pass-by-pass, so a mid-pipeline failure must not leave the app's
 	// module half-transformed; on error the intact memory-form module
 	// stays in service.
-	if opt := ir.CloneModule(p.trans); passes.RunO1(opt) == nil {
+	if rt.tier != nil {
+		// Tiered execution: defer all optimization. The first launch
+		// resolves a cheap tier-0 compile through the controller, and the
+		// O1+profile-guided recompile happens in the background once the
+		// kernel proves hot.
+	} else if opt := ir.CloneModule(p.trans); passes.RunO1(opt) == nil {
 		p.trans = opt
 		// Bytecode lowering would re-run the pipeline on a private
 		// clone; the module is already in optimized form, so skip it —
@@ -699,8 +771,20 @@ func (rt *Runtime) recordKernel(rec *launchRec, status string) {
 		}
 	}
 	if reg != nil {
-		reg.Counter("kernels_total",
-			telemetry.L("tenant", rec.app), telemetry.L("dev", dev), telemetry.L("status", status)).Inc()
+		klabels := []telemetry.Label{
+			telemetry.L("tenant", rec.app), telemetry.L("dev", dev), telemetry.L("status", status)}
+		if rt.tier != nil {
+			// Per-tier execution counts, only under tiered execution so
+			// the label set stays stable for non-tiered deployments. The
+			// handle is nil for kernels that never launched (failed wait
+			// list, rejected admission): those count as tier 0.
+			t := 0
+			if rec.h != nil {
+				t = rec.h.Tier()
+			}
+			klabels = append(klabels, telemetry.L("tier", strconv.Itoa(t)))
+		}
+		reg.Counter("kernels_total", klabels...).Inc()
 		if !p.Running.IsZero() {
 			reg.Histogram("enqueue_latency_ns", telemetry.L("tenant", rec.app)).
 				Observe(int64(p.Running.Sub(p.Queued)))

@@ -216,6 +216,12 @@ func (m *Machine) Launch(kernel string, args []Value, nd NDRange) error {
 	if m.Engine == EngineTreeWalk {
 		return m.launchTreeWalk(fn, args, locals, nd)
 	}
+	if m.Tier != nil {
+		// After the launch (including its profile flush) the tier
+		// controller re-applies its hotness test; crossing the threshold
+		// queues a background recompile — never a compile on this path.
+		defer m.Tier.Observe(m.Mod, kernel)
+	}
 	return m.launchVM(fn, args, locals, nd)
 }
 

@@ -145,6 +145,11 @@ type Machine struct {
 	// Name labels the machine in trace output (opencl.MachinePool assigns
 	// "mach-N"); empty for anonymous machines.
 	Name string
+
+	// Tier, when set, is notified after every launch (TierController.
+	// Observe) so hot kernels get promoted to an optimized recompile.
+	// Per-launch-exclusive like Profiler; the controller is shared.
+	Tier *TierController
 }
 
 // Program returns the machine's compiled bytecode, compiling the module

@@ -17,8 +17,8 @@ import (
 // overhead scales with 1/SampleEvery instead of with the counting cost.
 // Faults are counted on every group, sampled or not.
 
-// numOps sizes per-opcode count tables (opDivF32 is the last opcode).
-const numOps = int(opDivF32) + 1
+// numOps sizes per-opcode count tables (opBinCmpJump is the last opcode).
+const numOps = int(opBinCmpJump) + 1
 
 // opNames names every vmOp for profile dumps; keep in sync with the
 // opcode enum in compile.go.
@@ -59,6 +59,8 @@ var opNames = [numOps]string{
 	opSubF32:       "sub.f32",
 	opMulF32:       "mul.f32",
 	opDivF32:       "div.f32",
+	opBinBin:       "bin+bin",
+	opBinCmpJump:   "bin+cmp+jump",
 }
 
 // defaultSampleEvery is the sampling period when ProfileOptions leaves
@@ -254,6 +256,41 @@ type KernelProfileSnapshot struct {
 	WarpReforms int64         // barrier re-formations back into vector dispatch
 	Opcodes     []OpcodeCount // nonzero counts, descending
 	Blocks      []BlockCount  // nonzero entry counts, descending
+}
+
+// ResetKernel discards one kernel's accumulated profile, including its
+// launch ordinal (which seeds the sampling phase). The tier controller
+// calls it after a hot-swap so tier-1 decisions, if a further promotion
+// is ever added, would not be skewed by stale tier-0 counts — and so
+// stale *compiledFn block tables from the replaced program do not pin
+// the old code alive.
+func (p *Profiler) ResetKernel(name string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	delete(p.kernels, name)
+	p.mu.Unlock()
+}
+
+// KernelInstrEstimate returns the estimated total dynamic instruction
+// count for one kernel (sampled count scaled by the sampling period),
+// without building a full snapshot — the tier controller's hotness test
+// runs on the launch path.
+func (p *Profiler) KernelInstrEstimate(name string) int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	kp := p.kernels[name]
+	p.mu.Unlock()
+	if kp == nil {
+		return 0
+	}
+	kp.mu.Lock()
+	n := kp.instrs
+	kp.mu.Unlock()
+	return n * p.every
 }
 
 // Snapshot returns the per-kernel profiles, sorted by kernel name.

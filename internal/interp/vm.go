@@ -211,6 +211,46 @@ func delinearize(i int64, ng [3]int64) [3]int64 {
 	return [3]int64{i % ng[0], (i / ng[0]) % ng[1], i / (ng[0] * ng[1])}
 }
 
+// i32Bin is the inline integer core of the fused superinstructions.
+// Only BinKinds with a specialized i32 opcode reach it — tryFuse gates
+// on specBin — so div/rem (which trap) never land here and the switch
+// needs no fallback. Small enough to inline into the dispatch loop.
+func i32Bin(k ir.BinKind, a, b int64) int64 {
+	switch k {
+	case ir.Add:
+		return int64(int32(a + b))
+	case ir.Sub:
+		return int64(int32(a - b))
+	case ir.Mul:
+		return int64(int32(a * b))
+	case ir.And:
+		return int64(int32(a & b))
+	case ir.Or:
+		return int64(int32(a | b))
+	default: // ir.Xor — fusableI32Bin admits nothing else
+		return int64(int32(a ^ b))
+	}
+}
+
+// i32Cmp is the matching inline comparison: tryFuse admits only the
+// fast integer predicates (fastIntPred), so the switch is exhaustive.
+func i32Cmp(p ir.CmpPred, a, b int64) bool {
+	switch p {
+	case ir.IEQ:
+		return a == b
+	case ir.INE:
+		return a != b
+	case ir.ILT:
+		return a < b
+	case ir.ILE:
+		return a <= b
+	case ir.IGT:
+		return a > b
+	default: // ir.IGE
+		return a >= b
+	}
+}
+
 // fastBin is binOp over register pointers: identical semantics (the
 // parity suite holds the two engines byte-identical), but the operands
 // stay in place instead of being copied through a call frame.
@@ -505,6 +545,29 @@ func (g *vmGroup) exec(wi *wiState) {
 			regs[in.dst] = Value{K: ir.F32, F: float64(float32(regs[in.a].F / regs[in.b].F))}
 		case opCmpJump:
 			if fastCmp(ir.CmpPred(in.sub), &regs[in.a], &regs[in.b]) {
+				pc = in.c
+			} else {
+				pc = int32(in.imm)
+			}
+		case opBinBin:
+			t := i32Bin(ir.BinKind(in.sub), regs[in.a].I, regs[in.b].I)
+			var r int64
+			if in.imm&bbSwapped != 0 {
+				r = i32Bin(ir.BinKind(in.imm&0xff), regs[in.c].I, t)
+			} else {
+				r = i32Bin(ir.BinKind(in.imm&0xff), t, regs[in.c].I)
+			}
+			regs[in.dst] = Value{K: ir.I32, I: r}
+		case opBinCmpJump:
+			// The bin result write is kept: unlike the other fusions the
+			// bin may have further uses (the induction variable).
+			v := i32Bin(ir.BinKind(in.sub), regs[in.a].I, regs[in.b].I)
+			regs[in.dst] = Value{K: ir.I32, I: v}
+			x, y := v, regs[in.args[1]].I
+			if in.args[0]&bcjSwapped != 0 {
+				x, y = y, x
+			}
+			if i32Cmp(ir.CmpPred(in.args[0]&0xffff), x, y) {
 				pc = in.c
 			} else {
 				pc = int32(in.imm)

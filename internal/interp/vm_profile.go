@@ -104,6 +104,30 @@ func (g *vmGroup) execProf(wi *wiState) {
 			if gp.perBlock {
 				gp.enterBlock(cf, pc)
 			}
+		case opBinBin:
+			t := i32Bin(ir.BinKind(in.sub), regs[in.a].I, regs[in.b].I)
+			var r int64
+			if in.imm&bbSwapped != 0 {
+				r = i32Bin(ir.BinKind(in.imm&0xff), regs[in.c].I, t)
+			} else {
+				r = i32Bin(ir.BinKind(in.imm&0xff), t, regs[in.c].I)
+			}
+			regs[in.dst] = Value{K: ir.I32, I: r}
+		case opBinCmpJump:
+			v := i32Bin(ir.BinKind(in.sub), regs[in.a].I, regs[in.b].I)
+			regs[in.dst] = Value{K: ir.I32, I: v}
+			x, y := v, regs[in.args[1]].I
+			if in.args[0]&bcjSwapped != 0 {
+				x, y = y, x
+			}
+			if i32Cmp(ir.CmpPred(in.args[0]&0xffff), x, y) {
+				pc = in.c
+			} else {
+				pc = int32(in.imm)
+			}
+			if gp.perBlock {
+				gp.enterBlock(cf, pc)
+			}
 		case opBinStore:
 			m.store(kindTypes[in.kind], binOp(ir.BinKind(in.sub), kindTypes[in.kind], regs[in.a], regs[in.b]), regs[in.c].P)
 		case opLoadBinStore:

@@ -431,6 +431,30 @@ func (g *vmGroup) warpExec(w *warp) {
 				if gp != nil && gp.perBlock {
 					gp.enterBlockN(cf, pc, n)
 				}
+			case opBinBin:
+				t := i32Bin(ir.BinKind(in.sub), uget(in.a).I, uget(in.b).I)
+				var r int64
+				if in.imm&bbSwapped != 0 {
+					r = i32Bin(ir.BinKind(in.imm&0xff), uget(in.c).I, t)
+				} else {
+					r = i32Bin(ir.BinKind(in.imm&0xff), t, uget(in.c).I)
+				}
+				uregs[in.dst] = Value{K: ir.I32, I: r}
+			case opBinCmpJump:
+				v := i32Bin(ir.BinKind(in.sub), uget(in.a).I, uget(in.b).I)
+				uregs[in.dst] = Value{K: ir.I32, I: v}
+				x, y := v, uget(in.args[1]).I
+				if in.args[0]&bcjSwapped != 0 {
+					x, y = y, x
+				}
+				if i32Cmp(ir.CmpPred(in.args[0]&0xffff), x, y) {
+					pc = in.c
+				} else {
+					pc = int32(in.imm)
+				}
+				if gp != nil && gp.perBlock {
+					gp.enterBlockN(cf, pc, n)
+				}
 			default:
 				panic(trap{"warp: once-mode dispatch of unexpected opcode"})
 			}
@@ -468,6 +492,15 @@ func (g *vmGroup) warpExec(w *warp) {
 					lr[in.dst] = Value{K: ir.Pointer, P: Ptr{R: base.R, Off: base.Off + in.imm}}
 				case opBin:
 					lr[in.dst] = fastBin(ir.BinKind(in.sub), in.kind, g.lv(lr, uregs, in.a), g.lv(lr, uregs, in.b))
+				case opBinBin:
+					t := i32Bin(ir.BinKind(in.sub), g.lv(lr, uregs, in.a).I, g.lv(lr, uregs, in.b).I)
+					var r int64
+					if in.imm&bbSwapped != 0 {
+						r = i32Bin(ir.BinKind(in.imm&0xff), g.lv(lr, uregs, in.c).I, t)
+					} else {
+						r = i32Bin(ir.BinKind(in.imm&0xff), t, g.lv(lr, uregs, in.c).I)
+					}
+					lr[in.dst] = Value{K: ir.I32, I: r}
 				case opCmp:
 					lr[in.dst] = BoolV(fastCmp(ir.CmpPred(in.sub), g.lv(lr, uregs, in.a), g.lv(lr, uregs, in.b)))
 				case opMove:

@@ -110,6 +110,15 @@ func (cf *compiledFn) buildWarpTables() {
 			if !ru(in.a) || !ru(in.b) {
 				m = wmSpill
 			}
+		case opBinCmpJump:
+			// The fused bin writes a register too, so the destination
+			// must be uniform along with every compare operand. tryFuse
+			// only emits this when the uniformity analysis agrees, but
+			// the table stays defensive.
+			m = wmOnce
+			if !ru(in.a) || !ru(in.b) || !ru(in.args[1]) || !ru(in.dst) {
+				m = wmSpill
+			}
 		case opStore:
 			// A store of a uniform value through a uniform pointer in a
 			// control-uniform block: every lane writes the same bytes to
