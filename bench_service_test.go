@@ -1,0 +1,139 @@
+// Service-boundary benchmarks: the out-of-process daemon measured from
+// the client side at increasing fan-in. Each iteration runs one full
+// write→kernel→read chain per client concurrently; reported metrics
+// are aggregate launch throughput and the p99 chain latency (enqueue
+// to read-back complete), the numbers CI's bench-service job records
+// in BENCH_service.json at 1, 8 and 64 clients.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/accelos"
+	"repro/internal/opencl"
+	"repro/internal/service"
+)
+
+func BenchmarkServiceLaunch(b *testing.B) {
+	for _, nc := range []int{1, 8, 64} {
+		// Named clients/N, not clients-N: benchjson strips a trailing
+		// -<number> as the GOMAXPROCS suffix.
+		b.Run(fmt.Sprintf("clients/%d", nc), func(b *testing.B) {
+			benchServiceLaunch(b, nc)
+		})
+	}
+}
+
+func benchServiceLaunch(b *testing.B, clients int) {
+	// Short MkdirTemp path: unix socket addresses cap out near 104 bytes.
+	dir, err := os.MkdirTemp("", "svcb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "d.sock")
+	rt := accelos.NewRuntime(opencl.GetPlatforms()[0])
+	defer rt.Shutdown()
+	srv := service.NewServer(rt, service.Options{})
+	if err := srv.Start(sock); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	const src = `
+kernel void bump(global int* out, int n)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) out[i] = out[i] + 1;
+}
+`
+	const n = 256
+	type client struct {
+		c    *service.Client
+		k    *service.RemoteKernel
+		buf  *service.RemoteBuffer
+		host []byte
+		lats []time.Duration
+	}
+	cs := make([]*client, clients)
+	for w := range cs {
+		c, err := service.Dial(sock, fmt.Sprintf("bench-%d", w), "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		prog, err := c.CreateProgram(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k, err := prog.CreateKernel("bump")
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf, err := c.CreateBuffer(n * 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := k.SetArgBuffer(0, buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := k.SetArgInt32(1, n); err != nil {
+			b.Fatal(err)
+		}
+		cs[w] = &client{c: c, k: k, buf: buf, host: make([]byte, n*4)}
+	}
+
+	nd := opencl.ND1(n, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, cl := range cs {
+			wg.Add(1)
+			go func(cl *client) {
+				defer wg.Done()
+				t0 := time.Now()
+				wev, err := cl.buf.WriteAsync(0, cl.host)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				kev, err := cl.c.EnqueueKernelAsync(cl.k, nd, wev)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				rev, err := cl.buf.ReadAsync(0, cl.host, kev)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if err := rev.Wait(); err != nil {
+					b.Error(err)
+					return
+				}
+				cl.lats = append(cl.lats, time.Since(t0))
+			}(cl)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+
+	var all []time.Duration
+	for _, cl := range cs {
+		all = append(all, cl.lats...)
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	p99 := all[(len(all)-1)*99/100]
+	b.ReportMetric(float64(len(all))/b.Elapsed().Seconds(), "launches/sec")
+	b.ReportMetric(float64(p99.Nanoseconds())/1e6, "p99-ms")
+}

@@ -19,6 +19,12 @@
 // asynchronous pipelines from a single application:
 //
 //	accelsim -exp live -chains 8
+//
+// `-exp service` measures the out-of-process boundary: a wire-protocol
+// daemon on a unix socket with N concurrent clients pipelining
+// write→kernel→read chains through shared-memory buffers:
+//
+//	accelsim -exp service -clients 64 -per-tenant 8
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -44,6 +51,7 @@ import (
 	"repro/internal/opencl"
 	"repro/internal/parboil"
 	"repro/internal/passes"
+	"repro/internal/service"
 	"repro/internal/telemetry"
 )
 
@@ -60,6 +68,7 @@ func main() {
 	tenants := flag.Int("tenants", 3, "cluster experiment: concurrent applications")
 	perTenant := flag.Int("per-tenant", 4, "cluster experiment: kernel requests per application")
 	chains := flag.Int("chains", 8, "live experiment: independent kernel+transfer pipelines")
+	clients := flag.Int("clients", 8, "service experiment: concurrent daemon clients")
 	trace := flag.String("trace", "", "run a live multi-tenant workload and write its Chrome trace_event JSON here (load in chrome://tracing or Perfetto)")
 	profile := flag.Bool("profile", false, "collect and dump sampled VM execution profiles for the live run")
 	tier := flag.Bool("tier", false, "live experiment: tiered execution — cheap tier-0 first launches, background hot-kernel recompilation (promotions reported)")
@@ -90,6 +99,13 @@ func main() {
 	}
 	if *exp == "live" {
 		if err := runLive(*chains, *profile, *tier); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+	if *exp == "service" {
+		if err := runService(*clients, *perTenant); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -389,6 +405,127 @@ kernel void strided(global float* d, int n, int stride, int iters)
 		fmt.Println("\n--- VM execution profiles ---")
 		prof.Dump(os.Stdout)
 	}
+	return nil
+}
+
+// runService measures the out-of-process service path: an in-process
+// daemon on a private unix socket, `clients` concurrent client shims
+// each pipelining `perClient` write→kernel→read chains through
+// shared-memory buffers. Reported are aggregate launch throughput and
+// the tail of the full chain latency (enqueue to read-back complete) —
+// the numbers the BENCH_service CI job tracks at 1/8/64 clients.
+func runService(clients, perClient int) error {
+	if clients < 1 {
+		clients = 1
+	}
+	if perClient < 1 {
+		perClient = 1
+	}
+	dir, err := os.MkdirTemp("", "acceld")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "d.sock")
+	rt := accelos.NewRuntime(opencl.GetPlatforms()[0])
+	defer rt.Shutdown()
+	reg := telemetry.NewRegistry()
+	rt.SetTelemetry(nil, reg, nil)
+	srv := service.NewServer(rt, service.Options{Metrics: reg})
+	if err := srv.Start(sock); err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	const src = `
+kernel void strided(global float* d, int n, int stride, int iters)
+{
+    int i = (int)get_global_id(0);
+    if (i < n) {
+        float acc = d[i * stride];
+        int it;
+        for (it = 0; it < iters; ++it) acc = acc * 1.000001f + 0.5f;
+        d[i * stride] = acc;
+    }
+}
+`
+	const elems, n, iters = 1 << 16, 256, 16
+	var wg sync.WaitGroup
+	lats := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = func() error {
+				c, err := service.Dial(sock, fmt.Sprintf("app%d", w), "")
+				if err != nil {
+					return err
+				}
+				defer c.Close()
+				prog, err := c.CreateProgram(src)
+				if err != nil {
+					return err
+				}
+				k, err := prog.CreateKernel("strided")
+				if err != nil {
+					return err
+				}
+				buf, err := c.CreateBuffer(elems * 4)
+				if err != nil {
+					return err
+				}
+				_ = k.SetArgBuffer(0, buf)
+				_ = k.SetArgInt32(1, n)
+				_ = k.SetArgInt32(2, elems/n)
+				_ = k.SetArgInt32(3, iters)
+				host := make([]byte, elems*4)
+				for it := 0; it < perClient; it++ {
+					t0 := time.Now()
+					wev, err := buf.WriteAsync(0, host)
+					if err != nil {
+						return err
+					}
+					kev, err := c.EnqueueKernelAsync(k, opencl.ND1(n, 64), wev)
+					if err != nil {
+						return err
+					}
+					rev, err := buf.ReadAsync(0, host, kev)
+					if err != nil {
+						return err
+					}
+					if err := rev.Wait(); err != nil {
+						return err
+					}
+					lats[w] = append(lats[w], time.Since(t0))
+				}
+				return nil
+			}()
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for w, err := range errs {
+		if err != nil {
+			return fmt.Errorf("client %d: %w", w, err)
+		}
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p int) time.Duration { return all[(len(all)-1)*p/100] }
+	launches := clients * perClient
+	st := rt.Stats()
+	fmt.Printf("--- service: %d clients x %d write→kernel→read chains over one daemon ---\n", clients, perClient)
+	fmt.Printf("wall time:          %12v\n", wall)
+	fmt.Printf("launch throughput:  %12.1f launches/sec\n", float64(launches)/wall.Seconds())
+	fmt.Printf("chain latency:      p50=%v p90=%v p99=%v\n",
+		pct(50).Round(time.Microsecond), pct(90).Round(time.Microsecond), pct(99).Round(time.Microsecond))
+	fmt.Printf("runtime: %d launches, %d re-plans, %d wait-deferred\n",
+		st.KernelsLaunched, st.Replans, st.WaitDeferred)
 	return nil
 }
 

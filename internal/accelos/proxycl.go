@@ -1,6 +1,7 @@
 package accelos
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -8,6 +9,12 @@ import (
 	"repro/internal/ir"
 	"repro/internal/opencl"
 )
+
+// ErrAppClosed is returned (possibly wrapped) by every App entry point
+// once Close has begun. It is a comparable sentinel so interposition
+// layers — in particular the wire protocol — can map the condition to a
+// typed code instead of string-matching.
+var ErrAppClosed = errors.New("accelos: application closed")
 
 // ProxyCL (level 2 of Fig. 5) is the library applications link instead
 // of vendor OpenCL: the same call shapes, transparently routed to the
@@ -36,6 +43,17 @@ type App struct {
 
 	// group tracks the app's incomplete events for Finish.
 	group opencl.EventGroup
+
+	// mu guards the close state: Close may race with enqueues from
+	// other goroutines (a daemon connection dropping mid-launch), so
+	// every entry point holds an op ticket while it registers work, and
+	// Close waits for tickets to drain before tearing down.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	closed  bool
+	ops     int
+	bufs    []*BufferHandle
+	bufHigh int
 }
 
 // Connect registers an application with the daemon.
@@ -51,8 +69,84 @@ func (rt *Runtime) Connect(name string) *App {
 	return &App{rt: rt, ID: id, Name: name, q: q}
 }
 
-// Close releases everything the application holds.
+// begin takes an op ticket, failing with ErrAppClosed once Close has
+// begun. Every successful begin is paired with end before the entry
+// point returns; the work it registered (events, requests) is then
+// drained by Close via the event group.
+func (a *App) begin() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return ErrAppClosed
+	}
+	a.ops++
+	return nil
+}
+
+func (a *App) end() {
+	a.mu.Lock()
+	a.ops--
+	if a.ops == 0 && a.cond != nil {
+		a.cond.Broadcast()
+	}
+	a.mu.Unlock()
+}
+
+// Closed reports whether Close has begun.
+func (a *App) Closed() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.closed
+}
+
+// addBuf records a buffer handle so Close can release whatever the
+// application still holds. Released handles are compacted out once the
+// list doubles past its last high-water mark, so long-lived apps that
+// cycle buffers don't grow it without bound.
+func (a *App) addBuf(h *BufferHandle) {
+	a.mu.Lock()
+	if len(a.bufs) >= 2*a.bufHigh+16 {
+		live := a.bufs[:0]
+		for _, b := range a.bufs {
+			if b.handle() != nil {
+				live = append(live, b)
+			}
+		}
+		a.bufs = live
+		a.bufHigh = len(live)
+	}
+	a.bufs = append(a.bufs, h)
+	a.mu.Unlock()
+}
+
+// Close releases everything the application holds. It is safe against
+// concurrent in-flight work: new entry points fail with ErrAppClosed,
+// registrations already underway are waited out before teardown, and
+// the app's remaining buffers are released — cancelling in-flight
+// launches at their next slice boundary. Close does not block on the
+// outstanding events themselves (they fail or complete asynchronously,
+// exactly as a released buffer behaves); callers that need the drain
+// call Finish, which remains valid after Close. A second Close is a
+// no-op.
 func (a *App) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	if a.cond == nil {
+		a.cond = sync.NewCond(&a.mu)
+	}
+	for a.ops > 0 {
+		a.cond.Wait()
+	}
+	bufs := a.bufs
+	a.bufs = nil
+	a.mu.Unlock()
+	for _, h := range bufs {
+		h.Release()
+	}
 	a.rt.mem.ReleaseApp(a.ID)
 }
 
@@ -60,6 +154,23 @@ func (a *App) Close() {
 // waits for the set to drain).
 func (a *App) track(ev *opencl.Event) {
 	a.group.Add(ev)
+}
+
+// NewControlledEvent returns a tracked event the caller completes
+// itself — the hook interposition layers (the wire service) use to
+// splice host-side conditions into the app's dependency graph while
+// Finish and Close still account for them.
+func (a *App) NewControlledEvent(waits ...*opencl.Event) (*opencl.Event, error) {
+	if err := a.begin(); err != nil {
+		return nil, err
+	}
+	defer a.end()
+	if err := opencl.CheckWaitList(waits...); err != nil {
+		return nil, err
+	}
+	ev := opencl.NewControlledEvent(waits...)
+	a.track(ev)
+	return ev, nil
 }
 
 // Finish blocks until every event the application enqueued (kernels and
@@ -90,6 +201,10 @@ type Program struct {
 // scenario (a) of the Application Monitor FSM — the JIT compiler
 // analyzes and transforms the kernel code.
 func (a *App) CreateProgram(src string) (*Program, error) {
+	if err := a.begin(); err != nil {
+		return nil, err
+	}
+	defer a.end()
 	p := &Program{app: a, Source: src}
 	err := a.rt.submit(&Request{Kind: ReqProgramCreate, App: a, Prog: p})
 	if err != nil {
@@ -106,6 +221,11 @@ type BufferHandle struct {
 
 	mu  sync.Mutex
 	buf *opencl.Buffer
+
+	// onFree, when set, runs after the memory-manager accounting is
+	// returned (i.e. once the last pin is gone and the backing is dead).
+	// The service layer hangs shared-memory segment teardown here.
+	onFree func()
 }
 
 // handle returns the underlying buffer, or nil after Release. Commands
@@ -120,14 +240,48 @@ func (h *BufferHandle) handle() *opencl.Buffer {
 // CreateBuffer allocates device memory. The accelOS memory manager may
 // pause the application (block) until peers release memory (§5).
 func (a *App) CreateBuffer(size int64) (*BufferHandle, error) {
+	return a.createBuffer(size, func() (*opencl.Buffer, error) {
+		return a.rt.Ctx.CreateBuffer(size)
+	}, nil)
+}
+
+// CreateBufferBacked allocates a buffer whose device backing is the
+// caller-provided byte slice — the zero-copy hook for the out-of-process
+// service, which backs buffers with shared-memory segments mapped by
+// both the daemon and the client. onFree (optional) runs once the
+// backing is truly dead: after release, once the last in-flight command
+// unpinned the buffer. On error the caller keeps ownership of bytes.
+func (a *App) CreateBufferBacked(bytes []byte, onFree func()) (*BufferHandle, error) {
+	return a.createBuffer(int64(len(bytes)), func() (*opencl.Buffer, error) {
+		return a.rt.Ctx.CreateBufferBytes(bytes)
+	}, onFree)
+}
+
+func (a *App) createBuffer(size int64, mk func() (*opencl.Buffer, error), onFree func()) (*BufferHandle, error) {
+	if err := a.begin(); err != nil {
+		return nil, err
+	}
+	// Don't hold the op ticket across the allocation: the memory
+	// manager may pause the application indefinitely, and Close — which
+	// waits for tickets to drain — may be the very thing whose buffer
+	// releases would resume it.
+	a.end()
 	// Pausing happens in the application's own goroutine so the daemon
 	// stays responsive.
 	if err := a.rt.mem.Alloc(a.ID, size); err != nil {
 		return nil, err
 	}
-	h := &BufferHandle{app: a, Size: size}
+	if err := a.begin(); err != nil {
+		// Closed while paused. ReleaseApp may have run before the Alloc
+		// landed, so this Free either returns the bytes or clamps to a
+		// no-op — the accounting nets to zero either way.
+		a.rt.mem.Free(a.ID, size)
+		return nil, err
+	}
+	defer a.end()
+	h := &BufferHandle{app: a, Size: size, onFree: onFree}
 	err := a.rt.submit(&Request{Kind: ReqOther, App: a, Other: func() error {
-		b, err := a.rt.Ctx.CreateBuffer(size)
+		b, err := mk()
 		if err != nil {
 			return err
 		}
@@ -140,6 +294,7 @@ func (a *App) CreateBuffer(size int64) (*BufferHandle, error) {
 		a.rt.mem.Free(a.ID, size)
 		return nil, err
 	}
+	a.addBuf(h)
 	return h, nil
 }
 
@@ -156,8 +311,13 @@ func (h *BufferHandle) Release() {
 	if b == nil {
 		return
 	}
-	app, size := h.app, h.Size
-	b.ReleaseFunc(func() { app.rt.mem.Free(app.ID, size) })
+	app, size, onFree := h.app, h.Size, h.onFree
+	b.ReleaseFunc(func() {
+		app.rt.mem.Free(app.ID, size)
+		if onFree != nil {
+			onFree()
+		}
+	})
 }
 
 // WriteAsync schedules a host→device copy and returns its event
@@ -165,9 +325,13 @@ func (h *BufferHandle) Release() {
 // in the paper's IPC design). The data slice must stay untouched until
 // the event completes.
 func (h *BufferHandle) WriteAsync(off int64, data []byte, waits ...*opencl.Event) (*opencl.Event, error) {
+	if err := h.app.begin(); err != nil {
+		return nil, err
+	}
+	defer h.app.end()
 	b := h.handle()
 	if b == nil {
-		return nil, fmt.Errorf("accelos: buffer released")
+		return nil, fmt.Errorf("accelos: %w", opencl.ErrBufferReleased)
 	}
 	ev, err := h.app.q.EnqueueWrite(b, off, data, waits...)
 	if err != nil {
@@ -180,9 +344,13 @@ func (h *BufferHandle) WriteAsync(off int64, data []byte, waits ...*opencl.Event
 // ReadAsync schedules a device→host copy and returns its event
 // immediately; out is filled when the event completes.
 func (h *BufferHandle) ReadAsync(off int64, out []byte, waits ...*opencl.Event) (*opencl.Event, error) {
+	if err := h.app.begin(); err != nil {
+		return nil, err
+	}
+	defer h.app.end()
 	b := h.handle()
 	if b == nil {
-		return nil, fmt.Errorf("accelos: buffer released")
+		return nil, fmt.Errorf("accelos: %w", opencl.ErrBufferReleased)
 	}
 	ev, err := h.app.q.EnqueueRead(b, off, out, waits...)
 	if err != nil {
@@ -241,6 +409,10 @@ func (p *Program) CreateKernel(name string) (*KernelHandle, error) {
 	}
 	return &KernelHandle{prog: p, name: name, args: make([]kernArg, len(f.Params))}, nil
 }
+
+// NumArgs reports the kernel's arity (its original signature, before
+// the JIT appends the RT descriptor).
+func (k *KernelHandle) NumArgs() int { return len(k.args) }
 
 // SetArgBuffer binds a buffer argument.
 func (k *KernelHandle) SetArgBuffer(i int, b *BufferHandle) error {
@@ -308,7 +480,7 @@ func (k *KernelHandle) toCL() (*opencl.Kernel, error) {
 		case a.buf != nil:
 			b := a.buf.handle()
 			if b == nil {
-				return nil, fmt.Errorf("accelos: kernel %q argument %d: buffer released", k.name, i)
+				return nil, fmt.Errorf("accelos: kernel %q argument %d: %w", k.name, i, opencl.ErrBufferReleased)
 			}
 			err = cl.SetArgBuffer(i, b)
 		case a.loc > 0:
@@ -335,6 +507,10 @@ func (k *KernelHandle) toCL() (*opencl.Kernel, error) {
 // snapshotted at enqueue, and the buffers they name stay pinned until
 // the event completes.
 func (a *App) EnqueueKernelAsync(k *KernelHandle, nd opencl.NDRange, waits ...*opencl.Event) (*opencl.Event, error) {
+	if err := a.begin(); err != nil {
+		return nil, err
+	}
+	defer a.end()
 	if err := nd.Validate(); err != nil {
 		return nil, err
 	}
@@ -351,7 +527,7 @@ func (a *App) EnqueueKernelAsync(k *KernelHandle, nd opencl.NDRange, waits ...*o
 		if arg.buf != nil {
 			b := arg.buf.handle()
 			if b == nil {
-				return nil, fmt.Errorf("accelos: kernel %q argument %d: buffer released", k.name, i)
+				return nil, fmt.Errorf("accelos: kernel %q argument %d: %w", k.name, i, opencl.ErrBufferReleased)
 			}
 			args[i].clb = b
 			bufs = append(bufs, b)
@@ -389,7 +565,12 @@ func (a *App) EnqueueKernel(k *KernelHandle, nd opencl.NDRange) error {
 }
 
 // Query is an example of scenario (c): a passthrough request that
-// accelOS does not intervene in.
+// accelOS does not intervene in. After Close it fails with the typed
+// ErrAppClosed instead of reaching the daemon.
 func (a *App) Query(fn func() error) error {
+	if err := a.begin(); err != nil {
+		return err
+	}
+	defer a.end()
 	return a.rt.submit(&Request{Kind: ReqOther, App: a, Other: fn})
 }

@@ -159,6 +159,26 @@ func (c *Context) CreateBuffer(size int64) (*Buffer, error) {
 	return &Buffer{ctx: c, Size: size, Bytes: make([]byte, size)}, nil
 }
 
+// CreateBufferBytes allocates a buffer whose device backing is the
+// caller-provided slice (clCreateBuffer with CL_MEM_USE_HOST_PTR). The
+// accelOS service layer uses it to back buffers with shared-memory
+// segments mapped into both the daemon and its client, so kernel
+// launches bind the client's own pages and transfers never copy. The
+// caller must keep the slice valid until the buffer is freed.
+func (c *Context) CreateBufferBytes(bytes []byte) (*Buffer, error) {
+	size := int64(len(bytes))
+	if size <= 0 {
+		return nil, fmt.Errorf("opencl: invalid buffer size %d", size)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.allocated+size > c.GlobalMemBytes() {
+		return nil, ErrOutOfMemory
+	}
+	c.allocated += size
+	return &Buffer{ctx: c, Size: size, Bytes: bytes}, nil
+}
+
 // ErrOutOfMemory mirrors CL_MEM_OBJECT_ALLOCATION_FAILURE.
 var ErrOutOfMemory = fmt.Errorf("opencl: device memory exhausted")
 

@@ -101,6 +101,12 @@ func (k *Kernel) VerifyHostAPI() error {
 	return nil
 }
 
+// EncodeArg renders an array argument's initial contents as
+// little-endian bytes (nil for scalar arguments). Exported for
+// harnesses that replay verification launches through other transport
+// boundaries (the out-of-process service).
+func EncodeArg(a Arg) []byte { return encodeArg(a) }
+
 // encodeArg renders an array argument's initial contents as little-
 // endian bytes (nil for scalars).
 func encodeArg(a Arg) []byte {

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package wire
+
+import "errors"
+
+// Shm is unavailable off unix: the service layer's zero-copy buffers
+// need MAP_SHARED file mappings. The daemon and client refuse to start
+// rather than silently copying.
+type Shm struct {
+	Path  string
+	Bytes []byte
+}
+
+var errNoShm = errors.New("wire: shared-memory buffers require a unix platform")
+
+func CreateShm(dir string, size int64) (*Shm, error) { return nil, errNoShm }
+func OpenShm(path string) (*Shm, error)              { return nil, errNoShm }
+func (s *Shm) Close() error                          { return nil }

@@ -1,0 +1,94 @@
+//go:build unix
+
+package wire
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Shm is one shared-memory segment backing a service buffer: a tmpfile
+// mmap'd MAP_SHARED by both the daemon and the client. The daemon
+// creates it (owner) and its mapping becomes the opencl.Buffer backing
+// that interp.Machine.BindRegion binds into kernels zero-copy; the
+// client opens the same path, so both processes address the same
+// physical pages and "transfers" never copy across the boundary.
+type Shm struct {
+	Path  string
+	Bytes []byte
+	owner bool
+}
+
+// CreateShm makes a new segment of size bytes under dir (os.TempDir()
+// when empty). The owner unlinks the file on Close; clients that have
+// it mapped keep their pages until they close their own mapping.
+func CreateShm(dir string, size int64) (*Shm, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("wire: shm size %d out of range", size)
+	}
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "accelos-shm-*")
+	if err != nil {
+		return nil, fmt.Errorf("wire: create shm: %w", err)
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, fmt.Errorf("wire: size shm: %w", err)
+	}
+	b, err := mmap(f, size)
+	f.Close()
+	if err != nil {
+		os.Remove(f.Name())
+		return nil, err
+	}
+	return &Shm{Path: f.Name(), Bytes: b, owner: true}, nil
+}
+
+// OpenShm maps an existing segment created by the peer.
+func OpenShm(path string) (*Shm, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("wire: open shm: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wire: stat shm: %w", err)
+	}
+	b, err := mmap(f, st.Size())
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	return &Shm{Path: path, Bytes: b}, nil
+}
+
+func mmap(f *os.File, size int64) ([]byte, error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("wire: mmap shm: %w", err)
+	}
+	return b, nil
+}
+
+// Close unmaps the segment; the owner also unlinks the backing file.
+// Safe to call twice.
+func (s *Shm) Close() error {
+	var err error
+	if s.Bytes != nil {
+		err = syscall.Munmap(s.Bytes)
+		s.Bytes = nil
+	}
+	if s.owner {
+		s.owner = false
+		if rmErr := os.Remove(s.Path); err == nil && rmErr != nil && !os.IsNotExist(rmErr) {
+			err = rmErr
+		}
+	}
+	return err
+}
