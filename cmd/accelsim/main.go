@@ -25,6 +25,16 @@
 // write→kernel→read chains through shared-memory buffers:
 //
 //	accelsim -exp service -clients 64 -per-tenant 8
+//
+// `-exp chaos` runs the fault-injection harness: a seeded multi-tenant
+// Parboil workload under injected device failures and slice delays on
+// the in-process runtime, the deterministic runaway-kernel watchdog
+// scenario, and client-side transport chaos (dropped frames, torn
+// connections, failed shm maps) against a clean child-process daemon.
+// Every chain must be byte-identical to the native reference or fail
+// with a typed error, and both runtimes must drain to zero:
+//
+//	accelsim -exp chaos -seed 42
 package main
 
 import (
@@ -56,7 +66,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig2, fig9..fig15, table1, table2, cluster, all)")
+	// Re-executed as the chaos daemon child: serve and never return.
+	if sock := os.Getenv(experiments.ChaosDaemonEnv); sock != "" {
+		experiments.ServeChaosDaemon(sock)
+		return
+	}
+	exp := flag.String("exp", "all", "experiment id (fig2, fig9..fig15, table1, table2, cluster, chaos, all)")
 	platform := flag.String("platform", "both", "platform: nvidia, amd or both")
 	full := flag.Bool("full", false, "paper-scale populations (625 pairs, 16384 4-sets, 32768 8-sets); slow")
 	pairs := flag.Int("pairs", 0, "override pair population size")
@@ -72,6 +87,7 @@ func main() {
 	trace := flag.String("trace", "", "run a live multi-tenant workload and write its Chrome trace_event JSON here (load in chrome://tracing or Perfetto)")
 	profile := flag.Bool("profile", false, "collect and dump sampled VM execution profiles for the live run")
 	tier := flag.Bool("tier", false, "live experiment: tiered execution — cheap tier-0 first launches, background hot-kernel recompilation (promotions reported)")
+	seed := flag.Int64("seed", 42, "chaos experiment: fault-injection RNG seed")
 	dumpIR := flag.String("dump-ir", "", "print a named Parboil kernel's IR before and after the O1 pipeline, then exit (e.g. -dump-ir sad/larger_sad_calc_8)")
 	disable := flag.String("disable-pass", "", "comma-separated O1 passes to skip with -dump-ir (mem2reg, constfold, dce, simplifycfg)")
 	flag.Parse()
@@ -106,6 +122,13 @@ func main() {
 	}
 	if *exp == "service" {
 		if err := runService(*clients, *perTenant); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+	if *exp == "chaos" {
+		if err := runChaos(*seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -777,4 +800,37 @@ func abbreviate(s string) string {
 		return s[:20]
 	}
 	return s
+}
+
+// runChaos drives the fault-injection harness end to end: the
+// in-process runtime phase (device failures + slice delays), the
+// deterministic watchdog scenario, then transport chaos against a
+// clean daemon child (this binary re-executed via ChaosDaemonEnv).
+func runChaos(seed int64) error {
+	fmt.Printf("== chaos: runtime phase (seed %d) ==\n", seed)
+	if _, err := experiments.RunChaosRuntime(seed, os.Stdout); err != nil {
+		return err
+	}
+	if err := experiments.RunChaosWatchdog(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println("== chaos: service phase (client-side transport faults) ==")
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	sock, stop, err := experiments.SpawnChaosDaemon(exe)
+	if err != nil {
+		return err
+	}
+	if _, err := experiments.RunChaosService(sock, seed, os.Stdout); err != nil {
+		stop()
+		return err
+	}
+	if err := stop(); err != nil {
+		return err
+	}
+	fmt.Println("chaos: all chains byte-identical or typed; daemon drained to mem=0 active=0")
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/accelpass"
@@ -79,6 +80,12 @@ type Runtime struct {
 	// skips the eager O1 compile, first launches run the cheap tier-0
 	// form, and hot kernels are recompiled in the background.
 	tier *interp.TierController
+
+	// Fault tolerance (faulttol.go): the installed policy and the
+	// per-(tenant, kernel) watchdog-kill counts driving quarantine.
+	faultMu   sync.Mutex
+	fpol      *FaultPolicy
+	quarKills map[string]int
 }
 
 // launchRec tracks one kernel execution from interception to
@@ -108,6 +115,15 @@ type launchRec struct {
 	// goroutine writes it.
 	root int64
 	busy time.Duration
+
+	// Fault tolerance (faulttol.go): relaunch budget consumed after
+	// device failures, the virtual-group prefix the next (re)launch
+	// resumes from, the wall-clock watchdog (armed at first launch,
+	// spans relaunches) and its verdict.
+	relaunches int
+	resumeAt   int64
+	watchdog   *time.Timer
+	timedOut   atomic.Bool
 }
 
 // PlanSample is one allocation pushed to an in-flight execution by the
@@ -477,6 +493,15 @@ func (rt *Runtime) scheduleKernel(req *Request) error {
 		ev.Fail(err)
 		return err
 	}
+	// Repeat watchdog offenders are refused before they consume a
+	// scheduler slot: one tenant's runaway kernel must not keep
+	// re-entering the fleet to burn its deadline over and over.
+	if rt.isQuarantined(req.App.Name, k.name) {
+		err := fmt.Errorf("accelos: kernel %q (tenant %q): %w", k.name, req.App.Name, ErrKernelQuarantined)
+		rt.reg.Counter("admission_rejections_total", telemetry.L("tenant", req.App.Name)).Add(1)
+		ev.Fail(err)
+		return err
+	}
 	nd := req.ND
 	if err := nd.Validate(); err != nil {
 		ev.Fail(err)
@@ -546,14 +571,17 @@ func (rt *Runtime) scheduleKernel(req *Request) error {
 	return nil
 }
 
-// abandon retires a never-launched execution (failed wait list or
-// refused admission) and fails its event with the cause; status labels
-// the kernel in the metrics registry.
+// abandon retires an execution that will not run (again) — failed wait
+// list, refused admission, or a relaunch the pool rejected — and fails
+// its event with the cause; status labels the kernel in the metrics
+// registry. rec.started distinguishes the never-launched case from a
+// relaunch cut short, so the monitor's running count stays balanced.
 func (rt *Runtime) abandon(rec *launchRec, err error, status string) {
 	rt.activeMu.Lock()
 	delete(rt.active, rec.id)
 	rt.activeMu.Unlock()
-	rt.mon.KernelRetired(false)
+	rt.mon.KernelRetired(rec.started)
+	rec.stopWatchdog()
 	rec.ev.Fail(err)
 	rt.recordKernel(rec, status)
 }
@@ -578,28 +606,40 @@ func (rt *Runtime) admit(rec *launchRec) {
 		rt.launchMu.Lock()
 		rt.pending[rec.ce] = rec
 		rt.launchMu.Unlock()
-		switch _, kind := rt.pool.Submit(rec.ce); kind {
-		case cluster.EvQueued:
-			rt.statsMu.Lock()
-			rt.stats.QueuedAdmissions++
-			rt.statsMu.Unlock()
-			rt.reg.Counter("admission_queued_total", telemetry.L("tenant", rec.app)).Add(1)
-		case cluster.EvRejected:
-			// The request never joined the pool: un-park it here (the
-			// synchronous return is the only signal; no membership event
-			// will claim it) and fail the application's event.
-			rt.launchMu.Lock()
-			delete(rt.pending, rec.ce)
-			rt.launchMu.Unlock()
-			rt.statsMu.Lock()
-			rt.stats.Rejected++
-			rt.statsMu.Unlock()
-			rt.reg.Counter("admission_rejections_total", telemetry.L("tenant", rec.app)).Add(1)
-			rt.abandon(rec, fmt.Errorf("accelos: kernel %q: %w", rec.kern, ErrAdmissionRejected), "rejected")
-		}
+		rt.submitToPool(rec)
 		return
 	}
 	rt.startLaunch(rec)
+}
+
+// submitToPool hands a parked record to pool placement. Used for the
+// first admission, for queued orphans of a failed device, and for
+// relaunches; in every case the record is already in pending, so the
+// resulting membership event finds it.
+func (rt *Runtime) submitToPool(rec *launchRec) {
+	switch _, kind := rt.pool.Submit(rec.ce); kind {
+	case cluster.EvQueued:
+		rt.statsMu.Lock()
+		rt.stats.QueuedAdmissions++
+		rt.statsMu.Unlock()
+		rt.reg.Counter("admission_queued_total", telemetry.L("tenant", rec.app)).Add(1)
+	case cluster.EvParked:
+		// No healthy device: the pool holds the request until a
+		// HealDevice re-admits it; the record stays in pending.
+		rt.reg.Counter("launches_parked_total", telemetry.L("tenant", rec.app)).Add(1)
+	case cluster.EvRejected:
+		// The request never joined the pool: un-park it here (the
+		// synchronous return is the only signal; no membership event
+		// will claim it) and fail the application's event.
+		rt.launchMu.Lock()
+		delete(rt.pending, rec.ce)
+		rt.launchMu.Unlock()
+		rt.statsMu.Lock()
+		rt.stats.Rejected++
+		rt.statsMu.Unlock()
+		rt.reg.Counter("admission_rejections_total", telemetry.L("tenant", rec.app)).Add(1)
+		rt.abandon(rec, fmt.Errorf("accelos: kernel %q: %w", rec.kern, ErrAdmissionRejected), "rejected")
+	}
 }
 
 // onPoolEvent is the cluster runtime's scheduling loop: installed as the
@@ -629,6 +669,13 @@ func (rt *Runtime) onPoolEvent(ev cluster.PoolEvent) {
 	case cluster.EvRejected:
 		// Handled synchronously by admit on Submit's return value; the
 		// event exists for external pool observers.
+	case cluster.EvDeviceFailed:
+		rt.reg.Counter("device_failures_total", telemetry.L("dev", strconv.Itoa(ev.Dev))).Inc()
+	case cluster.EvEvicted:
+		rt.onEviction(ev)
+	case cluster.EvDeviceHealed, cluster.EvParked:
+		// A heal re-admits the parked set as EvAdmitted/EvQueued events;
+		// parking is counted by submitToPool on the synchronous return.
 	}
 }
 
@@ -661,12 +708,24 @@ func (rt *Runtime) startLaunch(rec *launchRec) {
 		h.SetSliceRounds(rt.sliceRounds)
 	}
 	rt.mu.Unlock()
-	rec.h = h
-	rec.started = true
-	rt.mon.KernelStarted()
+	// Register handle and record together under the launch lock: the
+	// eviction handler and the watchdog both resolve "the handle
+	// currently driving this execution" through it, and relaunches swap
+	// it. A relaunch also resumes the consumed prefix — the virtual
+	// groups completed before the old device failed stay completed.
 	rt.launchMu.Lock()
+	rec.h = h
+	resumeAt := rec.resumeAt
 	rt.launches[rec.id] = rec
 	rt.launchMu.Unlock()
+	if resumeAt > 0 {
+		h.ResumeAt(resumeAt)
+	}
+	if !rec.started {
+		rec.started = true
+		rt.mon.KernelStarted()
+	}
+	rt.armWatchdog(rec)
 
 	rt.statsMu.Lock()
 	rt.stats.KernelsLaunched++
@@ -677,40 +736,71 @@ func (rt *Runtime) startLaunch(rec *launchRec) {
 
 	rec.ev.MarkRunning()
 	rt.replan(rec.devIdx)
-	go func() {
-		var lerr error
-		traced := rt.tracer != nil || rt.reg != nil
-		slice := 0
-		for {
-			// A buffer released mid-execution cancels the launch at the
-			// next slice boundary instead of racing on the bytes.
-			if rerr := rec.releasedArg(); rerr != nil {
-				h.Cancel(rerr)
-			}
-			start := time.Now()
-			done, serr := h.Step()
-			// Slice wall time approximates the kernel's isolated machine
-			// share: it accumulates into "alone" for the live scorecard.
-			d := time.Since(start)
-			rec.busy += d
-			if traced {
-				rt.recordSlice(rec, h.MachineName(), slice, start, d)
-			}
-			slice++
-			if done {
-				lerr = serr
-				break
-			}
+	go rt.drive(rec, h)
+}
+
+// drive executes the launch slice by slice on its own goroutine, then
+// settles the outcome: relaunch after a device failure (budget
+// permitting), a typed failure for exhausted relaunches and watchdog
+// kills, or normal completion.
+func (rt *Runtime) drive(rec *launchRec, h *opencl.LaunchHandle) {
+	var lerr error
+	traced := rt.tracer != nil || rt.reg != nil
+	slice := 0
+	for {
+		// A buffer released mid-execution cancels the launch at the
+		// next slice boundary instead of racing on the bytes; a
+		// watchdog verdict that landed while the record was off a
+		// device (parked, or between relaunches) lands here too.
+		if rerr := rec.releasedArg(); rerr != nil {
+			h.Cancel(rerr)
 		}
-		rt.retire(rec)
-		if lerr != nil {
-			rec.ev.Fail(lerr)
-			rt.recordKernel(rec, "failed")
-		} else {
-			rec.ev.Complete()
-			rt.recordKernel(rec, "ok")
+		if rec.timedOut.Load() {
+			h.Cancel(fmt.Errorf("accelos: kernel %q: %w", rec.kern, ErrKernelTimeout))
 		}
-	}()
+		start := time.Now()
+		done, serr := h.Step()
+		// Slice wall time approximates the kernel's isolated machine
+		// share: it accumulates into "alone" for the live scorecard.
+		d := time.Since(start)
+		rec.busy += d
+		if traced {
+			rt.recordSlice(rec, h.MachineName(), slice, start, d)
+		}
+		slice++
+		if done {
+			lerr = serr
+			break
+		}
+	}
+	if lerr != nil && errors.Is(lerr, errDeviceEvicted) && !rec.timedOut.Load() {
+		// The device failed under the launch. The cancellation landed at
+		// a slice boundary, so the consumed prefix is intact in the
+		// host-resident buffers; relaunch the remaining range elsewhere.
+		if rt.tryRelaunch(rec, h) {
+			return // re-parked; the next admission starts a new drive
+		}
+		lerr = fmt.Errorf("accelos: kernel %q: %w (%d relaunches consumed): %v",
+			rec.kern, ErrDeviceLost, rec.relaunches, lerr)
+	}
+	if lerr != nil && rec.timedOut.Load() {
+		// The watchdog killed it — mid-slice (machine interrupt trap) or
+		// at a boundary (cancel). Either way the typed cause wins.
+		if !errors.Is(lerr, ErrKernelTimeout) {
+			lerr = fmt.Errorf("accelos: kernel %q on dev %s: %w: %v",
+				rec.kern, rec.devLabel(), ErrKernelTimeout, lerr)
+		}
+		rt.noteWatchdogKill(rec)
+	}
+	rec.stopWatchdog()
+	rt.retire(rec)
+	if lerr != nil {
+		rec.ev.Fail(lerr)
+		rt.recordKernel(rec, "failed")
+	} else {
+		rec.ev.Complete()
+		rt.recordKernel(rec, "ok")
+	}
 }
 
 // devLabel renders the execution's device index for metric labels

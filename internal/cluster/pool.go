@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -32,7 +33,25 @@ type Pool struct {
 	// work estimates pending cost units per device for load snapshots.
 	work []int64
 
+	// failed marks devices removed from placement by FailDevice; parked
+	// holds requests that arrived while no healthy device existed,
+	// re-admitted in order by the next HealDevice.
+	failed []bool
+	parked []*sim.ClusterExec
+
 	observer func(PoolEvent)
+	// evq and notifying serialize event delivery: every mutation appends
+	// its events under mu, and exactly one goroutine at a time drains the
+	// queue, so observers see events in the order the pool state actually
+	// changed. (Firing from each mutating goroutine after unlock — the
+	// previous scheme — let a racing FailDevice's eviction overtake the
+	// admission it evicted, double-placing the request downstream.)
+	evq       []PoolEvent
+	notifying bool
+
+	// inj, when set, is consulted after every placement: a DeviceFail
+	// fire kills the device the request just landed on (chaos harness).
+	inj *fault.Injector
 }
 
 // PoolEventKind classifies a pool membership change.
@@ -41,7 +60,8 @@ type PoolEventKind int
 // Pool membership events.
 const (
 	// EvAdmitted: the request became resident on Dev (straight from
-	// Submit, or promoted from Dev's run queue by Complete).
+	// Submit, promoted from Dev's run queue by Complete, or re-admitted
+	// from the parked set by HealDevice).
 	EvAdmitted PoolEventKind = iota
 	// EvQueued: the request is waiting in Dev's run queue.
 	EvQueued
@@ -54,6 +74,19 @@ const (
 	// at its MaxQueued bound. The request never joins the pool; the event
 	// exists so telemetry can count rejections per tenant.
 	EvRejected
+	// EvDeviceFailed: FailDevice removed Dev from placement. Followed by
+	// one EvEvicted per request that was resident or queued there.
+	EvDeviceFailed
+	// EvDeviceHealed: HealDevice returned Dev to placement; parked
+	// requests re-enter the pool as EvAdmitted/EvQueued events on Dev.
+	EvDeviceHealed
+	// EvEvicted: the request was thrown off failed Dev. It is no longer
+	// in the pool; the owner decides whether to resubmit it (the accelOS
+	// runtime relaunches the remaining slice range elsewhere).
+	EvEvicted
+	// EvParked: Submit found no healthy device (Dev is -1). The request
+	// is held in the pool's parked set and re-admitted by HealDevice.
+	EvParked
 )
 
 // PoolEvent is one membership change: the event source for
@@ -66,26 +99,53 @@ type PoolEvent struct {
 	Exec *sim.ClusterExec
 }
 
-// SetObserver installs a callback invoked (outside the pool lock, in the
-// mutating goroutine) for every membership change. At most one observer;
-// nil removes it.
+// SetObserver installs a callback invoked (outside the pool lock, in
+// pool-mutation order) for every membership change. At most one
+// observer; nil removes it.
 func (p *Pool) SetObserver(fn func(PoolEvent)) {
 	p.mu.Lock()
 	p.observer = fn
 	p.mu.Unlock()
 }
 
-// notify fires the observer for each event after the lock is released.
-func (p *Pool) notify(evs []PoolEvent) {
+// SetFaultInjector installs (or, with nil, removes) the chaos injector
+// consulted at the pool's DeviceFail point.
+func (p *Pool) SetFaultInjector(in *fault.Injector) {
 	p.mu.Lock()
-	fn := p.observer
+	p.inj = in
 	p.mu.Unlock()
-	if fn == nil {
+}
+
+// emitLocked appends events to the delivery queue in mutation order.
+// The caller must hold mu and must call dispatch after releasing it.
+func (p *Pool) emitLocked(evs ...PoolEvent) {
+	p.evq = append(p.evq, evs...)
+}
+
+// dispatch drains the event queue through the observer. Exactly one
+// goroutine drains at a time; a mutator that finds another goroutine
+// already draining leaves its events for that drain to deliver, which
+// keeps delivery single-threaded and ordered. Observers run outside the
+// pool lock and may re-enter the pool.
+func (p *Pool) dispatch() {
+	p.mu.Lock()
+	if p.notifying {
+		p.mu.Unlock()
 		return
 	}
-	for _, ev := range evs {
-		fn(ev)
+	p.notifying = true
+	for len(p.evq) > 0 {
+		ev := p.evq[0]
+		p.evq = p.evq[1:]
+		fn := p.observer
+		p.mu.Unlock()
+		if fn != nil {
+			fn(ev)
+		}
+		p.mu.Lock()
 	}
+	p.notifying = false
+	p.mu.Unlock()
 }
 
 // NewPool builds a pool over the devices with the placement policy.
@@ -100,6 +160,7 @@ func NewPool(devs []*device.Platform, pol Policy, maxResident int) *Pool {
 		resident:    make([][]*sim.ClusterExec, len(devs)),
 		queued:      make([][]*sim.ClusterExec, len(devs)),
 		work:        make([]int64, len(devs)),
+		failed:      make([]bool, len(devs)),
 	}
 }
 
@@ -141,64 +202,208 @@ func (p *Pool) loadsLocked() []sim.DeviceLoad {
 	return out
 }
 
-// Submit places a request on a device. It returns the device index the
-// policy picked and what happened there: EvAdmitted (resident now,
-// launch it), EvQueued (waiting in that device's run queue until
-// Complete frees a slot or Rebalance migrates it), or EvRejected (the
+// healthyLoadsLocked is loadsLocked restricted to devices still in
+// placement. Each load keeps its true Index so a policy's pick maps
+// back to the real device.
+func (p *Pool) healthyLoadsLocked() []sim.DeviceLoad {
+	out := make([]sim.DeviceLoad, 0, len(p.devs))
+	for i, d := range p.devs {
+		if p.failed[i] {
+			continue
+		}
+		out = append(out, sim.DeviceLoad{
+			Dev:         d,
+			Index:       i,
+			Resident:    len(p.resident[i]),
+			Queued:      len(p.queued[i]),
+			PendingWork: p.work[i],
+		})
+	}
+	return out
+}
+
+// Submit places a request on a healthy device. It returns the device
+// index the policy picked and what happened there: EvAdmitted (resident
+// now, launch it), EvQueued (waiting in that device's run queue until
+// Complete frees a slot or Rebalance migrates it), EvRejected (the
 // queue was at its SetMaxQueued bound; the request is NOT in the pool
-// and must not be launched or Completed).
+// and must not be launched or Completed), or EvParked (no healthy
+// device exists; devIdx is -1 and the request waits in the parked set
+// until HealDevice re-admits it).
 func (p *Pool) Submit(e *sim.ClusterExec) (devIdx int, kind PoolEventKind) {
 	p.mu.Lock()
-	di := p.pol.Pick(e, p.loadsLocked())
-	if di < 0 || di >= len(p.devs) {
+	loads := p.healthyLoadsLocked()
+	if len(loads) == 0 {
+		p.parked = append(p.parked, e)
+		p.emitLocked(PoolEvent{Kind: EvParked, Dev: -1, Exec: e})
+		p.mu.Unlock()
+		p.dispatch()
+		return -1, EvParked
+	}
+	di := p.pol.Pick(e, loads)
+	if di < 0 || di >= len(loads) {
 		di = 0
 	}
+	di = loads[di].Index
 	if p.maxResident <= 0 || len(p.resident[di]) < p.maxResident {
 		p.resident[di] = append(p.resident[di], e)
 		kind = EvAdmitted
 	} else if p.maxQueued > 0 && len(p.queued[di]) >= p.maxQueued {
 		// Rejected requests contribute no work: load snapshots must not
 		// count demand the pool refused to carry.
+		p.emitLocked(PoolEvent{Kind: EvRejected, Dev: di, Exec: e})
 		p.mu.Unlock()
-		p.notify([]PoolEvent{{Kind: EvRejected, Dev: di, Exec: e}})
+		p.dispatch()
 		return di, EvRejected
 	} else {
 		p.queued[di] = append(p.queued[di], e)
 		kind = EvQueued
 	}
 	p.work[di] += e.K.TotalWork() * e.K.NumIters()
+	p.emitLocked(PoolEvent{Kind: kind, Dev: di, Exec: e})
+	inj := p.inj
 	p.mu.Unlock()
-	p.notify([]PoolEvent{{Kind: kind, Dev: di, Exec: e}})
+	p.dispatch()
+	if inj.Should(fault.DeviceFail) {
+		p.FailDevice(di)
+	}
 	return di, kind
+}
+
+// FailDevice removes a device from placement and evicts everything on
+// it: an EvDeviceFailed event, then one EvEvicted per request that was
+// resident or queued there (in residency order). Evicted requests leave
+// the pool entirely — the owner resubmits the ones it still wants run.
+// It returns how many requests were evicted; failing an already-failed
+// or out-of-range device is a no-op.
+func (p *Pool) FailDevice(devIdx int) int {
+	if devIdx < 0 || devIdx >= len(p.devs) {
+		return 0
+	}
+	p.mu.Lock()
+	if p.failed[devIdx] {
+		p.mu.Unlock()
+		return 0
+	}
+	p.failed[devIdx] = true
+	orphans := make([]*sim.ClusterExec, 0, len(p.resident[devIdx])+len(p.queued[devIdx]))
+	orphans = append(orphans, p.resident[devIdx]...)
+	orphans = append(orphans, p.queued[devIdx]...)
+	p.resident[devIdx] = nil
+	p.queued[devIdx] = nil
+	p.work[devIdx] = 0
+	p.emitLocked(PoolEvent{Kind: EvDeviceFailed, Dev: devIdx})
+	for _, e := range orphans {
+		p.emitLocked(PoolEvent{Kind: EvEvicted, Dev: devIdx, Exec: e})
+	}
+	p.mu.Unlock()
+	p.dispatch()
+	return len(orphans)
+}
+
+// HealDevice returns a failed device to placement and re-admits the
+// parked set through it: each parked request becomes resident on the
+// healed device (EvAdmitted) while slots last, then queues there
+// (EvQueued — heal re-admission bypasses MaxQueued, since the requests
+// were already accepted by Submit). Healing a healthy or out-of-range
+// device is a no-op.
+func (p *Pool) HealDevice(devIdx int) {
+	if devIdx < 0 || devIdx >= len(p.devs) {
+		return
+	}
+	p.mu.Lock()
+	if !p.failed[devIdx] {
+		p.mu.Unlock()
+		return
+	}
+	p.failed[devIdx] = false
+	parked := p.parked
+	p.parked = nil
+	p.emitLocked(PoolEvent{Kind: EvDeviceHealed, Dev: devIdx})
+	for _, e := range parked {
+		kind := EvAdmitted
+		if p.maxResident > 0 && len(p.resident[devIdx]) >= p.maxResident {
+			kind = EvQueued
+			p.queued[devIdx] = append(p.queued[devIdx], e)
+		} else {
+			p.resident[devIdx] = append(p.resident[devIdx], e)
+		}
+		p.work[devIdx] += e.K.TotalWork() * e.K.NumIters()
+		p.emitLocked(PoolEvent{Kind: kind, Dev: devIdx, Exec: e})
+	}
+	p.mu.Unlock()
+	p.dispatch()
+}
+
+// Failed reports whether the device is currently out of placement.
+func (p *Pool) Failed(devIdx int) bool {
+	if devIdx < 0 || devIdx >= len(p.devs) {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failed[devIdx]
+}
+
+// Healthy counts devices currently in placement.
+func (p *Pool) Healthy() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, f := range p.failed {
+		if !f {
+			n++
+		}
+	}
+	return n
+}
+
+// Parked counts requests waiting for any device to heal.
+func (p *Pool) Parked() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.parked)
 }
 
 // Complete retires a request from a device and admits the head of its
 // run queue, if any. The newly admitted request (nil if none) is
-// returned so the caller can launch it.
+// returned so the caller can launch it. Completing a request that is no
+// longer resident — it was evicted by FailDevice after the caller
+// launched it — is a no-op: the eviction already released its slot and
+// dropped its work.
 func (p *Pool) Complete(devIdx int, e *sim.ClusterExec) *sim.ClusterExec {
+	if devIdx < 0 || devIdx >= len(p.devs) {
+		return nil
+	}
 	p.mu.Lock()
+	found := false
 	rs := p.resident[devIdx]
 	for i, r := range rs {
 		if r == e {
 			p.resident[devIdx] = append(rs[:i], rs[i+1:]...)
+			found = true
 			break
 		}
+	}
+	if !found {
+		p.mu.Unlock()
+		return nil
 	}
 	if w := e.K.TotalWork() * e.K.NumIters(); p.work[devIdx] >= w {
 		p.work[devIdx] -= w
 	} else {
 		p.work[devIdx] = 0
 	}
-	evs := []PoolEvent{{Kind: EvCompleted, Dev: devIdx, Exec: e}}
+	p.emitLocked(PoolEvent{Kind: EvCompleted, Dev: devIdx, Exec: e})
 	var next *sim.ClusterExec
 	if len(p.queued[devIdx]) > 0 && (p.maxResident <= 0 || len(p.resident[devIdx]) < p.maxResident) {
 		next = p.queued[devIdx][0]
 		p.queued[devIdx] = p.queued[devIdx][1:]
 		p.resident[devIdx] = append(p.resident[devIdx], next)
-		evs = append(evs, PoolEvent{Kind: EvAdmitted, Dev: devIdx, Exec: next})
+		p.emitLocked(PoolEvent{Kind: EvAdmitted, Dev: devIdx, Exec: next})
 	}
 	p.mu.Unlock()
-	p.notify(evs)
+	p.dispatch()
 	return next
 }
 
@@ -213,19 +418,20 @@ func (p *Pool) ResidentOn(devIdx int) []*sim.ClusterExec {
 }
 
 // Rebalance migrates queued requests to drained devices (idle, empty
-// queue) and admits them there. It returns the migrations performed as
-// (request, new device) pairs so the caller can launch them.
+// queue, healthy) and admits them there. It returns the migrations
+// performed as (request, new device) pairs so the caller can launch
+// them. Failed devices neither receive nor donate work.
 func (p *Pool) Rebalance() map[*sim.ClusterExec]int {
 	p.mu.Lock()
 	moves := make(map[*sim.ClusterExec]int)
 	for di := range p.devs {
-		if len(p.resident[di]) > 0 || len(p.queued[di]) > 0 {
+		if p.failed[di] || len(p.resident[di]) > 0 || len(p.queued[di]) > 0 {
 			continue
 		}
 		// Steal from the most backlogged queue.
 		donor := -1
 		for j := range p.devs {
-			if j == di || len(p.queued[j]) == 0 {
+			if j == di || p.failed[j] || len(p.queued[j]) == 0 {
 				continue
 			}
 			if donor < 0 || len(p.queued[j]) > len(p.queued[donor]) {
@@ -244,12 +450,9 @@ func (p *Pool) Rebalance() map[*sim.ClusterExec]int {
 		p.work[di] += w
 		p.resident[di] = append(p.resident[di], e)
 		moves[e] = di
+		p.emitLocked(PoolEvent{Kind: EvMigrated, Dev: di, Exec: e})
 	}
 	p.mu.Unlock()
-	evs := make([]PoolEvent, 0, len(moves))
-	for e, di := range moves {
-		evs = append(evs, PoolEvent{Kind: EvMigrated, Dev: di, Exec: e})
-	}
-	p.notify(evs)
+	p.dispatch()
 	return moves
 }

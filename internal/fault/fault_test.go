@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Should(DeviceFail) {
+		t.Fatal("nil injector fired")
+	}
+	if in.Fired(DeviceFail) != 0 {
+		t.Fatal("nil injector counted a fire")
+	}
+	if in.SliceDelayDuration() != 0 {
+		t.Fatal("nil injector has a slice delay")
+	}
+	if len(in.Counts()) != 0 {
+		t.Fatal("nil injector has counts")
+	}
+}
+
+func TestUnarmedPointNeverFires(t *testing.T) {
+	in := NewInjector(1)
+	for i := 0; i < 1000; i++ {
+		if in.Should(WireDropFrame) {
+			t.Fatal("unarmed point fired")
+		}
+	}
+}
+
+func TestProbabilityOneAlwaysFires(t *testing.T) {
+	in := NewInjector(1).Enable(DeviceFail, 1)
+	for i := 0; i < 10; i++ {
+		if !in.Should(DeviceFail) {
+			t.Fatal("prob=1 point did not fire")
+		}
+	}
+	if got := in.Fired(DeviceFail); got != 10 {
+		t.Fatalf("Fired = %d, want 10", got)
+	}
+}
+
+func TestLimitDisarms(t *testing.T) {
+	in := NewInjector(1).EnableLimited(DeviceFail, 1, 3)
+	fires := 0
+	for i := 0; i < 100; i++ {
+		if in.Should(DeviceFail) {
+			fires++
+		}
+	}
+	if fires != 3 {
+		t.Fatalf("capped point fired %d times, want 3", fires)
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	run := func() []bool {
+		in := NewInjector(42).Enable(SliceDelay, 0.3)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Should(SliceDelay)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+	}
+}
+
+func TestProbabilityRoughlyHonored(t *testing.T) {
+	in := NewInjector(7).Enable(WireCloseConn, 0.25)
+	fires := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if in.Should(WireCloseConn) {
+			fires++
+		}
+	}
+	if fires < n/8 || fires > n/2 {
+		t.Fatalf("prob=0.25 fired %d/%d times", fires, n)
+	}
+}
+
+func TestDisable(t *testing.T) {
+	in := NewInjector(1).Enable(ShmMapFail, 1)
+	if !in.Should(ShmMapFail) {
+		t.Fatal("armed point did not fire")
+	}
+	in.Disable(ShmMapFail)
+	if in.Should(ShmMapFail) {
+		t.Fatal("disabled point fired")
+	}
+}
+
+func TestErrfWrapsSentinel(t *testing.T) {
+	err := Errf(WireDropFrame, "frame type 5")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Errf result does not wrap ErrInjected: %v", err)
+	}
+	if err = Errf(ShmMapFail, ""); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Errf without detail does not wrap ErrInjected: %v", err)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	in := NewInjector(9).Enable(DeviceFail, 0.5).Enable(SliceDelay, 0.5)
+	in.SetSliceDelay(time.Microsecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				in.Should(DeviceFail)
+				in.Should(SliceDelay)
+				in.SliceDelayDuration()
+				in.Counts()
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Fired(DeviceFail) == 0 || in.Fired(SliceDelay) == 0 {
+		t.Fatal("concurrent hammering never fired")
+	}
+}

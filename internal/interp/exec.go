@@ -126,11 +126,15 @@ type launchCtx struct {
 	maxSteps int64
 }
 
-// addSteps charges n executed instructions against the launch budget.
+// addSteps charges n executed instructions against the launch budget
+// and observes pending machine interrupts — the two launch-abort
+// mechanisms that must fire even when a kernel never reaches a slice
+// boundary.
 func (l *launchCtx) addSteps(n int64) {
 	if l.steps.Add(n) > l.maxSteps {
 		panic(trap{fmt.Sprintf("instruction budget exceeded in %s", l.fn.Name)})
 	}
+	l.m.checkInterrupt()
 }
 
 type wgCtx struct {

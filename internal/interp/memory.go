@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 
 	"repro/internal/ir"
@@ -150,6 +151,36 @@ type Machine struct {
 	// Observe) so hot kernels get promoted to an optimized recompile.
 	// Per-launch-exclusive like Profiler; the controller is shared.
 	Tier *TierController
+
+	// interrupt, when set, aborts the launch executing on the machine at
+	// its next budget flush (see Interrupt); cleared by Reset.
+	interrupt atomic.Pointer[string]
+}
+
+// Interrupt requests that the launch currently executing on the machine
+// (and any later one, until Reset) abort mid-slice: the next instruction
+// budget flush panics an execution trap carrying msg, which the engine
+// recovers into the launch error. This is the watchdog's lever against a
+// kernel stuck inside one slice — a slice-boundary Cancel never lands if
+// the slice itself does not terminate.
+func (m *Machine) Interrupt(msg string) {
+	if msg == "" {
+		msg = "machine interrupted"
+	}
+	m.interrupt.Store(&msg)
+}
+
+// Interrupted reports whether an interrupt is pending on the machine.
+func (m *Machine) Interrupted() bool { return m.interrupt.Load() != nil }
+
+// checkInterrupt panics the pending interrupt as an execution trap, if
+// one is set. It runs on the budget-flush path (once per stepBatch
+// instructions per work-item), so both engines observe interrupts
+// promptly without a per-instruction atomic.
+func (m *Machine) checkInterrupt() {
+	if msg := m.interrupt.Load(); msg != nil {
+		panic(trap{*msg})
+	}
 }
 
 // Program returns the machine's compiled bytecode, compiling the module
@@ -234,6 +265,7 @@ func (m *Machine) registerRegion(r *Region) {
 // buffer bytes alive). Pointers stored into surviving memory before the
 // reset become dangling, exactly as across separate machines.
 func (m *Machine) Reset() {
+	m.interrupt.Store(nil)
 	m.mu.Lock()
 	m.regions = m.regions[:1]
 	m.mu.Unlock()

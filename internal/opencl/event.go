@@ -1,6 +1,7 @@
 package opencl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -133,6 +134,23 @@ func (e *Event) Err() error {
 func (e *Event) Wait() error {
 	<-e.done
 	return e.Err()
+}
+
+// WaitContext blocks until the event completes (returning its error,
+// like Wait) or the context is done (returning the context's error).
+// Wait has no escape hatch: if a runtime layer drops an event on an
+// internal error path without completing it, every waiter blocks
+// forever. Layers that own such paths — the service client bounds all
+// blocking waits by its connection lifetime — wait through this
+// instead; Wait stays the zero-dependency wrapper for callers whose
+// events are guaranteed to complete.
+func (e *Event) WaitContext(ctx context.Context) error {
+	select {
+	case <-e.done:
+		return e.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // WaitAll waits for every event and returns the first failure.

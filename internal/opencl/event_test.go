@@ -1,6 +1,7 @@
 package opencl
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -625,4 +626,49 @@ func TestWhenAllEmptyAndStatusStrings(t *testing.T) {
 		t.Error("terminal event re-transitioned")
 	}
 	_ = fmt.Sprintf("%v", u.Status())
+}
+
+// TestEventWaitContext covers the bounded wait: a completed event
+// returns its terminal error regardless of context state, a pending
+// event returns the context's error on cancellation or deadline, and a
+// completion that races the cancel is surfaced if it wins.
+func TestEventWaitContext(t *testing.T) {
+	// Terminal success and failure return immediately.
+	ok := NewUserEvent()
+	ok.Complete()
+	if err := ok.WaitContext(context.Background()); err != nil {
+		t.Fatalf("WaitContext on complete event: %v", err)
+	}
+	boom := errors.New("boom")
+	bad := NewUserEvent()
+	bad.Fail(boom)
+	if err := bad.WaitContext(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("WaitContext on failed event: %v, want boom", err)
+	}
+
+	// A pending event is released by cancellation with the context's
+	// error — the hang this method exists to prevent.
+	pending := NewUserEvent()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- pending.WaitContext(ctx) }()
+	select {
+	case err := <-done:
+		t.Fatalf("WaitContext returned %v before cancel", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("WaitContext after cancel: %v, want context.Canceled", err)
+	}
+	pending.Complete() // leave no waiter behind
+
+	// Deadline expiry behaves the same way.
+	late := NewUserEvent()
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer dcancel()
+	if err := late.WaitContext(dctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitContext past deadline: %v, want DeadlineExceeded", err)
+	}
+	late.Complete()
 }

@@ -3,11 +3,29 @@ package opencl
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/rtlib"
 )
+
+// launchInjector is the process-wide chaos injector consulted at Step's
+// SliceDelay point. The disabled-path cost is one atomic load per slice
+// (guarded <3% by the bench-fault CI job).
+var launchInjector atomic.Pointer[fault.Injector]
+
+// SetFaultInjector installs (or, with nil, removes) the chaos injector
+// for the launch path.
+func SetFaultInjector(in *fault.Injector) {
+	if in == nil {
+		launchInjector.Store(nil)
+		return
+	}
+	launchInjector.Store(in)
+}
 
 // MachinePool keeps interpreter machines alive across launches so the
 // hot path stops paying per-launch machine construction, keyed by module
@@ -386,6 +404,51 @@ func (h *LaunchHandle) Cancel(err error) {
 	h.cancel = err
 }
 
+// Abort cancels like Cancel and additionally interrupts the machine
+// mid-slice: a kernel stuck inside one slice never reaches the slice
+// boundary where Cancel lands, so the machine's next instruction-budget
+// flush traps instead. The runtime's runaway-kernel watchdog uses this;
+// the machine is still released only on the executing goroutine, at the
+// trap's slice return.
+func (h *LaunchHandle) Abort(err error) {
+	if err == nil {
+		err = fmt.Errorf("opencl: launch aborted")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done {
+		return
+	}
+	if h.cancel == nil {
+		h.cancel = err
+	}
+	if h.mach != nil {
+		h.mach.Interrupt(err.Error())
+	}
+}
+
+// ResumeAt seeds the consumed prefix: the first Step dequeues from
+// virtual group consumed instead of 0. The fault-tolerant runtime uses
+// this to relaunch an execution evicted from a failed device on a
+// healthy one — buffers are host-resident, so the completed slices'
+// writes survive the device and only the remaining range re-executes.
+// Clamped to [0, total]; a no-op once the handle has stepped or
+// finished.
+func (h *LaunchHandle) ResumeAt(consumed int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done || h.consumed != 0 {
+		return
+	}
+	if consumed < 0 {
+		consumed = 0
+	}
+	if consumed > h.total {
+		consumed = h.total
+	}
+	h.consumed = consumed
+}
+
 // Step executes one slice: it advances the RT descriptor's dequeue
 // cursor to the consumed prefix, sets the slice horizon and chunk, and
 // runs the scheduling kernel with the planned physical work-groups. The
@@ -435,6 +498,10 @@ func (h *LaunchHandle) Step() (done bool, err error) {
 		phys = 1
 	}
 	h.mu.Unlock()
+
+	if inj := launchInjector.Load(); inj.Should(fault.SliceDelay) {
+		time.Sleep(inj.SliceDelayDuration())
+	}
 
 	rtlib.PutWord(h.rt, rtlib.RTNext, consumed)
 	rtlib.PutWord(h.rt, rtlib.RTChunk, chunk)

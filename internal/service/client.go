@@ -1,12 +1,14 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
 
 	"repro/internal/opencl"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -29,6 +31,14 @@ var ErrClientClosed = errors.New("service: client closed")
 type Client struct {
 	nc     net.Conn
 	tenant string
+
+	// ctx spans the connection's lifetime; shutdown cancels it, which
+	// unblocks every WaitContext parked on a mirror event. This bounds
+	// the client's blocking paths by the connection: no wait can outlive
+	// the socket it is waiting on.
+	ctx     context.Context
+	cancel  context.CancelFunc
+	metrics *telemetry.Registry // optional, from DialOptions
 
 	wmu sync.Mutex // serializes request frames
 
@@ -78,9 +88,12 @@ func Dial(path, tenant, token string) (*Client, error) {
 		nc.Close()
 		return nil, w.Code.Err(w.Msg)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	c := &Client{
 		nc:     nc,
 		tenant: tenant,
+		ctx:    ctx,
+		cancel: cancel,
 		calls:  make(map[uint64]chan wire.Frame),
 		events: make(map[uint64]*pendingEvent),
 		evIDs:  make(map[*opencl.Event]uint64),
@@ -117,6 +130,7 @@ func (c *Client) shutdown(cause error) {
 	c.mu.Unlock()
 
 	c.nc.Close()
+	c.cancel()
 	for _, ch := range calls {
 		close(ch)
 	}
@@ -126,6 +140,24 @@ func (c *Client) shutdown(cause error) {
 	for b := range bufs {
 		b.unmap()
 	}
+}
+
+// waitEvent blocks on a mirror event, bounded by the connection's
+// lifetime. shutdown fails every registered mirror, so the context leg
+// only matters for waits that raced registration teardown — it turns a
+// would-be hang into the typed connection-death error.
+func (c *Client) waitEvent(ev *opencl.Event) error {
+	err := ev.WaitContext(c.ctx)
+	if errors.Is(err, context.Canceled) {
+		c.mu.Lock()
+		cause := c.callErr
+		c.mu.Unlock()
+		if cause != nil {
+			return cause
+		}
+		return ErrClientClosed
+	}
+	return err
 }
 
 func (c *Client) readLoop() {
@@ -175,7 +207,10 @@ func (c *Client) send(t wire.MsgType, req uint64, body []byte) error {
 	err := wire.WriteFrame(c.nc, t, req, body)
 	c.wmu.Unlock()
 	if err != nil {
-		c.shutdown(fmt.Errorf("%w: %v", ErrClientClosed, err))
+		// Wrap before returning too, so the caller sees the same typed
+		// connection-death error as every pending call and event.
+		err = fmt.Errorf("%w: %v", ErrClientClosed, err)
+		c.shutdown(err)
 	}
 	return err
 }
@@ -509,7 +544,7 @@ func (c *Client) EnqueueKernel(k *RemoteKernel, nd opencl.NDRange) error {
 	if err != nil {
 		return err
 	}
-	return ev.Wait()
+	return c.waitEvent(ev)
 }
 
 // WriteAsync schedules a host→buffer transfer and returns its mirror
@@ -611,7 +646,7 @@ func (b *RemoteBuffer) Write(off int64, data []byte) error {
 	if err != nil {
 		return err
 	}
-	return ev.Wait()
+	return b.c.waitEvent(ev)
 }
 
 // Read copies buffer bytes back to the host, blocking until complete.
@@ -620,5 +655,5 @@ func (b *RemoteBuffer) Read(off int64, out []byte) error {
 	if err != nil {
 		return err
 	}
-	return ev.Wait()
+	return b.c.waitEvent(ev)
 }

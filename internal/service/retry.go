@@ -1,0 +1,142 @@
+package service
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"time"
+
+	"repro/internal/accelos"
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// DialOptions configures client-side resilience for DialWithOptions.
+// The zero value behaves exactly like Dial: one attempt, no backoff.
+type DialOptions struct {
+	// Retry is the number of additional dial attempts after the first
+	// fails with a retryable error (so Retry=3 means up to 4 attempts).
+	Retry int
+
+	// Backoff is the delay before the first retry; each subsequent
+	// retry doubles it up to MaxBackoff. Zero means 10ms.
+	Backoff time.Duration
+
+	// MaxBackoff caps the exponential growth. Zero means 1s.
+	MaxBackoff time.Duration
+
+	// Seed drives the jitter applied to every backoff sleep, so chaos
+	// runs that fix the seed reproduce the same retry timing.
+	Seed int64
+
+	// Metrics, when set, receives client_retries_total{tenant} — one
+	// increment per retry attempt (dial retries and any caller-level
+	// retries counted through CountRetry).
+	Metrics *telemetry.Registry
+}
+
+// Retryable classifies an error from Dial or a client call as transient
+// (worth retrying against the same daemon) or fatal. Retryable:
+//
+//   - connection-level failures: any net.Error (dial refused, socket
+//     missing during a daemon restart window, resets), io.EOF /
+//     io.ErrUnexpectedEOF (peer went away mid-frame), and
+//     ErrClientClosed (this client's connection died; redial and
+//     rebuild state);
+//   - load shedding: wire.ErrBackpressure and wire.ErrRateLimited —
+//     the daemon is alive and will accept the work later.
+//
+// Fatal (retrying cannot help): wire.ErrBadHandshake and
+// wire.ErrUnknownTenant (config/auth mismatch), accelos.ErrAppClosed
+// (the tenant's session is gone on the server), and anything
+// unrecognized.
+//
+// Note that retrying a *kernel enqueue* after a connection-level
+// failure is NOT idempotent and is deliberately out of scope here: the
+// kernel may have executed before the connection died, and replaying it
+// would double-apply its side effects on buffers that survive in the
+// daemon. Callers own replay decisions at chain granularity, where they
+// can re-create state from host-resident inputs (see the chaos
+// harness).
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	// Fatal classes first: some wrap net-level detail in their chains.
+	if errors.Is(err, wire.ErrBadHandshake) ||
+		errors.Is(err, wire.ErrUnknownTenant) ||
+		errors.Is(err, accelos.ErrAppClosed) {
+		return false
+	}
+	if errors.Is(err, wire.ErrBackpressure) || errors.Is(err, wire.ErrRateLimited) {
+		return true
+	}
+	if errors.Is(err, ErrClientClosed) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// backoffSchedule yields the sleep before each retry: exponential from
+// opts.Backoff capped at opts.MaxBackoff, plus uniform jitter in
+// [0, base] so a herd of restarting clients doesn't reconnect in
+// lockstep.
+type backoffSchedule struct {
+	base, max time.Duration
+	rng       *rand.Rand
+}
+
+func newBackoff(opts DialOptions) *backoffSchedule {
+	b := &backoffSchedule{base: opts.Backoff, max: opts.MaxBackoff}
+	if b.base <= 0 {
+		b.base = 10 * time.Millisecond
+	}
+	if b.max <= 0 {
+		b.max = time.Second
+	}
+	b.rng = rand.New(rand.NewSource(opts.Seed + 0x5eed))
+	return b
+}
+
+func (b *backoffSchedule) next() time.Duration {
+	d := b.base + time.Duration(b.rng.Int63n(int64(b.base)+1))
+	b.base *= 2
+	if b.base > b.max {
+		b.base = b.max
+	}
+	return d
+}
+
+// DialWithOptions dials like Dial but retries transient failures with
+// exponential backoff and jitter. A daemon that is restarting presents
+// as "connection refused" or "no such file" for a window; Retry > 0
+// rides that window out instead of surfacing it to the caller.
+func DialWithOptions(path, tenant, token string, opts DialOptions) (*Client, error) {
+	bo := newBackoff(opts)
+	var err error
+	for attempt := 0; ; attempt++ {
+		var c *Client
+		c, err = Dial(path, tenant, token)
+		if err == nil {
+			c.metrics = opts.Metrics
+			return c, nil
+		}
+		if attempt >= opts.Retry || !Retryable(err) {
+			return nil, err
+		}
+		opts.Metrics.Counter("client_retries_total", telemetry.L("tenant", tenant)).Add(1)
+		time.Sleep(bo.next())
+	}
+}
+
+// CountRetry records one caller-level retry (a chain replayed after a
+// transient failure) under the same client_retries_total counter the
+// dial path uses. No-op without Metrics.
+func (c *Client) CountRetry() {
+	c.metrics.Counter("client_retries_total", telemetry.L("tenant", c.tenant)).Add(1)
+}

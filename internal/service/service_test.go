@@ -22,9 +22,11 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -47,8 +49,9 @@ func TestMain(m *testing.M) {
 }
 
 // runTestDaemon is the child-process mode: serve one runtime on the
-// socket until stdin closes, then tear down and report the runtime's
-// final state for the parent to assert on.
+// socket until stdin closes or SIGTERM arrives (the restart test kills
+// the daemon out from under its clients that way), then tear down and
+// report the runtime's final state for the parent to assert on.
 func runTestDaemon(sock string) {
 	rt := accelos.NewRuntime(opencl.GetPlatforms()[0])
 	srv := NewServer(rt, Options{})
@@ -57,7 +60,17 @@ func runTestDaemon(sock string) {
 		os.Exit(1)
 	}
 	fmt.Println("READY")
-	io.Copy(io.Discard, os.Stdin)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM)
+	eof := make(chan struct{})
+	go func() {
+		io.Copy(io.Discard, os.Stdin)
+		close(eof)
+	}()
+	select {
+	case <-sig:
+	case <-eof:
+	}
 	srv.Close()
 	fmt.Printf("FINAL mem=%d active=%d\n", rt.Memory().Used(), rt.ActiveExecutions())
 	rt.Shutdown()
@@ -82,7 +95,14 @@ func startDaemon(t *testing.T) *daemon {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { os.RemoveAll(dir) })
-	sock := filepath.Join(dir, "d.sock")
+	return startDaemonAt(t, filepath.Join(dir, "d.sock"))
+}
+
+// startDaemonAt runs the daemon on a caller-chosen socket path, so the
+// restart test can bring a replacement up at the address its clients
+// already hold.
+func startDaemonAt(t *testing.T, sock string) *daemon {
+	t.Helper()
 	cmd := exec.Command(os.Args[0], "-test.run=^$")
 	cmd.Env = append(os.Environ(), daemonEnv+"="+sock)
 	stdin, err := cmd.StdinPipe()
@@ -113,6 +133,21 @@ func startDaemon(t *testing.T) *daemon {
 func (d *daemon) stop(t *testing.T) string {
 	t.Helper()
 	d.stdin.Close()
+	return d.reap(t)
+}
+
+// sigterm kills the daemon the way a process manager would and returns
+// its final-state report.
+func (d *daemon) sigterm(t *testing.T) string {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signal daemon: %v", err)
+	}
+	return d.reap(t)
+}
+
+func (d *daemon) reap(t *testing.T) string {
+	t.Helper()
 	line, err := d.out.ReadString('\n')
 	if err != nil {
 		t.Fatalf("daemon final report: %v", err)
@@ -938,5 +973,130 @@ func TestServiceAdmissionRoundTrip(t *testing.T) {
 	}
 	if !rejected {
 		t.Fatal("no enqueue was rejected across 5 resident+queued windows")
+	}
+}
+
+// runIncChain runs one complete chain — upload, blocking kernel,
+// read-back, release — and verifies the bytes. It is the unit of
+// replay for the restart test: every input a chain needs lives
+// host-side, so it can be rebuilt from scratch against a fresh daemon
+// rather than resumed (re-enqueueing against a restarted daemon is not
+// idempotent; see Retryable).
+func runIncChain(c *Client) error {
+	prog, err := c.CreateProgram(svcIncSrc)
+	if err != nil {
+		return err
+	}
+	k, err := prog.CreateKernel("inc")
+	if err != nil {
+		return err
+	}
+	const n = 512
+	buf, err := c.CreateBuffer(n * 4)
+	if err != nil {
+		return err
+	}
+	defer buf.Release()
+	if err := buf.Write(0, make([]byte, n*4)); err != nil {
+		return err
+	}
+	if err := k.SetArgBuffer(0, buf); err != nil {
+		return err
+	}
+	if err := k.SetArgInt32(1, n); err != nil {
+		return err
+	}
+	if err := c.EnqueueKernel(k, opencl.ND1(n, 64)); err != nil {
+		return err
+	}
+	out := make([]byte, n*4)
+	if err := buf.Read(0, out); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if v := binary.LittleEndian.Uint32(out[i*4:]); v != 1 {
+			return fmt.Errorf("out[%d] = %d, want 1", i, v)
+		}
+	}
+	return nil
+}
+
+// TestServiceDaemonRestart is the crash-recovery satellite: a daemon is
+// SIGTERM'd between two chains and restarted on the same socket. The
+// orphaned client must fail with typed errors (never hang), and a
+// redial with Retry must ride out the restart window and run the second
+// chain byte-identically against the replacement daemon.
+func TestServiceDaemonRestart(t *testing.T) {
+	dir, err := os.MkdirTemp("", "svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	sock := filepath.Join(dir, "d.sock")
+	reg := telemetry.NewRegistry()
+	opts := DialOptions{
+		Retry:      200,
+		Backoff:    2 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+		Seed:       7,
+		Metrics:    reg,
+	}
+
+	d1 := startDaemonAt(t, sock)
+	c1, err := DialWithOptions(sock, "phoenix", "", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runIncChain(c1); err != nil {
+		t.Fatalf("first chain: %v", err)
+	}
+
+	// Kill the daemon out from under the client, the way a process
+	// manager would.
+	if final := d1.sigterm(t); final != "FINAL mem=0 active=0" {
+		t.Fatalf("daemon final state %q", final)
+	}
+
+	// The orphaned client must answer with the typed connection-death
+	// error — classified retryable so callers know a redial can help —
+	// and must not hang.
+	if _, err := c1.CreateBuffer(64); err == nil {
+		t.Fatal("call against dead daemon succeeded")
+	} else {
+		if !errors.Is(err, ErrClientClosed) {
+			t.Fatalf("orphaned call: err = %v, want ErrClientClosed", err)
+		}
+		if !Retryable(err) {
+			t.Fatalf("orphaned call error %v not classified retryable", err)
+		}
+	}
+	c1.Close()
+
+	// Redial while the daemon is still down: the retry loop must absorb
+	// the dead-socket window and connect once the replacement is up.
+	type dialRes struct {
+		c   *Client
+		err error
+	}
+	dialed := make(chan dialRes, 1)
+	go func() {
+		c, err := DialWithOptions(sock, "phoenix", "", opts)
+		dialed <- dialRes{c, err}
+	}()
+	time.Sleep(30 * time.Millisecond) // guarantee a few failed attempts
+	d2 := startDaemonAt(t, sock)
+	res := <-dialed
+	if res.err != nil {
+		t.Fatalf("redial across restart: %v", res.err)
+	}
+	if err := runIncChain(res.c); err != nil {
+		t.Fatalf("second chain after restart: %v", err)
+	}
+	res.c.Close()
+	if got := reg.Counter("client_retries_total", telemetry.L("tenant", "phoenix")).Value(); got == 0 {
+		t.Error("client_retries_total = 0, want > 0 across the restart window")
+	}
+	if final := d2.stop(t); final != "FINAL mem=0 active=0" {
+		t.Fatalf("replacement daemon final state %q", final)
 	}
 }

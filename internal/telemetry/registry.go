@@ -323,6 +323,24 @@ func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
 	return h
 }
 
+// CounterTotal sums a counter family's value across every label set.
+// Nil-safe (returns 0). The chaos harness uses this to tally e.g.
+// relaunches_total without enumerating kernels.
+func (r *Registry) CounterTotal(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for key, c := range r.counters {
+		if baseName(key) == name {
+			total += c.Value()
+		}
+	}
+	return total
+}
+
 // quantiles exported per histogram series by WriteText.
 var textQuantiles = []float64{0.5, 0.9, 0.99}
 

@@ -27,6 +27,9 @@ const (
 	CodeBufferReleased    Code = 2 // opencl.ErrBufferReleased
 	CodeAppClosed         Code = 3 // accelos.ErrAppClosed
 	CodeOutOfMemory       Code = 4 // opencl.ErrOutOfMemory
+	CodeDeviceLost        Code = 5 // accelos.ErrDeviceLost
+	CodeKernelTimeout     Code = 6 // accelos.ErrKernelTimeout
+	CodeQuarantined       Code = 7 // accelos.ErrKernelQuarantined
 
 	// Service-layer verdicts.
 	CodeBadHandshake  Code = 16 // malformed hello or version mismatch
@@ -62,6 +65,12 @@ func (c Code) sentinel() error {
 		return accelos.ErrAppClosed
 	case CodeOutOfMemory:
 		return opencl.ErrOutOfMemory
+	case CodeDeviceLost:
+		return accelos.ErrDeviceLost
+	case CodeKernelTimeout:
+		return accelos.ErrKernelTimeout
+	case CodeQuarantined:
+		return accelos.ErrKernelQuarantined
 	case CodeBadHandshake:
 		return ErrBadHandshake
 	case CodeUnknownTenant:
@@ -105,6 +114,12 @@ func CodeOf(err error) Code {
 		return CodeAppClosed
 	case errors.Is(err, opencl.ErrOutOfMemory):
 		return CodeOutOfMemory
+	case errors.Is(err, accelos.ErrDeviceLost):
+		return CodeDeviceLost
+	case errors.Is(err, accelos.ErrKernelTimeout):
+		return CodeKernelTimeout
+	case errors.Is(err, accelos.ErrKernelQuarantined):
+		return CodeQuarantined
 	case errors.Is(err, ErrBadHandshake):
 		return CodeBadHandshake
 	case errors.Is(err, ErrUnknownTenant):

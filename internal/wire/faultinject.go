@@ -1,0 +1,26 @@
+package wire
+
+import (
+	"sync/atomic"
+
+	"repro/internal/fault"
+)
+
+// injector is the process-wide chaos injector for the transport's
+// injection points (frame drop on write, connection close on read, shm
+// map failure). The disabled-path cost is one atomic load per frame.
+//
+// The chaos harness installs it only in the client process and runs the
+// daemon as a clean child, so injected transport faults model a flaky
+// link or a crashed peer as seen from one side.
+var injector atomic.Pointer[fault.Injector]
+
+// SetFaultInjector installs (or, with nil, removes) the chaos injector
+// for the wire transport.
+func SetFaultInjector(in *fault.Injector) {
+	if in == nil {
+		injector.Store(nil)
+		return
+	}
+	injector.Store(in)
+}

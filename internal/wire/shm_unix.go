@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"syscall"
+
+	"repro/internal/fault"
 )
 
 // Shm is one shared-memory segment backing a service buffer: a tmpfile
@@ -50,6 +52,9 @@ func CreateShm(dir string, size int64) (*Shm, error) {
 
 // OpenShm maps an existing segment created by the peer.
 func OpenShm(path string) (*Shm, error) {
+	if injector.Load().Should(fault.ShmMapFail) {
+		return nil, fault.Errf(fault.ShmMapFail, path)
+	}
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, fmt.Errorf("wire: open shm: %w", err)

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/fault"
 )
 
 // Version is the protocol version carried in the handshake. The server
@@ -106,6 +108,14 @@ type Frame struct {
 // WriteFrame encodes and writes one frame. It issues a single Write so
 // concurrent writers need only serialize at the io.Writer.
 func WriteFrame(w io.Writer, t MsgType, req uint64, body []byte) error {
+	if injector.Load().Should(fault.WireDropFrame) {
+		// The transport "swallowed" the frame. Surfacing an error (rather
+		// than silently dropping) is what a real peer observes eventually
+		// — a request whose reply never comes is indistinguishable from a
+		// dead connection, and the client's recovery is the same: tear
+		// down and redial.
+		return fault.Errf(fault.WireDropFrame, t.String())
+	}
 	n := 1 + 8 + len(body)
 	if n > MaxFrame {
 		return fmt.Errorf("wire: frame too large (%d bytes)", n)
@@ -121,6 +131,9 @@ func WriteFrame(w io.Writer, t MsgType, req uint64, body []byte) error {
 
 // ReadFrame reads one frame, rejecting lengths above MaxFrame.
 func ReadFrame(r io.Reader) (Frame, error) {
+	if injector.Load().Should(fault.WireCloseConn) {
+		return Frame{}, fault.Errf(fault.WireCloseConn, "")
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Frame{}, err
